@@ -1,0 +1,119 @@
+"""Micro-benchmarks: per-operation throughput of every structure.
+
+Unlike the figure benches (which time a whole experiment once), these
+use pytest-benchmark's steady-state timing on single operations, so the
+final benchmark table doubles as an ops/second comparison across the
+library — insert and query, member and non-member, per structure.
+"""
+
+import pytest
+
+from repro.baselines import (
+    BloomFilter,
+    CountingBloomFilter,
+    CountMinSketch,
+    CuckooFilter,
+    OneMemoryBloomFilter,
+    SpectralBloomFilter,
+)
+from repro.core import (
+    GeneralizedShiftingBloomFilter,
+    ShiftingBloomFilter,
+    ShiftingCountMinSketch,
+    ShiftingMultiplicityFilter,
+)
+
+M, K, N = 65536, 8, 4000
+MEMBERS = [b"member-%06d" % i for i in range(N)]
+ABSENT = [b"absent-%06d" % i for i in range(N)]
+
+
+def _cycle(items):
+    index = 0
+
+    def nxt():
+        nonlocal index
+        item = items[index]
+        index = (index + 1) % len(items)
+        return item
+
+    return nxt
+
+
+def _filled(structure, add=lambda s, e: s.add(e)):
+    for element in MEMBERS:
+        add(structure, element)
+    return structure
+
+
+@pytest.mark.parametrize("cls,label", [
+    (BloomFilter, "bf"),
+    (ShiftingBloomFilter, "shbf_m"),
+    (OneMemoryBloomFilter, "one_mem_bf"),
+])
+def test_membership_query_member(benchmark, cls, label):
+    structure = _filled(cls(m=M, k=K))
+    nxt = _cycle(MEMBERS)
+    benchmark(lambda: structure.query(nxt()))
+
+
+@pytest.mark.parametrize("cls,label", [
+    (BloomFilter, "bf"),
+    (ShiftingBloomFilter, "shbf_m"),
+    (OneMemoryBloomFilter, "one_mem_bf"),
+])
+def test_membership_query_absent(benchmark, cls, label):
+    structure = _filled(cls(m=M, k=K))
+    nxt = _cycle(ABSENT)
+    benchmark(lambda: structure.query(nxt()))
+
+
+@pytest.mark.parametrize("cls,label", [
+    (BloomFilter, "bf"),
+    (ShiftingBloomFilter, "shbf_m"),
+    (CountingBloomFilter, "cbf"),
+])
+def test_membership_insert(benchmark, cls, label):
+    structure = cls(m=M, k=K)
+    nxt = _cycle(MEMBERS)
+    benchmark(lambda: structure.add(nxt()))
+
+
+def test_generalized_query(benchmark):
+    structure = _filled(GeneralizedShiftingBloomFilter(m=M, k=12, t=2))
+    nxt = _cycle(MEMBERS)
+    benchmark(lambda: structure.query(nxt()))
+
+
+def test_cuckoo_query(benchmark):
+    structure = _filled(CuckooFilter(capacity=2 * N))
+    nxt = _cycle(MEMBERS)
+    benchmark(lambda: structure.query(nxt()))
+
+
+def test_multiplicity_query(benchmark):
+    structure = ShiftingMultiplicityFilter(m=M, k=K, c_max=57)
+    for i, element in enumerate(MEMBERS):
+        structure.add(element, count=(i % 57) + 1)
+    nxt = _cycle(MEMBERS)
+    benchmark(lambda: structure.query(nxt()))
+
+
+def test_spectral_query(benchmark):
+    structure = SpectralBloomFilter(m=M, k=K)
+    for i, element in enumerate(MEMBERS):
+        structure.add(element, count=(i % 57) + 1)
+    nxt = _cycle(MEMBERS)
+    benchmark(lambda: structure.estimate(nxt()))
+
+
+@pytest.mark.parametrize("cls,kwargs,label", [
+    (CountMinSketch, {"d": 8, "r": 8192}, "cm"),
+    (ShiftingCountMinSketch, {"d": 8, "r": 4096}, "scm"),
+])
+def test_sketch_query(benchmark, cls, kwargs, label):
+    structure = cls(**kwargs)
+    for i, element in enumerate(MEMBERS):
+        structure.add(element, count=(i % 20) + 1)
+    nxt = _cycle(MEMBERS)
+    benchmark(lambda: structure.estimate(nxt()))

@@ -1,0 +1,42 @@
+"""Figure 4 and Eq. (7)/(9) — ShBF_M vs BF FPR across ``k`` and the
+optimal-parameter constants.
+
+The reproduction contract: the dashed (ShBF_M) and solid (BF) curves of
+Fig. 4 practically coincide at ``w_bar = 57``, and the §3.4.2 constants
+come out as 0.7009 / 0.6204 (vs BF's 0.6931 / 0.6185).
+"""
+
+import pytest
+from conftest import run_experiment
+
+from repro.harness.experiments import EXPERIMENTS
+
+
+def test_fig4_fpr_vs_k(benchmark, scale, archive):
+    table = run_experiment(benchmark, EXPERIMENTS["fig4"], scale)
+    archive("fig4", table)
+    for n in (4000, 6000, 8000, 10000, 12000):
+        shbf = table.column("shbf_n%d" % n)
+        bf = table.column("bf_n%d" % n)
+        # negligible sacrifice on the plotted scale: tight relative
+        # bound near the optimum, small absolute allowance at the
+        # degenerate k=1..2 end where sparse fills inflate ratios
+        for s, b in zip(shbf, bf):
+            assert s <= b * 1.06 + 8e-3
+            assert s >= b - 1e-15
+    # more elements -> more FPR at fixed k (curve ordering in the figure)
+    for row_small, row_large in zip(table.column("shbf_n4000"),
+                                    table.column("shbf_n12000")):
+        assert row_small <= row_large
+
+
+def test_eq7_optimal_constants(benchmark, scale, archive):
+    table = run_experiment(benchmark, EXPERIMENTS["eq7"], scale)
+    archive("eq7", table)
+    rows = {row[0]: row for row in table.rows}
+    shbf = rows["ShBF_M (w_bar=57)"]
+    bf = rows["BF"]
+    assert shbf[1] == pytest.approx(0.7009, abs=5e-4)   # Eq. (7) k_opt
+    assert shbf[2] == pytest.approx(0.6204, abs=5e-4)   # Eq. (7) base
+    assert bf[1] == pytest.approx(0.6931, abs=1e-4)     # §3.5
+    assert bf[2] == pytest.approx(0.6185, abs=1e-4)     # Eq. (9)

@@ -1,0 +1,43 @@
+"""Figure 8 — memory accesses per query: ShBF_M is half a BF.
+
+Reproduction contract (§6.2.2): on the 2n half-member query mix, the
+word-fetch count of ShBF_M is ~0.5x the standard BF's across all three
+parameter sweeps, because each shifted pair costs one byte-aligned fetch.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import EXPERIMENTS
+
+
+def _check_halving(table, sweep):
+    ratios = table.column("ratio")
+    for ratio in ratios:
+        assert 0.40 < ratio < 0.68, (sweep, ratio)
+    shbf = table.column("shbf_accesses")
+    bf = table.column("bf_accesses")
+    # ShBF_M's worst case is k/2; BF's is k
+    assert all(s < b for s, b in zip(shbf, bf))
+
+
+def test_fig8a_accesses_vs_n(benchmark, scale, archive):
+    table = run_experiment(benchmark, EXPERIMENTS["fig8a"], scale)
+    archive("fig8a", table)
+    _check_halving(table, "n")
+
+
+def test_fig8b_accesses_vs_k(benchmark, scale, archive):
+    table = run_experiment(benchmark, EXPERIMENTS["fig8b"], scale)
+    archive("fig8b", table)
+    _check_halving(table, "k")
+    # accesses grow with k for both schemes
+    assert table.column("bf_accesses") == sorted(
+        table.column("bf_accesses"))
+    assert table.column("shbf_accesses") == sorted(
+        table.column("shbf_accesses"))
+
+
+def test_fig8c_accesses_vs_m(benchmark, scale, archive):
+    table = run_experiment(benchmark, EXPERIMENTS["fig8c"], scale)
+    archive("fig8c", table)
+    _check_halving(table, "m")

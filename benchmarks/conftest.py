@@ -1,0 +1,49 @@
+"""Shared plumbing for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures through
+its :mod:`repro.harness` driver, asserts the reproduction contract (the
+*shape*: who wins, by roughly what factor, where crossovers fall), and
+archives the rendered table under ``benchmarks/results/`` so the numbers
+survive the run.
+
+Scale with ``REPRO_BENCH_SCALE`` (default 1.0 = the harness' default
+workload sizes; DESIGN.md §1.4 records how those relate to the paper's).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness._shared import env_scale
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    """Workload scale factor for this benchmark session."""
+    return env_scale(1.0)
+
+
+@pytest.fixture(scope="session")
+def archive():
+    """Write a rendered table to ``benchmarks/results/<name>.txt``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _archive(name, table):
+        (RESULTS_DIR / ("%s.txt" % name)).write_text(table.render())
+        print()
+        print(table.render())
+        return table
+
+    return _archive
+
+
+def run_experiment(benchmark, driver, scale, **kwargs):
+    """Run a harness driver exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(
+        driver, kwargs={"scale": scale, "seed": 0, **kwargs},
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,92 @@
+"""Capacity planning with the paper's closed-form models (no data needed).
+
+Before allocating a single bit, the :mod:`repro.analysis` module answers
+the questions an operator actually asks:
+
+1. How many bits do I need for n elements at a target FPR?
+2. What k should I use — and what does ShBF_M's even-k constraint cost?
+3. How does the 32-bit word variant (w_bar = 25) compare to 64-bit?
+4. When is the generalized t-shift filter worth it?
+
+Run::
+
+    python examples/capacity_planning.py
+"""
+
+import math
+
+from repro.analysis import (
+    best_integer_k,
+    bf_fpr,
+    bf_min_fpr,
+    generalized_shbf_fpr,
+    shbf_m_fpr,
+    shbf_m_min_fpr,
+    shbf_m_optimal_k,
+)
+
+
+def bits_for_target(n: int, target_fpr: float) -> int:
+    """Smallest m with min-FPR below target (ShBF_M at optimal k)."""
+    low, high = n, 64 * n
+    while low < high:
+        mid = (low + high) // 2
+        if shbf_m_min_fpr(mid, n) <= target_fpr:
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
+def main() -> None:
+    n = 1_000_000
+    print("Scenario: %d flows to track\n" % n)
+
+    print("1) memory needed at optimal k (ShBF_M):")
+    for target in (1e-2, 1e-3, 1e-4):
+        m = bits_for_target(n, target)
+        print("   FPR <= %g  ->  m = %.1f Mbit  (%.2f bits/element)"
+              % (target, m / 1e6, m / n))
+    print()
+
+    m = 16 * n
+    print("2) k selection at m = 16n = %.0f Mbit:" % (m / 1e6))
+    k_cont = shbf_m_optimal_k(m, n)
+    k_even = best_integer_k(lambda k: shbf_m_fpr(m, n, k), k_cont,
+                            even=True)
+    k_bf = best_integer_k(lambda k: bf_fpr(m, n, k),
+                          m / n * math.log(2))
+    print("   continuous optimum      : k = %.2f" % k_cont)
+    print("   best even k for ShBF_M  : k = %d  (FPR %.3g)"
+          % (k_even, shbf_m_fpr(m, n, k_even)))
+    print("   best k for standard BF  : k = %d  (FPR %.3g)"
+          % (k_bf, bf_fpr(m, n, k_bf)))
+    print("   even-k constraint costs : %.1f%% extra FPR"
+          % (100 * (shbf_m_fpr(m, n, k_even)
+                    / bf_fpr(m, n, k_bf) - 1)))
+    print()
+
+    print("3) word-size sensitivity at (m, n, k=%d):" % k_even)
+    for w_bar, label in ((57, "64-bit words"), (25, "32-bit words")):
+        print("   %-14s w_bar=%2d  FPR %.3g"
+              % (label, w_bar, shbf_m_fpr(m, n, k_even, w_bar)))
+    print("   standard BF             FPR %.3g" % bf_fpr(m, n, k_even))
+    print()
+
+    print("4) generalized t-shift filter at k=12 "
+          "(accesses = k/(t+1)):")
+    for t in (1, 2, 3):
+        accesses = 12 / (t + 1)
+        fpr = generalized_shbf_fpr(m, n, 12, 57, t)
+        print("   t=%d: %4.1f accesses/query, FPR %.3g"
+              % (t, accesses, fpr))
+    print("\n   -> t>1 buys accesses with a controlled FPR premium;")
+    print("      Eq. (11)/(12) quantifies the trade before deployment.")
+    print()
+
+    print("reference minima (Eq. 7/9): ShBF_M %.3g vs BF %.3g at m/n=16"
+          % (shbf_m_min_fpr(m, n), bf_min_fpr(m, n)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so ``pip install -e .`` works in offline
+environments whose setuptools predates bundled wheel support (PEP 660
+editable installs need the ``wheel`` package; the legacy develop path does
+not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,136 @@
+"""repro — a Shifting Bloom Filter (ShBF) framework for set queries.
+
+Reproduction of *A Shifting Bloom Filter Framework for Set Queries*
+(Yang, Liu, Shahzad, Zhong, Fu, Li, Xie, Li — VLDB 2016).
+
+The key idea: a set data structure stores two kinds of information per
+element — *existence* (is it in the set?) and *auxiliary* (its counter,
+or which set it belongs to).  ShBF encodes the auxiliary information in a
+small **location offset** added to the existence hash positions, so one
+byte-aligned word fetch retrieves both; prior Bloom-filter derivatives
+spend extra memory and extra memory accesses instead.
+
+The package is organised by role:
+
+* :mod:`repro.core` — the paper's contribution: ShBF_M (membership),
+  ShBF_A (association), ShBF_x (multiplicity), the generalized t-shift
+  filter and the shifting count-min sketch.
+* :mod:`repro.baselines` — every comparator in the evaluation: standard
+  and counting Bloom filters, 1MemBF, iBF, Spectral BF, CM sketch, cuckoo
+  filter, dynamic count filters.
+* :mod:`repro.analysis` — the paper's closed-form models (FPR, optimal k,
+  clear-answer probability, correctness rate).
+* :mod:`repro.traces` / :mod:`repro.workloads` — synthetic 5-tuple flow
+  traces and query workloads standing in for the authors' backbone capture.
+* :mod:`repro.harness` — drivers that regenerate every table and figure.
+
+Top-level names are loaded lazily (PEP 562) so ``import repro`` stays
+cheap; ``from repro import ShiftingBloomFilter`` pulls in only the
+modules it needs.
+"""
+
+from importlib import import_module
+from typing import TYPE_CHECKING
+
+__version__ = "1.0.0"
+
+#: Maps public name -> defining submodule, for lazy loading.
+_EXPORTS = {
+    # Core (the paper's contribution)
+    "ShiftingBloomFilter": "repro.core.membership",
+    "CountingShiftingBloomFilter": "repro.core.membership",
+    "GeneralizedShiftingBloomFilter": "repro.core.generalized",
+    "LogShiftingBloomFilter": "repro.core.log_shifting",
+    "ShiftingAssociationFilter": "repro.core.association",
+    "CountingShiftingAssociationFilter": "repro.core.association",
+    "Association": "repro.core.association",
+    "AssociationAnswer": "repro.core.association",
+    "ShiftingMultiplicityFilter": "repro.core.multiplicity",
+    "CountingShiftingMultiplicityFilter": "repro.core.multiplicity",
+    "ShiftingCountMinSketch": "repro.core.scm",
+    "OffsetPolicy": "repro.core.offsets",
+    # Baselines
+    "BloomFilter": "repro.baselines.bloom",
+    "CountingBloomFilter": "repro.baselines.counting_bloom",
+    "OneMemoryBloomFilter": "repro.baselines.one_mem_bloom",
+    "DoubleHashBloomFilter": "repro.baselines.double_hash_bloom",
+    "IndividualBloomFilters": "repro.baselines.ibf",
+    "SpectralBloomFilter": "repro.baselines.spectral",
+    "CountMinSketch": "repro.baselines.count_min",
+    "CuckooFilter": "repro.baselines.cuckoo",
+    "DynamicCountFilter": "repro.baselines.dcf",
+    # Hashing
+    "HashFamily": "repro.hashing.family",
+    "default_family": "repro.hashing.family",
+    "Blake2Family": "repro.hashing.blake",
+    # Substrate
+    "BitArray": "repro.bitarray.bitarray",
+    "CounterArray": "repro.bitarray.counters",
+    "MemoryModel": "repro.bitarray.memory",
+    # Errors
+    "ReproError": "repro.errors",
+    "ConfigurationError": "repro.errors",
+    "CapacityError": "repro.errors",
+    "CounterOverflowError": "repro.errors",
+    "CounterUnderflowError": "repro.errors",
+    "UnsupportedOperationError": "repro.errors",
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str):
+    """Resolve a public name by importing its defining submodule."""
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            "module %r has no attribute %r" % (__name__, name)
+        ) from None
+    return getattr(import_module(module_name), name)
+
+
+def __dir__():
+    return __all__
+
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.baselines.bloom import BloomFilter
+    from repro.baselines.count_min import CountMinSketch
+    from repro.baselines.counting_bloom import CountingBloomFilter
+    from repro.baselines.cuckoo import CuckooFilter
+    from repro.baselines.dcf import DynamicCountFilter
+    from repro.baselines.double_hash_bloom import DoubleHashBloomFilter
+    from repro.baselines.ibf import IndividualBloomFilters
+    from repro.baselines.one_mem_bloom import OneMemoryBloomFilter
+    from repro.baselines.spectral import SpectralBloomFilter
+    from repro.bitarray.bitarray import BitArray
+    from repro.bitarray.counters import CounterArray
+    from repro.bitarray.memory import MemoryModel
+    from repro.core.association import (
+        Association,
+        AssociationAnswer,
+        CountingShiftingAssociationFilter,
+        ShiftingAssociationFilter,
+    )
+    from repro.core.generalized import GeneralizedShiftingBloomFilter
+    from repro.core.membership import (
+        CountingShiftingBloomFilter,
+        ShiftingBloomFilter,
+    )
+    from repro.core.multiplicity import (
+        CountingShiftingMultiplicityFilter,
+        ShiftingMultiplicityFilter,
+    )
+    from repro.core.offsets import OffsetPolicy
+    from repro.core.scm import ShiftingCountMinSketch
+    from repro.errors import (
+        CapacityError,
+        ConfigurationError,
+        CounterOverflowError,
+        CounterUnderflowError,
+        ReproError,
+        UnsupportedOperationError,
+    )
+    from repro.hashing.blake import Blake2Family
+    from repro.hashing.family import HashFamily, default_family

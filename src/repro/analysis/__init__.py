@@ -1,0 +1,80 @@
+"""Closed-form models from the paper's analysis sections.
+
+Every formula the paper derives (and every baseline formula it compares
+against) lives here, named by its equation number where one exists:
+
+* :mod:`~repro.analysis.membership` — BF and ShBF_M false positive rates
+  (Eq. (1), (8)) and the §3.4.2 parameter discussion.
+* :mod:`~repro.analysis.generalized` — the t-shift FPR, Eq. (10)–(12).
+* :mod:`~repro.analysis.association` — outcome probabilities Eq. (25)
+  and Table 2's clear-answer comparison.
+* :mod:`~repro.analysis.multiplicity` — Eq. (26)–(28) correctness rates.
+* :mod:`~repro.analysis.one_mem` — a Poisson occupancy model for the
+  1MemBF baseline's FPR (the paper reports it empirically; the model lets
+  tests pin the simulated values).
+* :mod:`~repro.analysis.optimal` — numerical optimisation of ``k``
+  (Eq. (7)/(9): ``k_opt = 0.7009 m/n``, ``f_min = 0.6204^{m/n}`` for
+  ShBF_M vs ``0.6931``/``0.6185`` for BF).
+
+All functions are pure and vectorisation-friendly (plain ``math`` on
+scalars), so tests can sweep them cheaply.
+"""
+
+from repro.analysis.association import (
+    association_outcome_probabilities,
+    ibf_clear_answer_probability,
+    shbf_a_clear_answer_probability,
+)
+from repro.analysis.exact import bf_fpr_occupancy, occupancy_distribution
+from repro.analysis.generalized import generalized_shbf_fpr
+from repro.analysis.membership import (
+    bf_fpr,
+    bf_fpr_exact,
+    bf_min_fpr,
+    bf_optimal_k,
+    shbf_m_fpr,
+    shbf_m_fpr_exact,
+)
+from repro.analysis.multiplicity import (
+    multiplicity_fp_probability,
+    shbf_x_correctness_rate_absent,
+    shbf_x_correctness_rate_present,
+)
+from repro.analysis.one_mem import one_mem_bf_fpr
+from repro.analysis.optimal import (
+    best_integer_k,
+    bf_kopt_coefficient,
+    bf_min_fpr_base,
+    optimal_k_numeric,
+    shbf_m_kopt_coefficient,
+    shbf_m_min_fpr,
+    shbf_m_min_fpr_base,
+    shbf_m_optimal_k,
+)
+
+__all__ = [
+    "association_outcome_probabilities",
+    "best_integer_k",
+    "bf_fpr",
+    "bf_fpr_exact",
+    "bf_fpr_occupancy",
+    "bf_kopt_coefficient",
+    "bf_min_fpr",
+    "bf_min_fpr_base",
+    "bf_optimal_k",
+    "generalized_shbf_fpr",
+    "ibf_clear_answer_probability",
+    "multiplicity_fp_probability",
+    "occupancy_distribution",
+    "one_mem_bf_fpr",
+    "optimal_k_numeric",
+    "shbf_a_clear_answer_probability",
+    "shbf_m_fpr",
+    "shbf_m_fpr_exact",
+    "shbf_m_kopt_coefficient",
+    "shbf_m_min_fpr",
+    "shbf_m_min_fpr_base",
+    "shbf_m_optimal_k",
+    "shbf_x_correctness_rate_absent",
+    "shbf_x_correctness_rate_present",
+]

@@ -1,0 +1,135 @@
+"""Association-query accuracy models — Eq. (24)/(25) and Table 2 (§4.4).
+
+At the optimal fill (``k = ln 2 * m / n'`` over the ``n'`` distinct
+elements), the probability that all ``k`` probe bits of a *wrong* region
+are coincidentally set is ``0.5^k``.  The seven §4.2 outcomes then have
+probabilities
+
+    P1 = P2 = P3 = (1 - 0.5^k)^2      (clear answers)
+    P4 = P5 = P6 = 0.5^k (1 - 0.5^k)  (partial answers)
+    P7 = (0.5^k)^2                    (no information)
+
+conditioned on the true region; the totals ``P_clear + 2*P_partial +
+P_none = 1`` per region.  The iBF baseline's clear-answer probability is
+``(2/3)(1 - 0.5^k)`` because its "in both sets" answer can itself be a
+false positive and is therefore never clear (Table 2's derivation).
+
+Every function accepts an optional ``false_region_probability`` to model
+non-optimal fills: it replaces ``0.5^k`` with ``(1 - p0)^k`` where ``p0``
+is the actual vacancy probability from Eq. (24).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro._util import require_positive
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "association_false_region_probability",
+    "association_outcome_probabilities",
+    "ibf_clear_answer_probability",
+    "shbf_a_clear_answer_probability",
+]
+
+
+def association_false_region_probability(
+    m: int, n_distinct: int, k: int
+) -> float:
+    """Probability a wrong region's ``k`` bits are all set.
+
+    Eq. (24): ``p0 = (1 - 1/m)^{k n'}`` is the vacancy probability after
+    inserting the ``n'`` distinct elements once each; a spurious region
+    survives with probability ``(1 - p0)^k`` (``= 0.5^k`` at optimum).
+    """
+    require_positive("m", int(m))
+    require_positive("n_distinct", int(n_distinct))
+    require_positive("k", k)
+    p0 = (1.0 - 1.0 / m) ** (k * n_distinct)
+    return (1.0 - p0) ** k
+
+
+def _resolve_f(k: int, false_region_probability: Optional[float]) -> float:
+    require_positive("k", k)
+    if false_region_probability is None:
+        return 0.5**k
+    if not 0.0 <= false_region_probability <= 1.0:
+        raise ConfigurationError(
+            "false_region_probability must be in [0, 1], got %r"
+            % false_region_probability
+        )
+    return false_region_probability
+
+
+def association_outcome_probabilities(
+    k: int, false_region_probability: Optional[float] = None
+) -> Dict[int, float]:
+    """Eq. (25): probability of each §4.2 outcome, keyed 1..7.
+
+    Outcomes 1–3 are conditioned on the corresponding true region (they
+    are symmetric); 4–6 likewise for the partial answers; 7 is the
+    no-information outcome.
+    """
+    f = _resolve_f(k, false_region_probability)
+    clear = (1.0 - f) ** 2
+    partial = f * (1.0 - f)
+    none = f * f
+    return {1: clear, 2: clear, 3: clear,
+            4: partial, 5: partial, 6: partial, 7: none}
+
+
+def shbf_a_clear_answer_probability(
+    k: int, false_region_probability: Optional[float] = None
+) -> float:
+    """Table 2: ShBF_A answers clearly with probability ``(1 - 0.5^k)^2``.
+
+    Both spurious regions must miss; the true region always survives.
+    """
+    f = _resolve_f(k, false_region_probability)
+    return (1.0 - f) ** 2
+
+
+def ibf_clear_answer_probability(
+    k: int, false_positive_rate: Optional[float] = None
+) -> float:
+    """Table 2: iBF answers clearly with probability ``(2/3)(1 - 0.5^k)``.
+
+    With queries hitting the three regions uniformly: a difference-region
+    element is clear iff the *other* filter does not false-positive
+    (``1 - f`` each, two regions of three), and an intersection element is
+    never clear because "in both" is exactly the signature a false
+    positive produces.
+
+    Args:
+        k: hash functions per filter.
+        false_positive_rate: per-filter FPR override (defaults to the
+            optimal ``0.5^k``).
+    """
+    f = _resolve_f(k, false_positive_rate)
+    return 2.0 / 3.0 * (1.0 - f)
+
+
+def ibf_optimal_memory(n1: int, n2: int, k: int) -> int:
+    """Table 2: iBF's optimal total memory ``(n1 + n2) k / ln 2`` bits."""
+    require_positive("n1", n1)
+    require_positive("n2", n2)
+    require_positive("k", k)
+    return math.ceil((n1 + n2) * k / math.log(2.0))
+
+
+def shbf_a_optimal_memory(n1: int, n2: int, n3: int, k: int) -> int:
+    """Table 2: ShBF_A's optimal memory ``(n1 + n2 - n3) k / ln 2`` bits.
+
+    ``n3`` is the intersection size — ShBF_A stores intersection elements
+    once where iBF pays twice.
+    """
+    require_positive("n1", n1)
+    require_positive("n2", n2)
+    require_positive("k", k)
+    if n3 < 0 or n3 > min(n1, n2):
+        raise ConfigurationError(
+            "n3=%d must lie in [0, min(n1, n2)]" % n3
+        )
+    return math.ceil((n1 + n2 - n3) * k / math.log(2.0))

@@ -1,0 +1,102 @@
+"""False positive rate models for BF and ShBF_M (§3.4, §3.5).
+
+The paper bases its analysis on Bloom's original formula, noting (§3.4.1)
+that the Bose and Christensen corrections change the numbers negligibly
+at these sizes while destroying the closed forms needed for parameter
+optimisation — so we implement Bloom-style formulas plus the
+finite-``m`` "exact" variants used in the theory-vs-simulation tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro._util import require_positive
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "bf_fpr",
+    "bf_fpr_exact",
+    "bf_min_fpr",
+    "bf_optimal_k",
+    "shbf_m_fpr",
+    "shbf_m_fpr_exact",
+]
+
+
+def _validate(m: int, n: int, k: float) -> None:
+    require_positive("m", int(m))
+    require_positive("n", int(n))
+    if k <= 0:
+        raise ConfigurationError("k must be positive, got %r" % k)
+
+
+def bf_fpr(m: int, n: int, k: float) -> float:
+    """Standard Bloom filter FPR, Eq. (8): ``(1 - e^{-nk/m})^k``.
+
+    ``k`` may be fractional — the optimisation routines treat it as a
+    continuous variable before rounding to the best integer.
+    """
+    _validate(m, n, k)
+    p = math.exp(-n * k / m)
+    return (1.0 - p) ** k
+
+
+def bf_fpr_exact(m: int, n: int, k: int) -> float:
+    """Finite-``m`` Bloom FPR: ``(1 - (1 - 1/m)^{kn})^k``.
+
+    The pre-asymptotic form on the left of Eq. (8); used in tests to
+    bound the error of the exponential approximation.
+    """
+    _validate(m, n, k)
+    return (1.0 - (1.0 - 1.0 / m) ** (k * n)) ** k
+
+
+def bf_optimal_k(m: int, n: int) -> float:
+    """The classic optimum ``k = (m/n) ln 2`` (§3.5)."""
+    require_positive("m", int(m))
+    require_positive("n", int(n))
+    return m / n * math.log(2.0)
+
+
+def bf_min_fpr(m: int, n: int) -> float:
+    """Minimum Bloom FPR at optimal ``k``, Eq. (9): ``0.6185^{m/n}``."""
+    require_positive("m", int(m))
+    require_positive("n", int(n))
+    return 0.5 ** (m / n * math.log(2.0))
+
+
+def shbf_m_fpr(m: int, n: int, k: float, w_bar: int = 57) -> float:
+    """ShBF_M FPR, Theorem 1 / Eq. (1).
+
+    ``f = (1-p)^{k/2} * (1 - p + p^2/(w_bar-1))^{k/2}`` with
+    ``p = e^{-nk/m}``.  The first factor is the probability that every
+    first-hash bit is set; the second accounts for the shifted partner
+    bit, whose correlation with its neighbour contributes the
+    ``p^2/(w_bar-1)`` excess over an independent bit.  As
+    ``w_bar -> inf`` this collapses to Eq. (8), which the tests assert.
+    """
+    _validate(m, n, k)
+    if w_bar < 2:
+        raise ConfigurationError("w_bar must be >= 2, got %d" % w_bar)
+    p = math.exp(-n * k / m)
+    first = (1.0 - p) ** (k / 2.0)
+    second = (1.0 - p + p * p / (w_bar - 1.0)) ** (k / 2.0)
+    return first * second
+
+
+def shbf_m_fpr_exact(m: int, n: int, k: int, w_bar: int = 57) -> float:
+    """Finite-``m`` ShBF_M FPR using Eq. (2)'s vacancy probability.
+
+    ``p' = (1 - 2/m)^{kn/2}`` — each insertion writes ``k/2`` bit *pairs*,
+    each pair missing a given position with probability ``(m-2)/m``.
+    """
+    _validate(m, n, k)
+    if k % 2 != 0:
+        raise ConfigurationError("exact ShBF_M FPR needs even k, got %d" % k)
+    if m < 3:
+        raise ConfigurationError("m must be >= 3 for the exact form")
+    p = (1.0 - 2.0 / m) ** (k * n / 2.0)
+    first = (1.0 - p) ** (k / 2.0)
+    second = (1.0 - p + p * p / (w_bar - 1.0)) ** (k / 2.0)
+    return first * second

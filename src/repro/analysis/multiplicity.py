@@ -1,0 +1,84 @@
+"""Multiplicity-query accuracy models — Eq. (26)–(28) (§5.4).
+
+ShBF_x sets exactly ``k`` bits per distinct element regardless of its
+count, so the probability that a *wrong* multiplicity ``j`` survives the
+candidate intersection is the Bloom-style
+
+    f0 = (1 - e^{-kn/m})^k                                   (Eq. 26)
+
+with ``n`` the number of distinct elements.  The *correctness rate* — the
+probability the filter reports exactly the true count — follows:
+
+* absent element (true count 0): all ``c`` candidate positions must
+  miss, ``CR = (1 - f0)^c``                                  (Eq. 27)
+* present element with count ``j``, smallest-candidate reporting: no
+  spurious candidate below ``j``, ``CR' = (1 - f0)^{j-1}``   (Eq. 28)
+* present element with count ``j``, largest-candidate reporting: no
+  spurious candidate above ``j``, ``CR' = (1 - f0)^{c-j}``   (§5.2 prose
+  policy; see DESIGN.md §1.5 for the paper's policy/formula mismatch).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro._util import require_positive
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "multiplicity_fp_probability",
+    "shbf_x_correctness_rate_absent",
+    "shbf_x_correctness_rate_present",
+]
+
+
+def multiplicity_fp_probability(m: int, n: int, k: int) -> float:
+    """Eq. (26): probability a wrong multiplicity survives, ``f0``.
+
+    Args:
+        m: filter bits.
+        n: number of **distinct** elements in the multi-set (each sets
+            ``k`` bits exactly once, whatever its count).
+        k: hash functions.
+    """
+    require_positive("m", int(m))
+    require_positive("n", int(n))
+    require_positive("k", k)
+    return (1.0 - math.exp(-k * n / m)) ** k
+
+
+def shbf_x_correctness_rate_absent(f0: float, c: int) -> float:
+    """Eq. (27): ``CR = (1 - f0)^c`` for an element not in the multi-set."""
+    _validate_f0(f0)
+    require_positive("c", c)
+    return (1.0 - f0) ** c
+
+
+def shbf_x_correctness_rate_present(
+    f0: float, j: int, c: int, report: str = "smallest"
+) -> float:
+    """Correctness rate for an element present ``j`` times.
+
+    ``report="smallest"`` gives Eq. (28), ``(1 - f0)^{j-1}``;
+    ``report="largest"`` gives the §5.2-prose policy's
+    ``(1 - f0)^{c-j}``.  Position ``j`` itself is always a candidate (the
+    construction set those ``k`` bits), hence no extra factor — the point
+    Eq. (28)'s footnote makes.
+    """
+    _validate_f0(f0)
+    require_positive("j", j)
+    require_positive("c", c)
+    if j > c:
+        raise ConfigurationError("j=%d exceeds c=%d" % (j, c))
+    if report == "smallest":
+        return (1.0 - f0) ** (j - 1)
+    if report == "largest":
+        return (1.0 - f0) ** (c - j)
+    raise ConfigurationError(
+        "report must be 'smallest' or 'largest', got %r" % report
+    )
+
+
+def _validate_f0(f0: float) -> None:
+    if not 0.0 <= f0 <= 1.0:
+        raise ConfigurationError("f0 must be in [0, 1], got %r" % f0)

@@ -1,0 +1,64 @@
+"""A Poisson occupancy model for the 1MemBF baseline's FPR.
+
+The ShBF paper evaluates 1MemBF empirically and attributes its accuracy
+deficit to "serious unbalance in distributions of 1s and 0s in the
+memory" (§6.2.1): because all ``k`` bits of an element land in one
+machine word, words carry binomially-distributed element loads, and FPR
+is convex in the load — so the imbalance strictly hurts (Jensen).  This
+module makes that argument quantitative so the Fig. 7 bench can pin the
+simulated 1MemBF curves to a model instead of eyeballing them.
+
+Model: with ``W = m / w`` words and ``n`` elements, a word's load ``X``
+is Binomial(n, 1/W) ≈ Poisson(n/W).  Conditioned on a query landing in a
+word of load ``x``, its ``k`` probe bits are each set with probability
+``1 - (1 - 1/w)^{kx}``, giving
+
+    FPR = E_X [ (1 - (1 - 1/w)^{kX})^k ].
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro._util import require_positive
+
+__all__ = ["one_mem_bf_fpr"]
+
+
+def one_mem_bf_fpr(
+    m: int, n: int, k: int, word_bits: int = 64, tail: float = 1e-12
+) -> float:
+    """Expected FPR of a one-word-per-element Bloom filter.
+
+    Args:
+        m: total bits (rounded up to whole words, as the filter does).
+        n: inserted elements.
+        k: bit-selecting hashes per element.
+        word_bits: machine word size ``w``.
+        tail: truncation bound for the Poisson sum.
+
+    Returns:
+        The modelled false positive probability.
+    """
+    require_positive("m", int(m))
+    require_positive("n", int(n))
+    require_positive("k", k)
+    require_positive("word_bits", word_bits)
+    n_words = max(1, -(-m // word_bits))
+    lam = n / n_words
+    vacancy = 1.0 - 1.0 / word_bits
+    total = 0.0
+    weight_seen = 0.0
+    x = 0
+    prob = math.exp(-lam)  # P[X = 0]
+    # Sum until the remaining Poisson tail cannot move the answer.
+    while weight_seen < 1.0 - tail and x < 10_000:
+        fpr_given_x = (1.0 - vacancy ** (k * x)) ** k
+        total += prob * fpr_given_x
+        weight_seen += prob
+        x += 1
+        prob *= lam / x
+    # The untallied tail has conditional FPR <= 1; bound it by adding the
+    # missing mass at the worst case so truncation can only overestimate
+    # by `tail`.
+    return total + (1.0 - weight_seen)

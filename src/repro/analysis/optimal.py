@@ -1,0 +1,154 @@
+"""Numerical optimisation of ``k`` — §3.4.2 and Eq. (7)/(9).
+
+Differentiating Eq. (1) in ``k`` has no closed form, so the paper solves
+``∂f/∂k = 0`` numerically and reports, for ``w_bar = 57``:
+
+    k_opt ≈ 0.7009 m/n,     f_min ≈ 0.6204^{m/n}       (Eq. 7)
+
+versus the standard Bloom filter's ``0.6931 m/n`` and ``0.6185^{m/n}``
+(Eq. 9).  Both FPR curves depend on ``(m, n, k)`` only through ``k/(m/n)``
+raised to the ``m/n``-th power, so the coefficient and the per-bit base
+are universal constants of ``w_bar`` — which is how we compute them:
+minimise ``c * ln g(c)`` over the reduced variable ``c = k n / m``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from scipy.optimize import minimize_scalar
+
+from repro._util import require_positive
+from repro.analysis.membership import shbf_m_fpr
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "best_integer_k",
+    "bf_kopt_coefficient",
+    "bf_min_fpr_base",
+    "optimal_k_numeric",
+    "shbf_m_kopt_coefficient",
+    "shbf_m_min_fpr",
+    "shbf_m_min_fpr_base",
+    "shbf_m_optimal_k",
+]
+
+
+def optimal_k_numeric(
+    fpr_fn: Callable[[float], float],
+    k_max: float,
+    k_min: float = 1e-3,
+) -> float:
+    """Continuous minimiser of an FPR function of ``k`` on a bracket.
+
+    Args:
+        fpr_fn: maps ``k`` (float) to an FPR.
+        k_max: upper bracket (e.g. a few times ``m/n``).
+        k_min: lower bracket.
+
+    Returns:
+        The minimising ``k`` as a float.
+    """
+    if k_max <= k_min:
+        raise ConfigurationError(
+            "k_max=%r must exceed k_min=%r" % (k_max, k_min)
+        )
+    result = minimize_scalar(
+        fpr_fn, bounds=(k_min, k_max), method="bounded",
+        options={"xatol": 1e-8},
+    )
+    return float(result.x)
+
+
+def best_integer_k(
+    fpr_fn: Callable[[int], float],
+    k_float: float,
+    even: bool = False,
+    k_min: int = 1,
+) -> int:
+    """Round a continuous optimum to the best feasible integer ``k``.
+
+    Checks the integers (or even integers, for ShBF_M whose ``k`` must be
+    even) bracketing *k_float* and returns the one with the lower FPR.
+    """
+    step = 2 if even else 1
+    if even:
+        lower = max(k_min + k_min % 2, int(k_float // 2) * 2)
+    else:
+        lower = max(k_min, int(math.floor(k_float)))
+    candidates = {max(k_min + (k_min % 2 if even else 0), lower),
+                  lower + step}
+    best = min(candidates, key=lambda k: fpr_fn(k))
+    return best
+
+
+# ----------------------------------------------------------------------
+# Reduced-variable constants:  k = c * m/n,  f_min = base^{m/n}
+# ----------------------------------------------------------------------
+def bf_kopt_coefficient() -> float:
+    """The Bloom optimum coefficient ``ln 2 ≈ 0.6931`` (§3.5)."""
+    return math.log(2.0)
+
+
+def bf_min_fpr_base() -> float:
+    """The Bloom per-bit base ``0.5^{ln 2} ≈ 0.6185`` (Eq. 9)."""
+    return 0.5 ** math.log(2.0)
+
+
+def _reduced_objective(w_bar: int) -> Callable[[float], float]:
+    """ShBF_M's FPR exponent per unit of ``m/n``: ``c -> c*ln(g(c))/2``.
+
+    Substituting ``k = c m/n`` into Eq. (1) gives
+    ``f = [g(c)]^{(m/n) c / 2}`` with
+    ``g(c) = (1 - e^{-c}) (1 - e^{-c} + e^{-2c} / (w_bar - 1))``, so
+    minimising FPR is minimising ``c * ln g(c)`` — independent of ``m/n``.
+    """
+
+    def objective(c: float) -> float:
+        p = math.exp(-c)
+        g = (1.0 - p) * (1.0 - p + p * p / (w_bar - 1.0))
+        return c * math.log(g) / 2.0
+
+    return objective
+
+
+def shbf_m_kopt_coefficient(w_bar: int = 57) -> float:
+    """The ShBF_M optimum coefficient (``≈ 0.7009`` for ``w_bar = 57``).
+
+    ``k_opt = coefficient * m / n`` — the numerical solution of
+    ``∂f/∂k = 0`` from §3.4.2, in reduced form.
+    """
+    require_positive("w_bar", w_bar)
+    if w_bar < 2:
+        raise ConfigurationError("w_bar must be >= 2, got %d" % w_bar)
+    result = minimize_scalar(
+        _reduced_objective(w_bar), bounds=(1e-4, 10.0), method="bounded",
+        options={"xatol": 1e-10},
+    )
+    return float(result.x)
+
+
+def shbf_m_min_fpr_base(w_bar: int = 57) -> float:
+    """The ShBF_M per-bit base (``≈ 0.6204`` for ``w_bar = 57``, Eq. 7).
+
+    ``f_min = base^{m/n}``.
+    """
+    coefficient = shbf_m_kopt_coefficient(w_bar)
+    return math.exp(_reduced_objective(w_bar)(coefficient))
+
+
+def shbf_m_optimal_k(m: int, n: int, w_bar: int = 57) -> float:
+    """Continuous optimal ``k`` for concrete ``(m, n)`` (§3.4.2)."""
+    require_positive("m", int(m))
+    require_positive("n", int(n))
+    return shbf_m_kopt_coefficient(w_bar) * m / n
+
+
+def shbf_m_min_fpr(
+    m: int, n: int, w_bar: int = 57, k: Optional[float] = None
+) -> float:
+    """Minimum ShBF_M FPR at (continuous) optimal ``k``, Eq. (7)."""
+    if k is None:
+        k = shbf_m_optimal_k(m, n, w_bar)
+    return shbf_m_fpr(m, n, k, w_bar)

@@ -1,0 +1,56 @@
+"""The Kirsch–Mitzenmacher "less hashing" Bloom filter.
+
+Simulates ``k`` hash functions from two via ``g_i = h1 + i * h2``
+(related work §2.1, reference [13] of the ShBF paper).  It reduces hash
+*computations* to two per operation but still performs ``k`` memory
+accesses — the complementary half of the cost that ShBF_M removes — and
+pays a small FPR penalty at practical sizes, which the paper cites as the
+scheme's cost.  Used by the hash-family ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.bloom import BloomFilter
+from repro.bitarray.memory import MemoryModel
+from repro.hashing.double_hashing import DoubleHashingFamily
+from repro.hashing.family import HashFamily
+
+__all__ = ["DoubleHashBloomFilter"]
+
+
+class DoubleHashBloomFilter(BloomFilter):
+    """A standard Bloom filter probing via double hashing.
+
+    Identical to :class:`~repro.baselines.bloom.BloomFilter` except the
+    probe positions come from a
+    :class:`~repro.hashing.double_hashing.DoubleHashingFamily`, so every
+    operation computes exactly two real hashes regardless of ``k``.
+
+    Args:
+        m: number of bits.
+        k: number of simulated hash functions.
+        base: family supplying the two real hashes (BLAKE2b by default).
+        memory: access-cost model for the bit array.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        k: int,
+        base: Optional[HashFamily] = None,
+        memory: Optional[MemoryModel] = None,
+    ):
+        super().__init__(
+            m=m, k=k, family=DoubleHashingFamily(base=base), memory=memory
+        )
+
+    @property
+    def hash_ops_per_query(self) -> int:
+        """Real hash computations per query: always 2."""
+        return 2
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "DoubleHashBloomFilter(m=%d, k=%d, n_items=%d)" % (
+            self.m, self.k, self.n_items)

@@ -1,0 +1,25 @@
+"""Bit/counter array substrate with a word-granular memory cost model.
+
+This subpackage provides the storage layer every filter in the library is
+built on:
+
+* :class:`~repro.bitarray.bitarray.BitArray` — a dense bit vector backed by
+  a numpy ``uint64`` buffer with windowed (multi-bit) reads,
+* :class:`~repro.bitarray.counters.CounterArray` — packed fixed-width
+  counters with selectable overflow policies,
+* :class:`~repro.bitarray.memory.MemoryModel` — the byte-aligned,
+  word-granular access cost model from §3.1 of the paper, used to reproduce
+  the "number of memory accesses" figures (Fig. 8, 10(b), 11(b)).
+"""
+
+from repro.bitarray.bitarray import BitArray
+from repro.bitarray.counters import CounterArray, OverflowPolicy
+from repro.bitarray.memory import AccessStats, MemoryModel
+
+__all__ = [
+    "AccessStats",
+    "BitArray",
+    "CounterArray",
+    "MemoryModel",
+    "OverflowPolicy",
+]

@@ -1,0 +1,297 @@
+"""Dense bit vector with windowed reads and access accounting.
+
+:class:`BitArray` is the storage primitive under every filter in this
+library.  Besides the usual single-bit operations it offers *windowed*
+reads and writes — fetch ``nbits`` consecutive bits as one integer, or set
+several bits at fixed offsets from a base position — which is exactly the
+access pattern the shifting framework is built around: one byte-aligned
+word fetch yields both the existence bit and the auxiliary (shifted) bit.
+
+Each operation can be routed through a :class:`~repro.bitarray.memory.
+MemoryModel` so experiment harnesses can count word-granular traffic the
+same way the paper does.  Accounting reflects *logical* accesses: a windowed
+read is billed as one operation whose word cost depends on its span, while
+two separate :meth:`BitArray.test` calls are billed as two operations.
+
+The backing store is a ``bytearray`` addressed LSB-first (bit ``i`` lives
+in byte ``i // 8`` at in-byte position ``i % 8``), which matches the
+little-endian byte-addressable model in §3.1 of the paper and keeps
+windowed extraction a shift-and-mask on an ``int``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro._util import require_positive
+from repro.bitarray.memory import MemoryModel
+from repro.errors import ConfigurationError
+
+__all__ = ["BitArray"]
+
+_BYTE_POPCOUNT = bytes(bin(i).count("1") for i in range(256))
+
+
+class BitArray:
+    """A fixed-size array of bits supporting windowed access.
+
+    Args:
+        nbits: number of addressable bits.  Filters typically allocate
+            ``m + slack`` bits where ``slack`` absorbs the maximum offset so
+            shifted positions never wrap (§3.1 extends the array to
+            ``m + w_bar`` bits for this reason).
+        memory: optional access-cost model.  When provided, every recorded
+            operation updates ``memory.stats``; when omitted, a private
+            model is created so accounting is always available.
+
+    Example:
+        >>> bits = BitArray(128)
+        >>> bits.set(3); bits.set(10)
+        >>> bits.test(3), bits.test(4)
+        (True, False)
+        >>> bin(bits.read_window(3, 8))  # bits 3..10 as an int, LSB first
+        '0b10000001'
+    """
+
+    __slots__ = ("_nbits", "_buf", "memory")
+
+    def __init__(self, nbits: int, memory: Optional[MemoryModel] = None):
+        require_positive("nbits", nbits)
+        self._nbits = nbits
+        self._buf = bytearray((nbits + 7) // 8)
+        self.memory = memory if memory is not None else MemoryModel()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._nbits
+
+    @property
+    def nbits(self) -> int:
+        """Number of addressable bits."""
+        return self._nbits
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the backing buffer in bytes."""
+        return len(self._buf)
+
+    def count(self) -> int:
+        """Number of set bits (population count)."""
+        table = _BYTE_POPCOUNT
+        return sum(table[b] for b in self._buf)
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set, in ``[0, 1]``."""
+        return self.count() / self._nbits
+
+    def _check_index(self, i: int) -> None:
+        if not 0 <= i < self._nbits:
+            raise IndexError(
+                "bit index %d out of range for BitArray of %d bits"
+                % (i, self._nbits)
+            )
+
+    # ------------------------------------------------------------------
+    # Single-bit operations
+    # ------------------------------------------------------------------
+    def set(self, i: int, record: bool = True) -> None:
+        """Set bit *i* to 1 (one recorded write)."""
+        self._check_index(i)
+        if record:
+            self.memory.record_write(i, 1)
+        self._buf[i >> 3] |= 1 << (i & 7)
+
+    def clear(self, i: int, record: bool = True) -> None:
+        """Set bit *i* to 0 (one recorded write)."""
+        self._check_index(i)
+        if record:
+            self.memory.record_write(i, 1)
+        self._buf[i >> 3] &= ~(1 << (i & 7)) & 0xFF
+
+    def test(self, i: int, record: bool = True) -> bool:
+        """Return whether bit *i* is set (one recorded read)."""
+        self._check_index(i)
+        if record:
+            self.memory.record_read(i, 1)
+        return bool(self._buf[i >> 3] >> (i & 7) & 1)
+
+    def peek(self, i: int) -> bool:
+        """Return bit *i* without touching the access statistics.
+
+        Tests and invariants use this to observe state without perturbing
+        the traffic counters that experiments measure.
+        """
+        self._check_index(i)
+        return bool(self._buf[i >> 3] >> (i & 7) & 1)
+
+    def __getitem__(self, i: int) -> bool:
+        return self.peek(i)
+
+    # ------------------------------------------------------------------
+    # Windowed operations — the shifting framework's primitive
+    # ------------------------------------------------------------------
+    def read_window(self, start: int, nbits: int, record: bool = True) -> int:
+        """Read ``nbits`` consecutive bits starting at *start* as an int.
+
+        Bit ``j`` of the result equals bit ``start + j`` of the array.
+        Billed as one logical read whose word cost is
+        ``memory.read_cost(start, nbits)`` — one fetch when the span fits a
+        byte-aligned word, which is what the offset bound guarantees for
+        shifted pairs.
+        """
+        self._check_index(start)
+        require_positive("nbits", nbits)
+        end = start + nbits
+        if end > self._nbits:
+            raise IndexError(
+                "window [%d, %d) exceeds BitArray of %d bits"
+                % (start, end, self._nbits)
+            )
+        if record:
+            self.memory.record_read(start, nbits)
+        first = start >> 3
+        last = (end - 1) >> 3
+        chunk = int.from_bytes(self._buf[first : last + 1], "little")
+        return (chunk >> (start & 7)) & ((1 << nbits) - 1)
+
+    def test_offsets(
+        self, start: int, offsets: Sequence[int], record: bool = True
+    ) -> tuple[bool, ...]:
+        """Test the bits at ``start + o`` for each offset, as one read.
+
+        This is the query-side primitive of the shifting framework: ShBF_M
+        checks ``(h_i(e), h_i(e) + o(e))`` and ShBF_A checks
+        ``(h_i(e), h_i(e) + o1(e), h_i(e) + o2(e))`` with a single windowed
+        fetch each.
+        """
+        if not offsets:
+            return ()
+        span = max(offsets) + 1
+        end = start + span
+        self._check_index(start)
+        if end > self._nbits:
+            raise IndexError(
+                "window [%d, %d) exceeds BitArray of %d bits"
+                % (start, end, self._nbits)
+            )
+        if record:
+            # Billed as ONE read of the whole span — the word fetch the
+            # modelled hardware performs; the byte-indexed extraction
+            # below is just the fastest CPython way to pick bits out of
+            # that (conceptually fetched) word.
+            self.memory.record_read(start, span)
+        buf = self._buf
+        return tuple(
+            bool(buf[(start + o) >> 3] >> ((start + o) & 7) & 1)
+            for o in offsets
+        )
+
+    def test_pair(self, start: int, offset: int, record: bool = True) -> bool:
+        """Whether bits ``start`` and ``start + offset`` are both set.
+
+        The ShBF_M inner loop, specialised: one billed read covering the
+        pair's span, two direct byte probes.  Equivalent to
+        ``all(test_offsets(start, (0, offset)))`` but cheap enough that
+        wall-clock speed experiments measure the modelled costs rather
+        than Python tuple plumbing.
+        """
+        end = start + offset
+        if start < 0 or end >= self._nbits or offset < 0:
+            self._check_index(start)
+            self._check_index(end)
+        if record:
+            self.memory.record_read(start, offset + 1)
+        buf = self._buf
+        return bool(
+            buf[start >> 3] >> (start & 7)
+            & buf[end >> 3] >> (end & 7) & 1
+        )
+
+    def test_triple(
+        self, start: int, o1: int, o2: int, record: bool = True
+    ) -> tuple:
+        """Bits at ``start``, ``start + o1``, ``start + o2`` as bools.
+
+        The ShBF_A inner loop, specialised like :meth:`test_pair`
+        (``0 < o1 < o2`` by the offset policy's construction).
+        """
+        end = start + o2
+        if start < 0 or end >= self._nbits or not 0 < o1 < o2:
+            self._check_index(start)
+            self._check_index(end)
+            if not 0 < o1 < o2:
+                raise IndexError("offsets must satisfy 0 < o1 < o2")
+        if record:
+            self.memory.record_read(start, o2 + 1)
+        buf = self._buf
+        mid = start + o1
+        return (
+            bool(buf[start >> 3] >> (start & 7) & 1),
+            bool(buf[mid >> 3] >> (mid & 7) & 1),
+            bool(buf[end >> 3] >> (end & 7) & 1),
+        )
+
+    def set_offsets(
+        self, start: int, offsets: Iterable[int], record: bool = True
+    ) -> None:
+        """Set the bits at ``start + o`` for each offset, as one write.
+
+        Mirrors :meth:`test_offsets` for the construction phase: the member
+        and shifted bits land in one word, so the paper bills the pair as a
+        single write access.
+        """
+        offsets = tuple(offsets)
+        if not offsets:
+            return
+        span = max(offsets) + 1
+        end = start + span
+        self._check_index(start)
+        if end > self._nbits:
+            raise IndexError(
+                "window [%d, %d) exceeds BitArray of %d bits"
+                % (start, end, self._nbits)
+            )
+        if record:
+            self.memory.record_write(start, span)
+        buf = self._buf
+        for o in offsets:
+            i = start + o
+            buf[i >> 3] |= 1 << (i & 7)
+
+    # ------------------------------------------------------------------
+    # Bulk helpers
+    # ------------------------------------------------------------------
+    def clear_all(self) -> None:
+        """Reset every bit to 0 (does not touch access statistics)."""
+        for i in range(len(self._buf)):
+            self._buf[i] = 0
+
+    def copy(self) -> "BitArray":
+        """Return a deep copy sharing no state (fresh access statistics)."""
+        clone = BitArray(self._nbits, memory=MemoryModel(
+            word_bits=self.memory.word_bits, tier=self.memory.tier))
+        clone._buf[:] = self._buf
+        return clone
+
+    def to_bytes(self) -> bytes:
+        """Serialise the raw bit buffer (LSB-first within each byte)."""
+        return bytes(self._buf)
+
+    @classmethod
+    def from_bytes(
+        cls, data: bytes, nbits: int, memory: Optional[MemoryModel] = None
+    ) -> "BitArray":
+        """Rebuild a :class:`BitArray` from :meth:`to_bytes` output."""
+        arr = cls(nbits, memory=memory)
+        if len(data) != len(arr._buf):
+            raise ConfigurationError(
+                "buffer of %d bytes does not match %d bits"
+                % (len(data), nbits)
+            )
+        arr._buf[:] = data
+        return arr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "BitArray(nbits=%d, set=%d)" % (self._nbits, self.count())

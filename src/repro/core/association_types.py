@@ -1,0 +1,120 @@
+"""Answer types for association queries over a pair of sets.
+
+An association query asks which of two sets ``S1``, ``S2`` contains a
+given element of ``S1 ∪ S2``.  The truth is one of three *regions*:
+``S1 - S2``, ``S1 ∩ S2``, or ``S2 - S1``.  A probabilistic scheme may not
+pin the region down uniquely, so an answer carries the set of regions it
+could not rule out; §4.2 of the paper enumerates the seven possible
+outcomes and calls an answer *clear* when it identifies exactly one
+region that can be trusted.
+
+These types are shared by the paper's ShBF_A and the iBF baseline so the
+harness can score both with the same code.  Note the schemes differ in
+*when* an answer is trustworthy: ShBF_A never reports a wrong region (its
+single-candidate answers are always correct), while iBF's "in both"
+answer may itself be a false positive — which is why the paper counts
+iBF's intersection answers as unclear (Table 2's derivation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet
+
+__all__ = ["Association", "AssociationAnswer"]
+
+
+class Association(enum.Enum):
+    """The three disjoint regions of ``S1 ∪ S2``."""
+
+    S1_ONLY = "S1-S2"
+    BOTH = "S1&S2"
+    S2_ONLY = "S2-S1"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Association.%s" % self.name
+
+
+#: Human-readable declarations for the paper's seven outcomes, keyed by
+#: the frozen candidate set.
+_DECLARATIONS = {
+    frozenset({Association.S1_ONLY}): "e in S1 - S2",
+    frozenset({Association.BOTH}): "e in S1 and S2",
+    frozenset({Association.S2_ONLY}): "e in S2 - S1",
+    frozenset({Association.S1_ONLY, Association.BOTH}):
+        "e in S1, unsure about S2",
+    frozenset({Association.S2_ONLY, Association.BOTH}):
+        "e in S2, unsure about S1",
+    frozenset({Association.S1_ONLY, Association.S2_ONLY}):
+        "e in exactly one of S1, S2",
+    frozenset({Association.S1_ONLY, Association.BOTH,
+               Association.S2_ONLY}): "e in S1 or S2 (no information)",
+    frozenset(): "e not recognised in S1 or S2",
+}
+
+#: Outcome numbering from §4.2 (0 reserved for the empty candidate set,
+#: which the paper excludes by assuming queries come from S1 ∪ S2).
+_OUTCOME_NUMBERS = {
+    frozenset({Association.S1_ONLY}): 1,
+    frozenset({Association.BOTH}): 2,
+    frozenset({Association.S2_ONLY}): 3,
+    frozenset({Association.S1_ONLY, Association.BOTH}): 4,
+    frozenset({Association.S2_ONLY, Association.BOTH}): 5,
+    frozenset({Association.S1_ONLY, Association.S2_ONLY}): 6,
+    frozenset({Association.S1_ONLY, Association.BOTH,
+               Association.S2_ONLY}): 7,
+    frozenset(): 0,
+}
+
+
+@dataclass(frozen=True)
+class AssociationAnswer:
+    """Result of an association query.
+
+    Attributes:
+        candidates: the regions the scheme could not rule out.
+        clear: whether the scheme vouches for this answer as complete and
+            trustworthy.  Schemes set this themselves because it depends
+            on their error model: ShBF_A marks any single-candidate answer
+            clear (it has no false positives); iBF marks only its two
+            difference answers clear (its intersection answer may be a
+            false positive).
+    """
+
+    candidates: FrozenSet[Association]
+    clear: bool
+
+    def __post_init__(self) -> None:
+        # Normalise plain sets for hashability and lookup.
+        if not isinstance(self.candidates, frozenset):
+            object.__setattr__(self, "candidates",
+                               frozenset(self.candidates))
+
+    @property
+    def outcome(self) -> int:
+        """The paper's outcome number (1-7; 0 for an empty candidate set)."""
+        return _OUTCOME_NUMBERS[self.candidates]
+
+    @property
+    def declaration(self) -> str:
+        """Human-readable form of the declared answer."""
+        return _DECLARATIONS[self.candidates]
+
+    @property
+    def is_single(self) -> bool:
+        """Whether exactly one region remains."""
+        return len(self.candidates) == 1
+
+    def consistent_with(self, truth: Association) -> bool:
+        """Whether the true region is among the candidates.
+
+        ShBF_A answers are always consistent (no false negatives on the
+        true region); this predicate is the invariant the property tests
+        assert.
+        """
+        return truth in self.candidates
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ",".join(sorted(c.name for c in self.candidates))
+        return "AssociationAnswer({%s}, clear=%s)" % (names, self.clear)

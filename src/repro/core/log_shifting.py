@@ -1,0 +1,227 @@
+"""The §3.6 "log method": recursive halving down to log2(k)+1 hashes.
+
+Before settling on the linear ``t``-shift generalisation, the paper
+sketches a recursive construction: ShBF_M replaces ``k`` hashes with
+``k/2`` bases plus one offset; applying the same trick to the bases
+gives ``k/4`` bases plus two offsets, "continuing in this manner, one
+could eventually arrive at log(k) + 1 hash functions".  The authors
+stop there because the FPR has no tractable closed form — not because
+the structure doesn't work — so we build it as the extension it is and
+evaluate it by simulation (ablation A7).
+
+Construction with ``L`` levels: ``k / 2**L`` base hashes and offsets
+``o_1 .. o_L``; an element's probe positions are every subset sum
+
+    h_j(e) + sum(o_l for l in S),   S ⊆ {1..L}
+
+giving ``2**L`` bits per base.  Offset ``o_l`` is drawn from
+``[1, (w_bar-1) / 2**(L-l+1)]`` so the largest subset sum stays below
+``w_bar``, preserving the one-word-fetch guarantee per base.  ``L = 1``
+is exactly ShBF_M.
+
+Costs per query: ``k / 2**L`` memory accesses and ``k / 2**L + L`` hash
+computations — e.g. ``k = 16, L = 3``: 2 accesses and 5 hashes where a
+Bloom filter pays 16 and 16.  The price is FPR: subset sums are
+correlated (and can collide), so accuracy degrades faster than the
+linear method's — which is presumably why the paper shipped the
+partitioned variant.  The A7 ablation quantifies exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro._util import ElementLike, require_positive
+from repro.bitarray.bitarray import BitArray
+from repro.bitarray.memory import MemoryModel
+from repro.core.offsets import OffsetPolicy
+from repro.errors import ConfigurationError, UnsupportedOperationError
+from repro.hashing.family import HashFamily, default_family
+
+__all__ = ["LogShiftingBloomFilter"]
+
+
+class LogShiftingBloomFilter:
+    """ShBF_M recursively halved: ``2**levels`` probe bits per base hash.
+
+    Args:
+        m: logical number of bits (anti-wrap slack appended).
+        k: total probe bits per element; must be divisible by
+            ``2**levels``.
+        levels: recursion depth ``L >= 1``; ``L = 1`` reproduces ShBF_M's
+            pairing, ``L = log2(k)`` reaches the paper's
+            ``log(k) + 1``-hash endpoint.
+        family: hash family; indices ``0 .. k/2**L - 1`` are bases, the
+            next ``L`` indices feed the level offsets.
+        word_bits / w_bar: as for ShBF_M.
+        memory: access-cost model.
+
+    Example:
+        >>> f = LogShiftingBloomFilter(m=4096, k=16, levels=3)
+        >>> f.add(b"flow")
+        >>> b"flow" in f
+        True
+        >>> f.hash_ops_per_query   # 16/8 bases + 3 offsets
+        5
+    """
+
+    def __init__(
+        self,
+        m: int,
+        k: int,
+        levels: int = 1,
+        family: Optional[HashFamily] = None,
+        word_bits: int = 64,
+        w_bar: Optional[int] = None,
+        memory: Optional[MemoryModel] = None,
+    ):
+        require_positive("m", m)
+        require_positive("k", k)
+        require_positive("levels", levels)
+        fanout = 1 << levels
+        if k % fanout != 0:
+            raise ConfigurationError(
+                "k=%d must be divisible by 2**levels=%d" % (k, fanout)
+            )
+        self._m = m
+        self._k = k
+        self._levels = levels
+        self._bases_count = k // fanout
+        self._family = family if family is not None else default_family()
+        self._policy = OffsetPolicy(
+            word_bits=word_bits,
+            cell_bits=1,
+            w_bar=w_bar if w_bar is not None else -1,
+        )
+        # Level ranges shrink geometrically so the max subset sum stays
+        # below w_bar: range_l = (w_bar - 1) // 2**(L - l + 1).
+        self._ranges = []
+        for level in range(1, levels + 1):
+            span = (self._policy.w_bar - 1) >> (levels - level + 1)
+            if span < 1:
+                raise ConfigurationError(
+                    "w_bar=%d too small for %d recursion levels"
+                    % (self._policy.w_bar, levels)
+                )
+            self._ranges.append(span)
+        if memory is None:
+            memory = MemoryModel(word_bits=word_bits)
+        self._bits = BitArray(m + self._policy.slack_cells, memory=memory)
+        self._n_items = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Logical number of bits."""
+        return self._m
+
+    @property
+    def k(self) -> int:
+        """Total probe bits per element."""
+        return self._k
+
+    @property
+    def levels(self) -> int:
+        """Recursion depth ``L``."""
+        return self._levels
+
+    @property
+    def w_bar(self) -> int:
+        """The offset range parameter."""
+        return self._policy.w_bar
+
+    @property
+    def n_items(self) -> int:
+        """Number of elements inserted so far."""
+        return self._n_items
+
+    @property
+    def bits(self) -> BitArray:
+        """The underlying bit array."""
+        return self._bits
+
+    @property
+    def memory(self) -> MemoryModel:
+        """The access-cost model."""
+        return self._bits.memory
+
+    @property
+    def size_bits(self) -> int:
+        """Total memory footprint in bits, slack included."""
+        return self._bits.nbits
+
+    @property
+    def hash_ops_per_query(self) -> int:
+        """Hash computations per query: ``k/2**L + L`` (the paper's
+        ``log(k) + 1`` when ``L = log2(k)``)."""
+        return self._bases_count + self._levels
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits currently set."""
+        return self._bits.fill_ratio()
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _offsets(self, element: ElementLike) -> Tuple[int, ...]:
+        """All ``2**L`` subset-sum offsets (0 included) for *element*."""
+        level_offsets = [
+            value % span + 1
+            for value, span in zip(
+                self._family.values(
+                    element, self._levels, start=self._bases_count),
+                self._ranges,
+            )
+        ]
+        sums = [0]
+        for offset in level_offsets:
+            sums.extend(base + offset for base in list(sums))
+        return tuple(sums)
+
+    def _bases(self, element: ElementLike) -> List[int]:
+        return [
+            v % self._m
+            for v in self._family.values(element, self._bases_count)
+        ]
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def add(self, element: ElementLike) -> None:
+        """Insert: ``2**L`` bits per base in one write access each."""
+        offsets = self._offsets(element)
+        for base in self._bases(element):
+            self._bits.set_offsets(base, offsets)
+        self._n_items += 1
+
+    def update(self, elements: Iterable[ElementLike]) -> None:
+        """Insert every element of an iterable."""
+        for element in elements:
+            self.add(element)
+
+    def query(self, element: ElementLike) -> bool:
+        """Membership test: one word fetch per base, early exit."""
+        offsets = self._offsets(element)
+        m = self._m
+        bits = self._bits
+        for value in self._family.iter_values(element, self._bases_count):
+            if not all(bits.test_offsets(value % m, offsets)):
+                return False
+        return True
+
+    def __contains__(self, element: ElementLike) -> bool:
+        return self.query(element)
+
+    def remove(self, element: ElementLike) -> None:
+        """Unsupported (extension mirrors the plain ShBF_M contract)."""
+        raise UnsupportedOperationError(
+            "LogShiftingBloomFilter does not support deletion"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            "LogShiftingBloomFilter(m=%d, k=%d, levels=%d, n_items=%d)"
+            % (self._m, self._k, self._levels, self._n_items)
+        )

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the ShBF reproduction library.
+
+Every error raised by this package derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing configuration mistakes from runtime capacity
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A structure was configured with invalid parameters.
+
+    Raised eagerly at construction time — for example a Bloom filter with
+    ``m <= 0``, a shifting filter whose maximum offset exceeds what a single
+    word read can cover, or a hash family asked for more independent
+    functions than it can provide.
+    """
+
+
+class CapacityError(ReproError, RuntimeError):
+    """A bounded structure ran out of room.
+
+    Raised by structures with hard capacity limits, e.g. a cuckoo filter
+    whose insertion displacement chain exceeded ``max_kicks`` or a packed
+    counter configured to raise on overflow.
+    """
+
+
+class CounterOverflowError(CapacityError):
+    """A packed counter exceeded its maximum representable value."""
+
+
+class CounterUnderflowError(ReproError, RuntimeError):
+    """A counter was decremented below zero.
+
+    This signals deletion of an element that was never inserted (or was
+    already deleted), which standard counting filters cannot support.
+    """
+
+
+class UnsupportedOperationError(ReproError, RuntimeError):
+    """The operation is not supported by this variant of the structure.
+
+    For example, deleting from a plain (non-counting) Bloom filter, or
+    updating a minimum-increase Spectral Bloom filter, which the paper
+    notes trades away update support for accuracy.
+    """

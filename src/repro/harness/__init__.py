@@ -1,0 +1,31 @@
+"""Experiment harness: metrics, reporting, and per-figure drivers.
+
+* :mod:`~repro.harness.metrics` — FPR, accesses-per-query and wall-clock
+  throughput measurement against any structure in the library.
+* :mod:`~repro.harness.report` — plain-text tables (the "figures" of a
+  terminal reproduction) with CSV export.
+* :mod:`~repro.harness.experiments` — one driver per table/figure of the
+  paper, each returning a :class:`~repro.harness.report.Table` whose
+  rows are the series the paper plots.  ``EXPERIMENTS`` maps experiment
+  ids (``fig3a`` ... ``fig11c``, ``table2``, ``eq7``) to drivers.
+
+Run everything from the command line::
+
+    python -m repro.harness --scale 0.1 fig7a table2
+"""
+
+from repro.harness.metrics import (
+    measure_accesses_per_query,
+    measure_fpr,
+    measure_throughput,
+)
+from repro.harness.report import Table
+from repro.harness.experiments import EXPERIMENTS
+
+__all__ = [
+    "EXPERIMENTS",
+    "Table",
+    "measure_accesses_per_query",
+    "measure_fpr",
+    "measure_throughput",
+]

@@ -1,0 +1,72 @@
+"""Command-line entry point for regenerating tables and figures.
+
+Usage::
+
+    python -m repro.harness                       # list experiments
+    python -m repro.harness fig7a table2          # run selected
+    python -m repro.harness --all --scale 0.2     # run everything, scaled
+    python -m repro.harness fig4 --csv out/       # also write CSV files
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.harness.experiments import EXPERIMENTS
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the ShBF paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment ids (see --list); default: none",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit")
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale factor (default 1.0)")
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default 0)")
+    parser.add_argument(
+        "--csv", type=pathlib.Path, default=None,
+        help="directory to also write <id>.csv files into")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list or (not args.experiments and not args.all):
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    names = list(EXPERIMENTS) if args.all else args.experiments
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print("unknown experiment(s): %s" % ", ".join(unknown),
+              file=sys.stderr)
+        print("known: %s" % ", ".join(EXPERIMENTS), file=sys.stderr)
+        return 2
+    if args.csv is not None:
+        args.csv.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        started = time.perf_counter()
+        table = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        print(table.render())
+        print("[%s finished in %.1fs]\n" % (name, elapsed))
+        if args.csv is not None:
+            (args.csv / ("%s.csv" % name)).write_text(table.to_csv())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

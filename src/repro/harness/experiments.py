@@ -1,0 +1,80 @@
+"""Registry of every experiment driver, keyed by the paper's labels.
+
+``EXPERIMENTS[id](scale=..., seed=...) -> Table`` regenerates the table
+or figure.  DESIGN.md §2 maps each id to the paper's workload and to the
+bench module that asserts its shape.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.harness.experiments_ablations import (
+    ablation_generalized,
+    ablation_hash_families,
+    ablation_log_method,
+    ablation_membership_zoo,
+    ablation_scm,
+    ablation_updates,
+    ablation_w_bar_sim,
+)
+from repro.harness.experiments_association import (
+    figure_10a,
+    figure_10b,
+    figure_10c,
+    table_2,
+)
+from repro.harness.experiments_membership import (
+    eq7_optimal_constants,
+    figure_3a,
+    figure_3b,
+    figure_4,
+    figure_7a,
+    figure_7b,
+    figure_7c,
+    figure_8a,
+    figure_8b,
+    figure_8c,
+    figure_9a,
+    figure_9b,
+    figure_9c,
+)
+from repro.harness.experiments_multiplicity import (
+    figure_11a,
+    figure_11b,
+    figure_11c,
+)
+from repro.harness.report import Table
+
+__all__ = ["EXPERIMENTS"]
+
+#: Every table/figure driver, in the paper's order.
+EXPERIMENTS: Dict[str, Callable[..., Table]] = {
+    "fig3a": figure_3a,
+    "fig3b": figure_3b,
+    "fig4": figure_4,
+    "eq7": eq7_optimal_constants,
+    "table2": table_2,
+    "fig7a": figure_7a,
+    "fig7b": figure_7b,
+    "fig7c": figure_7c,
+    "fig8a": figure_8a,
+    "fig8b": figure_8b,
+    "fig8c": figure_8c,
+    "fig9a": figure_9a,
+    "fig9b": figure_9b,
+    "fig9c": figure_9c,
+    "fig10a": figure_10a,
+    "fig10b": figure_10b,
+    "fig10c": figure_10c,
+    "fig11a": figure_11a,
+    "fig11b": figure_11b,
+    "fig11c": figure_11c,
+    "ablation_generalized": ablation_generalized,
+    "ablation_scm": ablation_scm,
+    "ablation_w_bar_sim": ablation_w_bar_sim,
+    "ablation_hash_families": ablation_hash_families,
+    "ablation_log_method": ablation_log_method,
+    "ablation_updates": ablation_updates,
+    "ablation_membership_zoo": ablation_membership_zoo,
+}

@@ -1,0 +1,172 @@
+"""Multiplicity experiment drivers — Figure 11.
+
+Paper geometry (§6.4): ``c = 57``, ``n = 100,000`` distinct elements,
+``k`` sweeping 8..16 (accuracy) and 3..18 (cost), **all three structures
+at the same memory budget** ``1.5 * n * k / ln 2`` bits, with 6-bit
+counters for Spectral BF and CM sketch.  Our default ``n`` is
+Python-scaled (recorded in the notes); every sizing rule is the paper's.
+
+Correctness rate (CR) follows §5.4: an answer is correct when the
+reported multiplicity equals the truth (0 for absent elements).  The
+theory column is Eq. (27); the member-side Eq. (28) check uses the
+matching smallest-candidate policy (DESIGN.md §1.5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.analysis import (
+    multiplicity_fp_probability,
+    shbf_x_correctness_rate_absent,
+    shbf_x_correctness_rate_present,
+)
+from repro.baselines.count_min import CountMinSketch
+from repro.baselines.spectral import SpectralBloomFilter
+from repro.core.multiplicity import ShiftingMultiplicityFilter
+from repro.harness._shared import scaled
+from repro.harness.metrics import measure_throughput
+from repro.harness.report import Table
+from repro.workloads.multiplicity import (
+    MultiplicityWorkload,
+    build_multiplicity_workload,
+)
+
+__all__ = ["figure_11a", "figure_11b", "figure_11c"]
+
+_N_DISTINCT = 8_000
+_C_MAX = 57
+_COUNTER_BITS = 6
+_PROBES = 4_000
+
+
+def _workload(scale: float, seed: int) -> MultiplicityWorkload:
+    return build_multiplicity_workload(
+        n_distinct=scaled(_N_DISTINCT, scale, minimum=500),
+        c_max=_C_MAX,
+        n_absent=scaled(_PROBES, scale, minimum=300),
+        seed=seed,
+    )
+
+
+def _build_structures(
+    workload: MultiplicityWorkload, k: int, family=None
+) -> Tuple[ShiftingMultiplicityFilter, SpectralBloomFilter, CountMinSketch]:
+    """All three structures at the paper's shared memory budget."""
+    n = workload.n_distinct
+    budget_bits = math.ceil(1.5 * n * k / math.log(2.0))
+    shbf = ShiftingMultiplicityFilter(
+        m=budget_bits, k=k, c_max=workload.c_max, report="smallest",
+        family=family)
+    shbf.build(workload.count_map)
+    spectral = SpectralBloomFilter(
+        m=max(k, budget_bits // _COUNTER_BITS), k=k,
+        variant="ms", counter_bits=_COUNTER_BITS, family=family)
+    cm = CountMinSketch(
+        d=k, r=max(1, budget_bits // (_COUNTER_BITS * k)),
+        counter_bits=_COUNTER_BITS, family=family)
+    for element, count in workload.counts:
+        spectral.add(element, count=count)
+        cm.add(element, count=count)
+    return shbf, spectral, cm
+
+
+def _correctness(structure_query, truth_pairs) -> float:
+    correct = sum(
+        1 for element, truth in truth_pairs
+        if structure_query(element) == truth
+    )
+    return correct / len(truth_pairs)
+
+
+def figure_11a(scale: float = 1.0, seed: int = 0) -> Table:
+    """Fig. 11(a): correctness rate vs ``k`` for the three structures."""
+    workload = _workload(scale, seed)
+    member_pairs = list(workload.counts)
+    absent_pairs = [(e, 0) for e in workload.absent_queries]
+    mix = member_pairs[: len(absent_pairs)] + absent_pairs
+    n = workload.n_distinct
+    table = Table(
+        title="Figure 11(a): correctness rate vs k "
+        "(c=%d, n=%d, memory=1.5nk/ln2)" % (workload.c_max, n),
+        columns=("k", "theory_absent", "shbf_absent", "shbf_members",
+                 "theory_members", "spectral_mix", "cm_mix", "shbf_mix"),
+        notes=["paper n = 100,000; 6-bit counters for Spectral BF and CM",
+               "theory_absent = Eq. (27); theory_members = Eq. (28) "
+               "averaged over the workload's counts (smallest-candidate "
+               "policy)",
+               "*_mix = exact-answer rate over a 50/50 member/absent mix"],
+    )
+    for k in range(8, 17, 2):
+        m_bits = math.ceil(1.5 * n * k / math.log(2.0))
+        f0 = multiplicity_fp_probability(m_bits, n, k)
+        shbf, spectral, cm = _build_structures(workload, k)
+        theory_members = sum(
+            shbf_x_correctness_rate_present(f0, j=count, c=workload.c_max)
+            for _, count in member_pairs
+        ) / len(member_pairs)
+        table.add_row(
+            k,
+            shbf_x_correctness_rate_absent(f0, workload.c_max),
+            _correctness(shbf.estimate, absent_pairs),
+            _correctness(shbf.estimate, member_pairs),
+            theory_members,
+            _correctness(spectral.estimate, mix),
+            _correctness(cm.estimate, mix),
+            _correctness(shbf.estimate, mix),
+        )
+    return table
+
+
+def figure_11b(scale: float = 1.0, seed: int = 0) -> Table:
+    """Fig. 11(b): memory accesses per query vs ``k``."""
+    workload = _workload(scale, seed)
+    queries = (list(workload.member_queries[: len(workload.absent_queries)])
+               + list(workload.absent_queries))
+    table = Table(
+        title="Figure 11(b): accesses/query vs k (c=%d, n=%d)"
+        % (workload.c_max, workload.n_distinct),
+        columns=("k", "shbf_accesses", "spectral_accesses", "cm_accesses"),
+        notes=["ShBF_x reads one c-bit window per hash with candidate-set "
+               "early exit; Spectral/CM read one counter per hash with "
+               "zero-counter early exit"],
+    )
+    for k in range(3, 19):
+        shbf, spectral, cm = _build_structures(workload, k)
+        rows = []
+        for structure in (shbf, spectral, cm):
+            structure.memory.reset()
+            for element in queries:
+                structure.estimate(element)
+            rows.append(structure.memory.stats.read_words / len(queries))
+        table.add_row(k, *rows)
+    return table
+
+
+def figure_11c(scale: float = 1.0, seed: int = 0) -> Table:
+    """Fig. 11(c): query throughput vs ``k``."""
+    from repro.hashing.blake import Blake2Family
+
+    workload = _workload(scale, seed)
+    queries = (list(workload.member_queries[: len(workload.absent_queries)])
+               + list(workload.absent_queries))
+    table = Table(
+        title="Figure 11(c): query speed vs k (c=%d, n=%d)"
+        % (workload.c_max, workload.n_distinct),
+        columns=("k", "shbf_qps", "spectral_qps", "cm_qps",
+                 "shbf/spectral"),
+        notes=["wall-clock Python throughput with per-index hashing; the "
+               "paper's crossover (ShBF_x fastest for k > 11) is the "
+               "shape to compare"],
+    )
+    family = Blake2Family(seed=seed, batch_lanes=False)
+    for k in range(3, 19, 3):
+        shbf, spectral, cm = _build_structures(workload, k, family=family)
+        shbf_qps = measure_throughput(shbf.estimate, queries, repeats=2)
+        spectral_qps = measure_throughput(
+            spectral.estimate, queries, repeats=2)
+        cm_qps = measure_throughput(cm.estimate, queries, repeats=2)
+        table.add_row(k, shbf_qps, spectral_qps, cm_qps,
+                      shbf_qps / spectral_qps)
+    return table

@@ -1,0 +1,89 @@
+"""Measurement primitives for the evaluation harness.
+
+Three quantities drive every figure in the paper's §6:
+
+* **false positive rate** — fraction of absent elements reported present;
+* **memory accesses per query** — word fetches per query under the §3.1
+  byte-aligned cost model (measured via each structure's
+  :class:`~repro.bitarray.memory.MemoryModel`);
+* **query processing speed** — queries per second.  The paper reports
+  Mqps from a C++ build; our wall-clock numbers are Python-speed, so the
+  harness reports them as *relative* series (the shapes and ratios are
+  the reproducible part — see DESIGN.md §1.4).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Sequence
+
+from repro._util import ElementLike, require_positive
+
+__all__ = [
+    "measure_accesses_per_query",
+    "measure_fpr",
+    "measure_throughput",
+]
+
+
+def measure_fpr(
+    query: Callable[[ElementLike], bool],
+    negatives: Sequence[ElementLike],
+) -> float:
+    """Fraction of *negatives* for which *query* answers True.
+
+    Args:
+        query: membership predicate (e.g. ``filt.query`` or a lambda
+            adapting an association/multiplicity answer).
+        negatives: elements known to be absent.
+    """
+    require_positive("len(negatives)", len(negatives))
+    positives = sum(1 for element in negatives if query(element))
+    return positives / len(negatives)
+
+
+def measure_accesses_per_query(
+    structure,
+    queries: Iterable[ElementLike],
+    op: str = "query",
+) -> float:
+    """Mean word fetches per query, from the structure's memory model.
+
+    Resets the structure's access statistics, replays *queries* through
+    ``getattr(structure, op)`` and divides the recorded read words by the
+    query count — exactly the quantity on the y-axis of Figures 8, 10(b)
+    and 11(b).
+    """
+    run = getattr(structure, op)
+    memory = structure.memory
+    memory.reset()
+    count = 0
+    for element in queries:
+        run(element)
+        count += 1
+    require_positive("query count", count)
+    return memory.stats.read_words / count
+
+
+def measure_throughput(
+    query: Callable[[ElementLike], object],
+    queries: Sequence[ElementLike],
+    repeats: int = 3,
+) -> float:
+    """Queries per second of *query* over *queries* (best of *repeats*).
+
+    Best-of-N suppresses scheduler noise, the standard practice for
+    micro-throughput measurement; the paper similarly averages 1000
+    repetitions (§6.1).
+    """
+    require_positive("len(queries)", len(queries))
+    require_positive("repeats", repeats)
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for element in queries:
+            query(element)
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, len(queries) / elapsed)
+    return best

@@ -1,0 +1,106 @@
+"""Plain-text tables — the terminal's version of the paper's figures.
+
+Each experiment driver returns a :class:`Table`: a titled grid whose
+first column is the swept parameter and whose remaining columns are the
+series the paper plots (one per curve).  ``render()`` produces aligned
+monospace output; ``to_csv()`` feeds external plotting if wanted.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Table"]
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return "%.0f" % value
+        if abs(value) >= 1:
+            return "%.4g" % value
+        return "%.4g" % value
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled measurement grid.
+
+    Attributes:
+        title: what the paper calls this output (e.g. "Figure 7(a)").
+        columns: column headers; the first is the swept parameter.
+        rows: one entry per parameter value.
+        notes: free-form provenance lines rendered under the grid
+            (workload sizes, scale factor, caveats).
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Cell]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append a row (must match the column count)."""
+        if len(cells) != len(self.columns):
+            raise ConfigurationError(
+                "row has %d cells for %d columns"
+                % (len(cells), len(self.columns))
+            )
+        self.rows.append(cells)
+
+    def column(self, name: str) -> List[Cell]:
+        """Extract one column by header name (for assertions in benches)."""
+        try:
+            index = list(self.columns).index(name)
+        except ValueError:
+            raise ConfigurationError(
+                "no column %r in %r" % (name, list(self.columns))
+            ) from None
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """Aligned monospace rendering with title and notes."""
+        headers = [str(c) for c in self.columns]
+        body = [[_format_cell(cell) for cell in row] for row in self.rows]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in body))
+            if body else len(headers[i])
+            for i in range(len(headers))
+        ]
+        out = io.StringIO()
+        out.write("%s\n" % self.title)
+        out.write("%s\n" % ("=" * len(self.title)))
+        header_line = "  ".join(
+            headers[i].rjust(widths[i]) for i in range(len(headers)))
+        out.write(header_line + "\n")
+        out.write("-" * len(header_line) + "\n")
+        for row in body:
+            out.write("  ".join(
+                row[i].rjust(widths[i]) for i in range(len(row))) + "\n")
+        for note in self.notes:
+            out.write("note: %s\n" % note)
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (headers + rows, no title)."""
+        out = io.StringIO()
+        out.write(",".join(str(c) for c in self.columns) + "\n")
+        for row in self.rows:
+            out.write(",".join(_format_cell(cell) for cell in row) + "\n")
+        return out.getvalue()
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,54 @@
+"""Hash families with uniformly distributed outputs.
+
+Every structure in the paper assumes ``k`` independent hash functions with
+uniformly distributed outputs (§1.1).  This subpackage provides:
+
+* :class:`~repro.hashing.family.HashFamily` — the common interface: an
+  indexed family of 64-bit hash functions over ``bytes``,
+* :class:`~repro.hashing.blake.Blake2Family` — the default family, built
+  from seeded BLAKE2b digests split into 64-bit lanes (cryptographic
+  mixing, C-speed via :mod:`hashlib`),
+* :class:`~repro.hashing.mixers.Murmur3Family`,
+  :class:`~repro.hashing.mixers.FNV1aFamily` and
+  :class:`~repro.hashing.mixers.XXHash64Family` — pure-Python ports of the
+  classic non-cryptographic hashes the paper's authors drew from [1],
+* :class:`~repro.hashing.double_hashing.DoubleHashingFamily` — the
+  Kirsch–Mitzenmacher ``h1 + i*h2`` construction (related work §2.1),
+* :mod:`~repro.hashing.randomness` — the per-bit balance test the authors
+  used to vet their 18 hash functions (§6.1).
+"""
+
+from repro.hashing.blake import Blake2Family
+from repro.hashing.double_hashing import DoubleHashingFamily
+from repro.hashing.family import HashFamily, default_family
+from repro.hashing.mixers import (
+    FNV1aFamily,
+    Murmur3Family,
+    XXHash64Family,
+    fnv1a_64,
+    murmur3_32,
+    splitmix64,
+    xxh64,
+)
+from repro.hashing.randomness import (
+    BitBalanceReport,
+    bit_balance_report,
+    vet_family,
+)
+
+__all__ = [
+    "BitBalanceReport",
+    "Blake2Family",
+    "DoubleHashingFamily",
+    "FNV1aFamily",
+    "HashFamily",
+    "Murmur3Family",
+    "XXHash64Family",
+    "bit_balance_report",
+    "default_family",
+    "fnv1a_64",
+    "murmur3_32",
+    "splitmix64",
+    "vet_family",
+    "xxh64",
+]

@@ -1,0 +1,250 @@
+"""Pure-Python ports of classic non-cryptographic hash functions.
+
+The paper's authors collected candidate hash functions from Bob Jenkins'
+evaluation page [1] and kept the 18 that passed a per-bit randomness test
+(§6.1).  This module ports the best-known members of that lineage —
+murmur3 (x86, 32-bit), FNV-1a (64-bit) and xxHash64 — plus the splitmix64
+finaliser used throughout the library for integer seed scrambling.  Each
+comes with a :class:`~repro.hashing.family.HashFamily` wrapper so the
+ablation benches can swap them under identical filter code.
+
+All reference test vectors in ``tests/hashing/test_mixers.py`` were checked
+against the canonical C implementations.
+
+[1] http://burtleburtle.net/bob/hash/evahash.html
+"""
+
+from __future__ import annotations
+
+from repro._util import require_non_negative
+from repro.hashing.family import HashFamily
+
+__all__ = [
+    "FNV1aFamily",
+    "Murmur3Family",
+    "XXHash64Family",
+    "fnv1a_64",
+    "murmur3_32",
+    "splitmix64",
+    "xxh64",
+]
+
+_M32 = 0xFFFFFFFF
+_M64 = 0xFFFFFFFFFFFFFFFF
+
+
+def splitmix64(x: int) -> int:
+    """One step of the splitmix64 generator/finaliser.
+
+    A fast, well-studied 64-bit bijective mixer; used here to derive
+    per-index seeds so family members decorrelate.
+    """
+    x = (x + 0x9E3779B97F4A7C15) & _M64
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _M64
+    return z ^ (z >> 31)
+
+
+# ----------------------------------------------------------------------
+# murmur3 x86 32-bit
+# ----------------------------------------------------------------------
+def _fmix32(h: int) -> int:
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & _M32
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & _M32
+    h ^= h >> 16
+    return h
+
+
+def murmur3_32(data: bytes, seed: int = 0) -> int:
+    """MurmurHash3 (x86 variant, 32-bit output) of *data* under *seed*."""
+    c1 = 0xCC9E2D51
+    c2 = 0x1B873593
+    h = seed & _M32
+    length = len(data)
+    rounded = length & ~3
+    for i in range(0, rounded, 4):
+        k = int.from_bytes(data[i : i + 4], "little")
+        k = (k * c1) & _M32
+        k = ((k << 15) | (k >> 17)) & _M32
+        k = (k * c2) & _M32
+        h ^= k
+        h = ((h << 13) | (h >> 19)) & _M32
+        h = (h * 5 + 0xE6546B64) & _M32
+    k = 0
+    tail = length & 3
+    if tail >= 3:
+        k ^= data[rounded + 2] << 16
+    if tail >= 2:
+        k ^= data[rounded + 1] << 8
+    if tail >= 1:
+        k ^= data[rounded]
+        k = (k * c1) & _M32
+        k = ((k << 15) | (k >> 17)) & _M32
+        k = (k * c2) & _M32
+        h ^= k
+    h ^= length
+    return _fmix32(h)
+
+
+# ----------------------------------------------------------------------
+# FNV-1a 64-bit
+# ----------------------------------------------------------------------
+_FNV_OFFSET_BASIS = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_64(data: bytes, seed: int = 0) -> int:
+    """FNV-1a (64-bit) of *data*, with the basis perturbed by *seed*.
+
+    Seeding FNV is non-standard; we fold a splitmix64-scrambled seed into
+    the offset basis, which preserves the avalanche of the byte loop while
+    decorrelating family members.
+    """
+    h = _FNV_OFFSET_BASIS
+    if seed:
+        h ^= splitmix64(seed)
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _M64
+    return h
+
+
+# ----------------------------------------------------------------------
+# xxHash64
+# ----------------------------------------------------------------------
+_XXP1 = 0x9E3779B185EBCA87
+_XXP2 = 0xC2B2AE3D27D4EB4F
+_XXP3 = 0x165667B19E3779F9
+_XXP4 = 0x85EBCA77C2B2AE63
+_XXP5 = 0x27D4EB2F165667C5
+
+
+def _rotl64(x: int, r: int) -> int:
+    return ((x << r) | (x >> (64 - r))) & _M64
+
+
+def _xx_round(acc: int, lane: int) -> int:
+    acc = (acc + lane * _XXP2) & _M64
+    acc = _rotl64(acc, 31)
+    return (acc * _XXP1) & _M64
+
+
+def _xx_merge_round(acc: int, val: int) -> int:
+    acc ^= _xx_round(0, val)
+    return (acc * _XXP1 + _XXP4) & _M64
+
+
+def xxh64(data: bytes, seed: int = 0) -> int:
+    """xxHash64 of *data* under *seed* (bit-exact port of the reference)."""
+    seed &= _M64
+    length = len(data)
+    pos = 0
+    if length >= 32:
+        v1 = (seed + _XXP1 + _XXP2) & _M64
+        v2 = (seed + _XXP2) & _M64
+        v3 = seed
+        v4 = (seed - _XXP1) & _M64
+        limit = length - 32
+        while pos <= limit:
+            v1 = _xx_round(v1, int.from_bytes(data[pos : pos + 8], "little"))
+            v2 = _xx_round(
+                v2, int.from_bytes(data[pos + 8 : pos + 16], "little"))
+            v3 = _xx_round(
+                v3, int.from_bytes(data[pos + 16 : pos + 24], "little"))
+            v4 = _xx_round(
+                v4, int.from_bytes(data[pos + 24 : pos + 32], "little"))
+            pos += 32
+        h = (
+            _rotl64(v1, 1) + _rotl64(v2, 7) + _rotl64(v3, 12)
+            + _rotl64(v4, 18)
+        ) & _M64
+        h = _xx_merge_round(h, v1)
+        h = _xx_merge_round(h, v2)
+        h = _xx_merge_round(h, v3)
+        h = _xx_merge_round(h, v4)
+    else:
+        h = (seed + _XXP5) & _M64
+    h = (h + length) & _M64
+    while pos + 8 <= length:
+        lane = int.from_bytes(data[pos : pos + 8], "little")
+        h ^= _xx_round(0, lane)
+        h = (_rotl64(h, 27) * _XXP1 + _XXP4) & _M64
+        pos += 8
+    if pos + 4 <= length:
+        lane = int.from_bytes(data[pos : pos + 4], "little")
+        h ^= (lane * _XXP1) & _M64
+        h = (_rotl64(h, 23) * _XXP2 + _XXP3) & _M64
+        pos += 4
+    while pos < length:
+        h ^= (data[pos] * _XXP5) & _M64
+        h = (_rotl64(h, 11) * _XXP1) & _M64
+        pos += 1
+    h ^= h >> 33
+    h = (h * _XXP2) & _M64
+    h ^= h >> 29
+    h = (h * _XXP3) & _M64
+    h ^= h >> 32
+    return h
+
+
+# ----------------------------------------------------------------------
+# Family wrappers
+# ----------------------------------------------------------------------
+class Murmur3Family(HashFamily):
+    """Indexed murmur3 (x86, 32-bit) hashes; seed per index.
+
+    Emits only 32 bits, which is ample for the paper's array sizes
+    (``m`` up to a few hundred thousand bits) but callers sizing arrays
+    beyond a few hundred million bits should prefer a 64-bit family.
+    """
+
+    output_bits = 32
+
+    def __init__(self, seed: int = 0):
+        require_non_negative("seed", seed)
+        self._seed = seed
+
+    @property
+    def name(self) -> str:
+        return "murmur3-32[seed=%d]" % self._seed
+
+    def hash_bytes(self, index: int, data: bytes) -> int:
+        return murmur3_32(data, seed=splitmix64(self._seed * 31 + index)
+                          & 0xFFFFFFFF)
+
+
+class FNV1aFamily(HashFamily):
+    """Indexed FNV-1a (64-bit) hashes; basis perturbed per index."""
+
+    output_bits = 64
+
+    def __init__(self, seed: int = 0):
+        require_non_negative("seed", seed)
+        self._seed = seed
+
+    @property
+    def name(self) -> str:
+        return "fnv1a-64[seed=%d]" % self._seed
+
+    def hash_bytes(self, index: int, data: bytes) -> int:
+        return fnv1a_64(data, seed=self._seed * 1000003 + index + 1)
+
+
+class XXHash64Family(HashFamily):
+    """Indexed xxHash64 hashes; seed per index."""
+
+    output_bits = 64
+
+    def __init__(self, seed: int = 0):
+        require_non_negative("seed", seed)
+        self._seed = seed
+
+    @property
+    def name(self) -> str:
+        return "xxh64[seed=%d]" % self._seed
+
+    def hash_bytes(self, index: int, data: bytes) -> int:
+        return xxh64(data, seed=splitmix64(self._seed * 31 + index))

@@ -1,0 +1,147 @@
+"""Snapshot persistence for the bit-array filters.
+
+Membership filters are long-lived: a gateway builds one from a catalog
+and serves it for hours (the paper's deployments push the bit array into
+SRAM and leave it there).  This module snapshots a filter's parameters
+and raw bits into a self-describing binary blob so it can be shipped
+between processes or persisted across restarts — the Summary-Cache
+pattern of §2.2, where nodes exchange whole filters.
+
+Only deterministic, seed-reconstructible hash families can round-trip;
+the built-in :class:`~repro.hashing.blake.Blake2Family` qualifies.
+Counting variants are deliberately excluded: their DRAM-tier counter
+state belongs to the updater, not to query-side snapshots.
+
+Format: a JSON header (magic, version, type, parameters, family seed)
+followed by the raw bit buffer.  Integrity is guarded by a BLAKE2 digest
+over header and payload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from typing import Union
+
+from repro.baselines.bloom import BloomFilter
+from repro.baselines.one_mem_bloom import OneMemoryBloomFilter
+from repro.bitarray.bitarray import BitArray
+from repro.core.membership import ShiftingBloomFilter
+from repro.errors import ConfigurationError
+from repro.hashing.blake import Blake2Family
+
+__all__ = ["dumps", "loads"]
+
+_MAGIC = b"SHBF"
+_VERSION = 1
+
+SnapshotFilter = Union[BloomFilter, ShiftingBloomFilter,
+                       OneMemoryBloomFilter]
+
+
+def _family_seed(filt: SnapshotFilter) -> int:
+    family = filt.family if hasattr(filt, "family") else filt._family
+    if not isinstance(family, Blake2Family):
+        raise ConfigurationError(
+            "only Blake2Family-backed filters can be snapshotted "
+            "(got %s); reconstructable families need a seed" % family.name
+        )
+    return family.seed
+
+
+def dumps(filt: SnapshotFilter) -> bytes:
+    """Serialise a supported filter to a self-describing byte string."""
+    if isinstance(filt, ShiftingBloomFilter):
+        header = {
+            "type": "shbf_m",
+            "m": filt.m,
+            "k": filt.k,
+            "w_bar": filt.w_bar,
+            "word_bits": filt.policy.word_bits,
+            "n_items": filt.n_items,
+            "seed": _family_seed(filt),
+        }
+        payload = filt.bits.to_bytes()
+    elif isinstance(filt, OneMemoryBloomFilter):
+        header = {
+            "type": "one_mem_bf",
+            "m": filt.m,
+            "k": filt.k,
+            "word_bits": filt.word_bits,
+            "n_items": filt.n_items,
+            "seed": _family_seed(filt),
+        }
+        payload = filt.bits.to_bytes()
+    elif isinstance(filt, BloomFilter):
+        header = {
+            "type": "bf",
+            "m": filt.m,
+            "k": filt.k,
+            "n_items": filt.n_items,
+            "seed": _family_seed(filt),
+        }
+        payload = filt.bits.to_bytes()
+    else:
+        raise ConfigurationError(
+            "unsupported filter type %r" % type(filt).__name__
+        )
+    header_bytes = json.dumps(header, sort_keys=True).encode()
+    digest = hashlib.blake2b(
+        header_bytes + payload, digest_size=16).digest()
+    return b"".join((
+        _MAGIC,
+        struct.pack("<HI", _VERSION, len(header_bytes)),
+        header_bytes,
+        digest,
+        payload,
+    ))
+
+
+def loads(blob: bytes) -> SnapshotFilter:
+    """Rebuild a filter from :func:`dumps` output.
+
+    Raises:
+        ConfigurationError: on bad magic, version, digest mismatch or an
+            unknown filter type — a truncated or tampered snapshot never
+            yields a silently-wrong filter.
+    """
+    if blob[:4] != _MAGIC:
+        raise ConfigurationError("not a ShBF snapshot (bad magic)")
+    version, header_len = struct.unpack("<HI", blob[4:10])
+    if version != _VERSION:
+        raise ConfigurationError(
+            "unsupported snapshot version %d" % version)
+    header_end = 10 + header_len
+    header_bytes = blob[10:header_end]
+    digest = blob[header_end : header_end + 16]
+    payload = blob[header_end + 16 :]
+    expected = hashlib.blake2b(
+        header_bytes + payload, digest_size=16).digest()
+    if digest != expected:
+        raise ConfigurationError("snapshot integrity check failed")
+    header = json.loads(header_bytes)
+    family = Blake2Family(seed=header["seed"])
+    if header["type"] == "shbf_m":
+        filt = ShiftingBloomFilter(
+            m=header["m"], k=header["k"], family=family,
+            word_bits=header["word_bits"], w_bar=header["w_bar"],
+        )
+        filt._bits = BitArray.from_bytes(payload, filt.bits.nbits)
+        filt._n_items = header["n_items"]
+        return filt
+    if header["type"] == "one_mem_bf":
+        filt = OneMemoryBloomFilter(
+            m=header["m"], k=header["k"], family=family,
+            word_bits=header["word_bits"],
+        )
+        filt._bits = BitArray.from_bytes(payload, filt.bits.nbits)
+        filt._n_items = header["n_items"]
+        return filt
+    if header["type"] == "bf":
+        filt = BloomFilter(m=header["m"], k=header["k"], family=family)
+        filt._bits = BitArray.from_bytes(payload, filt.bits.nbits)
+        filt._n_items = header["n_items"]
+        return filt
+    raise ConfigurationError(
+        "unknown snapshot type %r" % header["type"])

@@ -1,0 +1,31 @@
+"""Synthetic network traces standing in for the paper's backbone capture.
+
+The authors evaluated on 10 million 5-tuple flow IDs (8 million distinct)
+captured from a 10 Gbps backbone router, each stored as a 13-byte string
+(§6.1).  That capture is proprietary, so this subpackage synthesises the
+closest equivalent (DESIGN.md §1.4 records the substitution argument):
+
+* :class:`~repro.traces.flows.FlowRecord` — a 5-tuple (src/dst IPv4,
+  src/dst port, protocol) packing to exactly 13 bytes, byte-compatible
+  with the paper's element format.
+* :class:`~repro.traces.flows.FlowTraceGenerator` — seeded generator of
+  distinct flow IDs and of traces with configurable total/distinct counts
+  and Zipfian flow-size skew (backbone traffic is heavy-tailed).
+* :func:`~repro.traces.zipf.bounded_zipf_counts` — per-flow multiplicity
+  assignments capped at ``c`` for the ShBF_x experiments.
+
+Every experiment treats elements as opaque hashed byte strings, so any
+universe with the same cardinalities exercises identical code paths; the
+hash families are vetted by the same per-bit randomness test the authors
+used.
+"""
+
+from repro.traces.flows import FlowRecord, FlowTraceGenerator
+from repro.traces.zipf import bounded_zipf_counts, zipf_rank_weights
+
+__all__ = [
+    "FlowRecord",
+    "FlowTraceGenerator",
+    "bounded_zipf_counts",
+    "zipf_rank_weights",
+]

@@ -1,0 +1,67 @@
+"""Bounded Zipf utilities for heavy-tailed flow-size assignment.
+
+Backbone flow sizes are famously heavy-tailed; the ShBF_x experiments
+need per-flow multiplicities in ``[1, c]`` (the paper caps at ``c = 57``,
+one machine-word window).  A *bounded* Zipf law keeps the realistic skew
+while respecting the cap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro._util import ElementLike, require_non_negative, require_positive
+from repro.errors import ConfigurationError
+
+__all__ = ["bounded_zipf_counts", "zipf_rank_weights"]
+
+
+def zipf_rank_weights(n: int, skew: float) -> np.ndarray:
+    """Normalised Zipf weights ``w_i ∝ (i+1)^-skew`` for ``n`` ranks.
+
+    ``skew = 0`` degenerates to the uniform distribution.
+    """
+    require_positive("n", n)
+    if skew < 0:
+        raise ConfigurationError("skew must be >= 0, got %r" % skew)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-skew
+    return weights / weights.sum()
+
+
+def bounded_zipf_counts(
+    elements: Sequence[ElementLike],
+    c_max: int,
+    skew: float = 1.0,
+    seed: int = 0,
+) -> Dict[ElementLike, int]:
+    """Assign each element a multiplicity in ``[1, c_max]``.
+
+    Ranks are shuffled so multiplicity does not correlate with element
+    generation order, then mapped onto a bounded Zipf shape: a few
+    elements get counts near ``c_max``, most get small counts — the flow
+    size profile the paper's measurement use-case (§1.1) targets.
+
+    Args:
+        elements: distinct elements to assign counts to.
+        c_max: multiplicity cap ``c``.
+        skew: Zipf exponent (0 = uniform over ``[1, c_max]``).
+        seed: RNG seed.
+
+    Returns:
+        Mapping of element to multiplicity.
+    """
+    require_positive("c_max", c_max)
+    require_non_negative("seed", seed)
+    if not elements:
+        return {}
+    rng = np.random.default_rng(seed)
+    weights = zipf_rank_weights(c_max, skew)
+    # Zipf over the *count values*: weight of count j is w_j, so count 1
+    # is the most common and c_max the rarest (for skew > 0).
+    counts = rng.choice(
+        np.arange(1, c_max + 1), size=len(elements), p=weights)
+    return {element: int(count) for element, count
+            in zip(elements, counts)}

@@ -1,0 +1,75 @@
+"""Membership-query workloads (§6.2's experimental shape).
+
+The paper's membership experiments use two query mixes:
+
+* FPR measurement: millions of queries for elements **not** inserted
+  (7,000,000 in §6.2.1) — reproduced by :attr:`MembershipWorkload.
+  negatives`, scaled to taste;
+* access/speed measurement: ``2n`` queries of which ``n`` are members
+  (§6.2.2) — reproduced by :meth:`MembershipWorkload.mixed_queries`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro._util import require_non_negative, require_positive
+from repro.traces.flows import FlowTraceGenerator
+
+__all__ = ["MembershipWorkload", "build_membership_workload"]
+
+
+@dataclass(frozen=True)
+class MembershipWorkload:
+    """A reproducible membership workload.
+
+    Attributes:
+        members: distinct elements to insert.
+        negatives: distinct elements disjoint from ``members``, used for
+            FPR probes.
+        seed: the seed that produced this workload.
+    """
+
+    members: tuple
+    negatives: tuple
+    seed: int
+
+    @property
+    def n(self) -> int:
+        """Number of members (the paper's ``n``)."""
+        return len(self.members)
+
+    def mixed_queries(self) -> List[bytes]:
+        """§6.2.2's access/speed mix: ``2n`` queries, half members.
+
+        Interleaved member/non-member so timing loops cannot benefit from
+        branch-predictable long runs of one class.
+        """
+        negatives = self.negatives[: len(self.members)]
+        mixed: List[bytes] = []
+        for member, negative in zip(self.members, negatives):
+            mixed.append(member)
+            mixed.append(negative)
+        return mixed
+
+
+def build_membership_workload(
+    n_members: int,
+    n_negatives: int,
+    seed: int = 0,
+) -> MembershipWorkload:
+    """Build a membership workload from synthetic flow IDs.
+
+    Members and negatives are drawn from one pool of distinct flows, so
+    they are disjoint by construction.
+    """
+    require_positive("n_members", n_members)
+    require_non_negative("n_negatives", n_negatives)
+    generator = FlowTraceGenerator(seed=seed)
+    pool = generator.distinct_flows(n_members + n_negatives)
+    return MembershipWorkload(
+        members=tuple(pool[:n_members]),
+        negatives=tuple(pool[n_members:]),
+        seed=seed,
+    )

@@ -1,0 +1,90 @@
+"""Multiplicity-query workloads (§6.4's experimental shape).
+
+The paper's ShBF_x experiments use ``n = 100,000`` distinct elements with
+multiplicities capped at ``c = 57`` and probe both members (Eq. (28)'s
+correctness) and absent elements (Eq. (27)'s).  The builder assigns
+bounded-Zipf counts — the flow-size profile of the motivating
+measurement application — and pre-draws both probe streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro._util import require_non_negative, require_positive
+from repro.errors import ConfigurationError
+from repro.traces.flows import FlowTraceGenerator
+from repro.traces.zipf import bounded_zipf_counts
+
+__all__ = ["MultiplicityWorkload", "build_multiplicity_workload"]
+
+
+@dataclass(frozen=True)
+class MultiplicityWorkload:
+    """A reproducible multiplicity workload.
+
+    Attributes:
+        counts: mapping of distinct element to true multiplicity.
+        member_queries: member elements to probe (with known truth).
+        absent_queries: elements outside the multi-set.
+        c_max: the multiplicity cap ``c``.
+        seed: the seed that produced this workload.
+    """
+
+    counts: tuple  # of (element, count) pairs, hashable/frozen
+    member_queries: tuple
+    absent_queries: tuple
+    c_max: int
+    seed: int
+
+    @property
+    def count_map(self) -> Dict[bytes, int]:
+        """The counts as a dict (cached per call; cheap at these sizes)."""
+        return dict(self.counts)
+
+    @property
+    def n_distinct(self) -> int:
+        """Number of distinct elements (the paper's ``n``)."""
+        return len(self.counts)
+
+    @property
+    def total_occurrences(self) -> int:
+        """Total multi-set cardinality (sum of counts)."""
+        return sum(count for _, count in self.counts)
+
+
+def build_multiplicity_workload(
+    n_distinct: int,
+    c_max: int = 57,
+    n_absent: int = 0,
+    skew: float = 1.0,
+    seed: int = 0,
+) -> MultiplicityWorkload:
+    """Build the §6.4 workload at any scale.
+
+    Args:
+        n_distinct: distinct elements (100,000 in the paper).
+        c_max: multiplicity cap (57 in the paper — one word window).
+        n_absent: absent probe elements to pre-draw.
+        skew: Zipf exponent for the count distribution.
+        seed: RNG seed.
+    """
+    require_positive("n_distinct", n_distinct)
+    require_positive("c_max", c_max)
+    require_non_negative("n_absent", n_absent)
+    if c_max > 512:
+        raise ConfigurationError(
+            "c_max=%d is unrealistically large for a windowed read" % c_max
+        )
+    generator = FlowTraceGenerator(seed=seed)
+    pool = generator.distinct_flows(n_distinct + n_absent)
+    members = pool[:n_distinct]
+    counts = bounded_zipf_counts(members, c_max=c_max, skew=skew, seed=seed)
+    return MultiplicityWorkload(
+        counts=tuple(counts.items()),
+        member_queries=tuple(members),
+        absent_queries=tuple(pool[n_distinct:]),
+        c_max=c_max,
+        seed=seed,
+    )

@@ -1,0 +1,62 @@
+"""Tests for the exact occupancy-distribution FPR (§3.4.1 discussion)."""
+
+import pytest
+
+from repro.analysis import bf_fpr
+from repro.analysis.exact import bf_fpr_occupancy, occupancy_distribution
+from repro.errors import ConfigurationError
+
+
+class TestOccupancyDistribution:
+    def test_single_throw(self):
+        p = occupancy_distribution(10, 1)
+        assert p[1] == pytest.approx(1.0)
+
+    def test_distribution_sums_to_one(self):
+        p = occupancy_distribution(100, 250)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_cannot_exceed_throws_or_bins(self):
+        p = occupancy_distribution(10, 3)
+        assert p[4:].sum() == pytest.approx(0.0)
+        p = occupancy_distribution(3, 50)
+        # after many throws all three bins are essentially occupied
+        assert p[3] == pytest.approx(1.0, abs=1e-6)
+
+    def test_mean_matches_closed_form(self):
+        """E[X] = m (1 - (1 - 1/m)^t)."""
+        m, t = 200, 300
+        p = occupancy_distribution(m, t)
+        mean = sum(i * pi for i, pi in enumerate(p))
+        assert mean == pytest.approx(m * (1 - (1 - 1 / m) ** t),
+                                     rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            occupancy_distribution(0, 5)
+
+
+class TestExactFpr:
+    def test_bose_inequality(self):
+        """Bose et al.: the classic formula underestimates the truth."""
+        for m, n, k in ((1000, 100, 5), (2200, 200, 8), (500, 80, 4)):
+            exact = bf_fpr_occupancy(m, n, k)
+            classic = bf_fpr(m, n, k)
+            assert exact >= classic
+
+    def test_error_negligible_at_paper_sizes(self):
+        """§3.4.1's justification for using Bloom's formula anyway."""
+        m, n, k = 22008, 1200, 8
+        exact = bf_fpr_occupancy(m, n, k)
+        classic = bf_fpr(m, n, k)
+        assert exact == pytest.approx(classic, rel=0.01)
+
+    def test_error_visible_at_tiny_sizes(self):
+        """Bose's point: at small m, k the gap is real."""
+        exact = bf_fpr_occupancy(32, 8, 3)
+        classic = bf_fpr(32, 8, 3)
+        assert exact > classic * 1.01
+
+    def test_bounds(self):
+        value = bf_fpr_occupancy(100, 50, 4)
+        assert 0.0 < value < 1.0

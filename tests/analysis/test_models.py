@@ -1,0 +1,288 @@
+"""Tests for the closed-form models: constants, limits, reductions."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    association_outcome_probabilities,
+    bf_fpr,
+    bf_fpr_exact,
+    bf_kopt_coefficient,
+    bf_min_fpr,
+    bf_min_fpr_base,
+    bf_optimal_k,
+    best_integer_k,
+    generalized_shbf_fpr,
+    ibf_clear_answer_probability,
+    multiplicity_fp_probability,
+    one_mem_bf_fpr,
+    optimal_k_numeric,
+    shbf_a_clear_answer_probability,
+    shbf_m_fpr,
+    shbf_m_fpr_exact,
+    shbf_m_kopt_coefficient,
+    shbf_m_min_fpr,
+    shbf_m_min_fpr_base,
+    shbf_m_optimal_k,
+    shbf_x_correctness_rate_absent,
+    shbf_x_correctness_rate_present,
+)
+from repro.analysis.association import (
+    association_false_region_probability,
+    ibf_optimal_memory,
+    shbf_a_optimal_memory,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPaperConstants:
+    """The §3.4.2 / Eq. (7) / Eq. (9) headline numbers."""
+
+    def test_shbf_kopt_coefficient(self):
+        assert shbf_m_kopt_coefficient(57) == pytest.approx(0.7009, abs=5e-4)
+
+    def test_shbf_min_fpr_base(self):
+        assert shbf_m_min_fpr_base(57) == pytest.approx(0.6204, abs=5e-4)
+
+    def test_bf_constants(self):
+        assert bf_kopt_coefficient() == pytest.approx(0.6931, abs=1e-4)
+        assert bf_min_fpr_base() == pytest.approx(0.6185, abs=1e-4)
+
+    def test_eq7_form(self):
+        """f_min = 0.6204^{m/n} for concrete (m, n)."""
+        m, n = 160000, 10000
+        assert shbf_m_min_fpr(m, n, 57) == pytest.approx(
+            0.6204 ** (m / n), rel=2e-3)
+
+    def test_eq9_form(self):
+        m, n = 160000, 10000
+        assert bf_min_fpr(m, n) == pytest.approx(
+            0.6185 ** (m / n), rel=2e-3)
+
+    def test_shbf_pays_negligible_fpr_premium(self):
+        """§3.5's punchline: the two minima are practically equal."""
+        m, n = 100000, 10000
+        ratio = shbf_m_min_fpr(m, n, 57) / bf_min_fpr(m, n)
+        assert 1.0 < ratio < 1.05
+
+
+class TestMembershipFormulas:
+    def test_bf_fpr_monotone_in_n(self):
+        fprs = [bf_fpr(100000, n, 8) for n in (4000, 8000, 12000)]
+        assert fprs == sorted(fprs)
+
+    def test_shbf_fpr_monotone_in_n(self):
+        fprs = [shbf_m_fpr(100000, n, 8) for n in (4000, 8000, 12000)]
+        assert fprs == sorted(fprs)
+
+    def test_shbf_fpr_decreasing_in_w_bar(self):
+        """Fig. 3: larger w_bar can only help."""
+        fprs = [
+            shbf_m_fpr(100000, 10000, 8, w_bar)
+            for w_bar in (3, 5, 10, 20, 57)
+        ]
+        assert fprs == sorted(fprs, reverse=True)
+
+    def test_shbf_converges_to_bf_at_large_w_bar(self):
+        """Theorem 1's footnote: w_bar -> inf recovers Eq. (8)."""
+        assert shbf_m_fpr(100000, 10000, 8, 10**9) == pytest.approx(
+            bf_fpr(100000, 10000, 8), rel=1e-6)
+
+    def test_w_bar_20_within_few_percent_of_bf(self):
+        """Fig. 3's reading: w_bar >= 20 makes the gap negligible."""
+        f_shbf = shbf_m_fpr(100000, 10000, 10, 20)
+        f_bf = bf_fpr(100000, 10000, 10)
+        assert f_shbf / f_bf < 1.20
+
+    def test_exact_vs_asymptotic_agree(self):
+        assert bf_fpr_exact(22976, 2000, 8) == pytest.approx(
+            bf_fpr(22976, 2000, 8), rel=1e-3)
+        assert shbf_m_fpr_exact(22976, 2000, 8) == pytest.approx(
+            shbf_m_fpr(22976, 2000, 8), rel=1e-3)
+
+    def test_exact_requires_even_k(self):
+        with pytest.raises(ConfigurationError):
+            shbf_m_fpr_exact(1000, 100, 7)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bf_fpr(0, 10, 3)
+        with pytest.raises(ConfigurationError):
+            shbf_m_fpr(100, 10, -1)
+        with pytest.raises(ConfigurationError):
+            shbf_m_fpr(100, 10, 4, w_bar=1)
+
+
+class TestOptimalK:
+    def test_bf_optimal_k(self):
+        assert bf_optimal_k(100000, 10000) == pytest.approx(
+            6.931, abs=1e-3)
+
+    def test_shbf_optimal_k_form(self):
+        m, n = 100000, 10000
+        assert shbf_m_optimal_k(m, n, 57) == pytest.approx(
+            0.7009 * m / n, rel=1e-3)
+
+    def test_numeric_optimum_matches_formula(self):
+        m, n = 100000, 10000
+        k_star = optimal_k_numeric(
+            lambda k: shbf_m_fpr(m, n, k, 57), k_max=30.0)
+        assert k_star == pytest.approx(shbf_m_optimal_k(m, n, 57), rel=1e-3)
+
+    def test_best_integer_k(self):
+        m, n = 100000, 10000
+        k_int = best_integer_k(
+            lambda k: bf_fpr(m, n, k), bf_optimal_k(m, n))
+        assert k_int == 7
+
+    def test_best_integer_k_even(self):
+        m, n = 100000, 10000
+        k_even = best_integer_k(
+            lambda k: shbf_m_fpr(m, n, k, 57),
+            shbf_m_optimal_k(m, n, 57), even=True)
+        assert k_even % 2 == 0
+        assert k_even in (6, 8)
+
+    def test_optimum_is_a_minimum(self):
+        m, n = 100000, 10000
+        k_star = shbf_m_optimal_k(m, n, 57)
+        f_star = shbf_m_fpr(m, n, k_star, 57)
+        assert f_star <= shbf_m_fpr(m, n, k_star * 0.8, 57)
+        assert f_star <= shbf_m_fpr(m, n, k_star * 1.2, 57)
+
+    def test_invalid_bracket(self):
+        with pytest.raises(ConfigurationError):
+            optimal_k_numeric(lambda k: k, k_max=1.0, k_min=2.0)
+
+
+class TestGeneralizedFormula:
+    def test_t1_reduces_to_theorem_1(self):
+        for k in (4, 8, 12, 16):
+            assert generalized_shbf_fpr(
+                100000, 10000, k, 57, 1
+            ) == pytest.approx(shbf_m_fpr(100000, 10000, k, 57), rel=1e-12)
+
+    def test_large_w_bar_recovers_bloom(self):
+        """§3.7: w -> inf gives (1 - p')^k."""
+        for t in (1, 2, 3):
+            assert generalized_shbf_fpr(
+                100000, 10000, 12, 10**7, t
+            ) == pytest.approx(bf_fpr(100000, 10000, 12), rel=1e-4)
+
+    def test_fpr_increases_with_t(self):
+        values = [
+            generalized_shbf_fpr(100000, 10000, 12, 57, t)
+            for t in (1, 2, 3)
+        ]
+        assert values == sorted(values)
+
+    def test_w_bar_too_small_for_t(self):
+        with pytest.raises(ConfigurationError):
+            generalized_shbf_fpr(1000, 100, 12, w_bar=4, t=3)
+
+
+class TestAssociationFormulas:
+    def test_outcome_probabilities_sum_per_region(self):
+        """Eq. (25) sanity: P_clear + 2 P_partial + P_none = 1."""
+        for k in (4, 8, 10, 16):
+            p = association_outcome_probabilities(k)
+            assert p[1] + 2 * p[4] + p[7] == pytest.approx(1.0)
+
+    def test_paper_example_k10(self):
+        """§4.4's worked example at k = 10."""
+        p = association_outcome_probabilities(10)
+        assert p[1] == pytest.approx(0.998, abs=1e-3)
+        assert p[4] == pytest.approx(9.756e-4, rel=1e-3)
+        assert p[7] == pytest.approx(9.54e-7, rel=1e-2)
+
+    def test_clear_answer_ratio(self):
+        """§1.3: ShBF_A has ~1.47x the clear-answer probability of iBF."""
+        k = 8
+        ratio = shbf_a_clear_answer_probability(
+            k) / ibf_clear_answer_probability(k)
+        assert ratio == pytest.approx(1.5, abs=0.05)
+
+    def test_ibf_never_exceeds_two_thirds(self):
+        for k in range(1, 20):
+            assert ibf_clear_answer_probability(k) < 2.0 / 3.0 + 1e-12
+
+    def test_general_fill_override(self):
+        f = association_false_region_probability(m=17310, n_distinct=1500,
+                                                 k=8)
+        assert 0.0 < f < 1.0
+        assert shbf_a_clear_answer_probability(
+            8, false_region_probability=f) == pytest.approx((1 - f) ** 2)
+
+    def test_table2_memory(self):
+        assert ibf_optimal_memory(1000, 1000, 8) == math.ceil(
+            16000 / math.log(2))
+        assert shbf_a_optimal_memory(1000, 1000, 250, 8) == math.ceil(
+            1750 * 8 / math.log(2))
+        # paper §6.3.1: iBF uses 1/7 more memory at n3 = n/4
+        ratio = ibf_optimal_memory(1000, 1000, 8) / shbf_a_optimal_memory(
+            1000, 1000, 250, 8)
+        assert ratio == pytest.approx(8 / 7, rel=1e-3)
+
+    def test_invalid_intersection(self):
+        with pytest.raises(ConfigurationError):
+            shbf_a_optimal_memory(100, 100, 150, 8)
+
+
+class TestMultiplicityFormulas:
+    def test_f0_is_bloom_fpr(self):
+        assert multiplicity_fp_probability(100000, 10000, 8) == (
+            pytest.approx(bf_fpr(100000, 10000, 8)))
+
+    def test_cr_absent_decreasing_in_c(self):
+        f0 = 0.01
+        crs = [shbf_x_correctness_rate_absent(f0, c) for c in (1, 10, 57)]
+        assert crs == sorted(crs, reverse=True)
+
+    def test_cr_present_smallest_eq28(self):
+        f0 = 0.05
+        assert shbf_x_correctness_rate_present(
+            f0, j=1, c=57) == pytest.approx(1.0)
+        assert shbf_x_correctness_rate_present(
+            f0, j=4, c=57) == pytest.approx((1 - f0) ** 3)
+
+    def test_cr_present_largest(self):
+        f0 = 0.05
+        assert shbf_x_correctness_rate_present(
+            f0, j=57, c=57, report="largest") == pytest.approx(1.0)
+        assert shbf_x_correctness_rate_present(
+            f0, j=50, c=57, report="largest") == pytest.approx(
+            (1 - f0) ** 7)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            shbf_x_correctness_rate_present(0.1, j=5, c=3)
+        with pytest.raises(ConfigurationError):
+            shbf_x_correctness_rate_present(0.1, j=1, c=3, report="mode")
+        with pytest.raises(ConfigurationError):
+            shbf_x_correctness_rate_absent(1.5, 3)
+
+
+class TestOneMemModel:
+    def test_exceeds_bloom_at_all_loads(self):
+        """Jensen: word-load imbalance strictly raises FPR."""
+        for n in (200, 1000, 3000):
+            assert one_mem_bf_fpr(22016, n, 8) > bf_fpr(22016, n, 8)
+
+    def test_paper_5_to_10x_claim(self):
+        """§6.2.1: 1MemBF FPR is 5-10x ShBF_M's at the Fig. 7 settings."""
+        m, k = 22008, 8
+        ratios = [
+            one_mem_bf_fpr(m, n, k) / shbf_m_fpr(m, n, k, 57)
+            for n in range(1000, 1501, 100)
+        ]
+        assert all(4.0 < r < 15.0 for r in ratios)
+
+    def test_monotone_in_n(self):
+        values = [one_mem_bf_fpr(22016, n, 8) for n in (500, 1000, 2000)]
+        assert values == sorted(values)
+
+    def test_truncation_bound(self):
+        # huge lambda exercises the tail-handling path
+        value = one_mem_bf_fpr(640, 10000, 4)
+        assert 0.0 < value <= 1.0

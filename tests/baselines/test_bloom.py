@@ -1,0 +1,126 @@
+"""Tests for the standard Bloom filter baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BloomFilter
+from repro.errors import ConfigurationError, UnsupportedOperationError
+from tests.conftest import make_elements
+
+
+class TestBasics:
+    def test_no_false_negatives(self, elements):
+        bf = BloomFilter(m=4096, k=6)
+        bf.update(elements)
+        assert all(e in bf for e in elements)
+
+    def test_empty_filter_rejects_everything(self, negatives):
+        bf = BloomFilter(m=4096, k=6)
+        assert not any(e in bf for e in negatives)
+
+    def test_str_and_bytes_equivalent(self):
+        bf = BloomFilter(m=1024, k=4)
+        bf.add("host:443")
+        assert b"host:443" in bf
+
+    def test_int_elements(self):
+        bf = BloomFilter(m=1024, k=4)
+        bf.add(123456)
+        assert 123456 in bf
+        assert 123457 not in bf
+
+    def test_n_items_tracks_inserts(self, elements):
+        bf = BloomFilter(m=4096, k=6)
+        bf.update(elements)
+        assert bf.n_items == len(elements)
+
+    def test_remove_unsupported(self):
+        with pytest.raises(UnsupportedOperationError):
+            BloomFilter(m=64, k=2).remove(b"x")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(m=0, k=3)
+        with pytest.raises(ConfigurationError):
+            BloomFilter(m=64, k=0)
+
+    def test_properties(self):
+        bf = BloomFilter(m=1000, k=5)
+        assert bf.m == 1000
+        assert bf.k == 5
+        assert bf.size_bits == 1000
+        assert bf.hash_ops_per_query == 5
+
+
+class TestSizing:
+    def test_for_capacity_hits_target_fpr(self):
+        members = make_elements(1000, "cap")
+        probes = make_elements(20000, "probe")
+        bf = BloomFilter.for_capacity(1000, fpr=0.01)
+        bf.update(members)
+        fp = sum(1 for e in probes if e in bf)
+        measured = fp / len(probes)
+        assert measured < 0.02  # within 2x of target
+
+    def test_for_capacity_optimal_shape(self):
+        bf = BloomFilter.for_capacity(1000, fpr=0.01)
+        # textbook: m/n ~ 9.6 bits/element, k ~ 7 at 1% FPR
+        assert 9 <= bf.m / 1000 <= 11
+        assert bf.k == 7
+
+    def test_for_capacity_validates_fpr(self):
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(10, fpr=1.5)
+
+
+class TestAccessAccounting:
+    def test_member_query_costs_k_accesses(self):
+        bf = BloomFilter(m=4096, k=6)
+        bf.add(b"x")
+        bf.memory.reset()
+        assert bf.query(b"x")
+        assert bf.memory.stats.read_ops == 6
+        assert bf.memory.stats.read_words == 6
+
+    def test_negative_query_early_exits(self, negatives):
+        bf = BloomFilter(m=4096, k=8)
+        bf.update(make_elements(100))
+        bf.memory.reset()
+        for e in negatives[:500]:
+            bf.query(e)
+        mean_reads = bf.memory.stats.read_words / 500
+        # mostly-empty filter: negatives die after ~1 probe
+        assert mean_reads < 2.5
+
+    def test_insert_costs_k_writes(self):
+        bf = BloomFilter(m=4096, k=6)
+        bf.add(b"x")
+        assert bf.memory.stats.write_ops == 6
+
+
+class TestStatistics:
+    def test_fill_ratio_grows(self):
+        bf = BloomFilter(m=2048, k=4)
+        assert bf.fill_ratio() == 0.0
+        bf.update(make_elements(100))
+        assert 0.0 < bf.fill_ratio() < 0.5
+
+    def test_fpr_estimate_tracks_measurement(self):
+        bf = BloomFilter(m=4096, k=4)
+        bf.update(make_elements(700))
+        probes = make_elements(20000, "probe")
+        measured = sum(1 for e in probes if e in bf) / len(probes)
+        assert bf.fpr_estimate() == pytest.approx(measured, rel=0.35)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    members=st.sets(st.binary(min_size=1, max_size=16), max_size=50),
+)
+def test_property_no_false_negatives(members):
+    """Property: every inserted element is always found."""
+    bf = BloomFilter(m=2048, k=5)
+    for element in members:
+        bf.add(element)
+    assert all(bf.query(element) for element in members)

@@ -1,0 +1,103 @@
+"""Tests for the count-min sketch baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import CountMinSketch
+from repro.errors import UnsupportedOperationError
+from tests.conftest import make_elements
+
+
+class TestBasics:
+    def test_exact_on_sparse_sketch(self):
+        cm = CountMinSketch(d=4, r=1024)
+        counts = {b"a": 3, b"b": 1, b"c": 40}
+        for element, count in counts.items():
+            cm.add(element, count=count)
+        for element, count in counts.items():
+            assert cm.estimate(element) == count
+
+    def test_never_underestimates(self):
+        cm = CountMinSketch(d=3, r=32)  # tiny: collisions guaranteed
+        members = make_elements(200, "flow")
+        for i, element in enumerate(members):
+            cm.add(element, count=(i % 4) + 1)
+        for i, element in enumerate(members):
+            assert cm.estimate(element) >= (i % 4) + 1
+
+    def test_absent_mostly_zero_when_sparse(self, negatives):
+        cm = CountMinSketch(d=4, r=4096)
+        cm.update(make_elements(100))
+        zero = sum(1 for e in negatives if cm.estimate(e) == 0)
+        assert zero / len(negatives) > 0.95
+
+    def test_update_counts_each_occurrence(self):
+        cm = CountMinSketch(d=4, r=256)
+        cm.update([b"x", b"x", b"y"])
+        assert cm.estimate(b"x") == 2
+        assert cm.estimate(b"y") == 1
+
+    def test_remove_unsupported(self):
+        with pytest.raises(UnsupportedOperationError):
+            CountMinSketch(d=2, r=16).remove(b"x")
+
+    def test_properties(self):
+        cm = CountMinSketch(d=4, r=256, counter_bits=6)
+        assert cm.d == 4
+        assert cm.r == 256
+        assert cm.size_bits == 4 * 256 * 6
+        assert cm.hash_ops_per_query == 4
+
+    def test_query_answer_format(self):
+        cm = CountMinSketch(d=4, r=256)
+        cm.add(b"x", count=2)
+        answer = cm.query(b"x")
+        assert answer.candidates == (2,)
+        assert answer.reported == 2
+        assert answer.correct(2)
+
+
+class TestConservativeUpdate:
+    def test_conservative_never_exceeds_classic(self):
+        members = make_elements(300, "flow")
+        classic = CountMinSketch(d=4, r=64)
+        conservative = CountMinSketch(d=4, r=64, conservative=True)
+        for i, element in enumerate(members):
+            count = (i % 3) + 1
+            classic.add(element, count=count)
+            conservative.add(element, count=count)
+        for element in members:
+            assert conservative.estimate(element) <= classic.estimate(
+                element)
+
+    def test_conservative_never_underestimates(self):
+        cm = CountMinSketch(d=3, r=32, conservative=True)
+        members = make_elements(150, "flow")
+        truth: dict[bytes, int] = {}
+        for i, element in enumerate(members):
+            count = (i % 4) + 1
+            cm.add(element, count=count)
+            truth[element] = count
+        for element, count in truth.items():
+            assert cm.estimate(element) >= count
+
+
+class TestAccounting:
+    def test_query_costs_at_most_d_reads(self):
+        cm = CountMinSketch(d=5, r=256)
+        cm.add(b"x")
+        cm.memory.reset()
+        cm.estimate(b"x")
+        assert cm.memory.stats.read_ops == 5
+
+
+@settings(max_examples=20, deadline=None)
+@given(counts=st.dictionaries(
+    st.integers(0, 30), st.integers(1, 8), max_size=15))
+def test_property_upper_bound(counts):
+    cm = CountMinSketch(d=4, r=128)
+    for key, count in counts.items():
+        cm.add(b"k%d" % key, count=count)
+    for key, count in counts.items():
+        assert cm.estimate(b"k%d" % key) >= count

@@ -1,0 +1,97 @@
+"""Tests for the counting Bloom filter baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import CountingBloomFilter
+from repro.errors import CounterUnderflowError
+from tests.conftest import make_elements
+
+
+class TestBasics:
+    def test_no_false_negatives(self, elements):
+        cbf = CountingBloomFilter(m=4096, k=6)
+        cbf.update(elements)
+        assert all(e in cbf for e in elements)
+
+    def test_delete_removes(self):
+        cbf = CountingBloomFilter(m=2048, k=5)
+        cbf.add(b"x")
+        cbf.remove(b"x")
+        assert b"x" not in cbf
+
+    def test_delete_preserves_others(self, elements):
+        cbf = CountingBloomFilter(m=8192, k=5)
+        cbf.update(elements)
+        for e in elements[:100]:
+            cbf.remove(e)
+        assert all(e in cbf for e in elements[100:])
+
+    def test_double_insert_needs_double_delete(self):
+        cbf = CountingBloomFilter(m=2048, k=5)
+        cbf.add(b"x")
+        cbf.add(b"x")
+        cbf.remove(b"x")
+        assert b"x" in cbf
+        cbf.remove(b"x")
+        assert b"x" not in cbf
+
+    def test_delete_absent_raises(self):
+        cbf = CountingBloomFilter(m=2048, k=5)
+        with pytest.raises(CounterUnderflowError):
+            cbf.remove(b"never-inserted")
+
+    def test_count_estimate(self):
+        cbf = CountingBloomFilter(m=2048, k=5)
+        for _ in range(3):
+            cbf.add(b"x")
+        assert cbf.count_estimate(b"x") >= 3
+
+    def test_n_items_net(self):
+        cbf = CountingBloomFilter(m=2048, k=4)
+        cbf.add(b"a")
+        cbf.add(b"b")
+        cbf.remove(b"a")
+        assert cbf.n_items == 1
+
+    def test_size_bits(self):
+        cbf = CountingBloomFilter(m=1000, k=4, counter_bits=4)
+        assert cbf.size_bits == 4000
+
+    def test_for_capacity(self):
+        cbf = CountingBloomFilter.for_capacity(500, fpr=0.01)
+        assert cbf.k == 7
+
+    def test_saturation_is_conservative(self):
+        """A saturated counter never decrements, so no false negatives."""
+        cbf = CountingBloomFilter(m=64, k=1, counter_bits=2)
+        for _ in range(10):
+            cbf.add(b"hot")
+        for _ in range(3):
+            cbf.remove(b"hot")
+        assert b"hot" in cbf  # stuck at max, still positive
+
+
+class TestAgainstReference:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(0, 9)), max_size=60
+        )
+    )
+    def test_matches_multiset_semantics(self, ops):
+        """Property: CBF membership == multiset membership (no FN)."""
+        cbf = CountingBloomFilter(m=4096, k=4)
+        reference: dict[int, int] = {}
+        for insert, key in ops:
+            element = b"key-%d" % key
+            if insert:
+                cbf.add(element)
+                reference[key] = reference.get(key, 0) + 1
+            elif reference.get(key, 0) > 0:
+                cbf.remove(element)
+                reference[key] -= 1
+        for key, count in reference.items():
+            if count > 0:
+                assert b"key-%d" % key in cbf

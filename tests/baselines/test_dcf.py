@@ -1,0 +1,81 @@
+"""Tests for the Dynamic Count Filter baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import DynamicCountFilter
+from repro.errors import CounterUnderflowError
+from tests.conftest import make_elements
+
+
+class TestBasics:
+    def test_exact_on_sparse_filter(self):
+        dcf = DynamicCountFilter(m=4096, k=4)
+        counts = {b"a": 3, b"b": 1, b"c": 11}
+        for element, count in counts.items():
+            dcf.add(element, count=count)
+        for element, count in counts.items():
+            assert dcf.estimate(element) == count
+
+    def test_never_underestimates(self):
+        dcf = DynamicCountFilter(m=128, k=3)
+        members = make_elements(100, "flow")
+        for i, element in enumerate(members):
+            dcf.add(element, count=(i % 5) + 1)
+        for i, element in enumerate(members):
+            assert dcf.estimate(element) >= (i % 5) + 1
+
+    def test_remove(self):
+        dcf = DynamicCountFilter(m=1024, k=4)
+        dcf.add(b"x", count=5)
+        dcf.remove(b"x", count=2)
+        assert dcf.estimate(b"x") == 3
+
+    def test_remove_absent_raises(self):
+        dcf = DynamicCountFilter(m=1024, k=4)
+        with pytest.raises(CounterUnderflowError):
+            dcf.remove(b"never")
+
+    def test_remove_too_many_raises(self):
+        dcf = DynamicCountFilter(m=1024, k=4)
+        dcf.add(b"x", count=2)
+        with pytest.raises(CounterUnderflowError):
+            dcf.remove(b"x", count=3)
+
+
+class TestDynamicGrowth:
+    def test_overflow_vector_grows(self):
+        """The defining DCF behaviour: counter width expands on demand."""
+        dcf = DynamicCountFilter(m=256, k=3, fixed_bits=2, overflow_bits=1)
+        initial = dcf.overflow_bits
+        dcf.add(b"elephant", count=100)
+        assert dcf.overflow_bits > initial
+        assert dcf.rebuilds >= 1
+        assert dcf.estimate(b"elephant") == 100
+
+    def test_growth_preserves_existing_counts(self):
+        dcf = DynamicCountFilter(m=512, k=3, fixed_bits=2, overflow_bits=1)
+        members = make_elements(40, "mouse")
+        for element in members:
+            dcf.add(element, count=2)
+        dcf.add(b"elephant", count=500)  # forces rebuilds
+        for element in members:
+            assert dcf.estimate(element) >= 2
+
+    def test_size_reflects_growth(self):
+        dcf = DynamicCountFilter(m=256, k=3, fixed_bits=2, overflow_bits=1)
+        before = dcf.size_bits
+        dcf.add(b"elephant", count=1000)
+        assert dcf.size_bits > before
+
+
+@settings(max_examples=15, deadline=None)
+@given(counts=st.dictionaries(
+    st.integers(0, 15), st.integers(1, 30), max_size=10))
+def test_property_upper_bound_with_growth(counts):
+    dcf = DynamicCountFilter(m=512, k=3, fixed_bits=2, overflow_bits=1)
+    for key, count in counts.items():
+        dcf.add(b"k%d" % key, count=count)
+    for key, count in counts.items():
+        assert dcf.estimate(b"k%d" % key) >= count

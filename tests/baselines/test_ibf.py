@@ -1,0 +1,104 @@
+"""Tests for the iBF association baseline."""
+
+import pytest
+
+from repro.baselines import IndividualBloomFilters
+from repro.core.association_types import Association
+from tests.conftest import make_elements
+
+
+@pytest.fixture
+def three_regions():
+    s1_only = make_elements(300, "s1only")
+    both = make_elements(300, "both")
+    s2_only = make_elements(300, "s2only")
+    return s1_only, both, s2_only
+
+
+@pytest.fixture
+def scheme(three_regions):
+    s1_only, both, s2_only = three_regions
+    return IndividualBloomFilters.for_sets(
+        s1_only + both, s2_only + both, k=10)
+
+
+class TestAnswers:
+    def test_answers_follow_ibf_semantics(self, scheme, three_regions):
+        """Difference elements are either clear-correct or inflated to
+        BOTH by a false positive — the failure mode the paper attributes
+        to iBF.  Intersection elements always read as BOTH."""
+        s1_only, both, s2_only = three_regions
+        for e in s1_only:
+            answer = scheme.query(e)
+            assert answer.candidates in (
+                {Association.S1_ONLY}, {Association.BOTH})
+        for e in both:
+            assert scheme.query(e).candidates == {Association.BOTH}
+        for e in s2_only:
+            answer = scheme.query(e)
+            assert answer.candidates in (
+                {Association.S2_ONLY}, {Association.BOTH})
+
+    def test_intersection_answers_never_clear(self, scheme, three_regions):
+        """The paper's accounting: iBF 'in both' may be an FP, never clear."""
+        _, both, _ = three_regions
+        for e in both:
+            answer = scheme.query(e)
+            assert not answer.clear
+
+    def test_difference_answers_mostly_clear(self, scheme, three_regions):
+        s1_only, _, s2_only = three_regions
+        clear = sum(
+            1 for e in s1_only + s2_only if scheme.query(e).clear
+        )
+        # optimal fill: P(clear | difference region) = 1 - 0.5^k ~ 0.999
+        assert clear / (len(s1_only) + len(s2_only)) > 0.98
+
+    def test_wrong_single_region_never_reported(
+            self, scheme, three_regions):
+        """iBF can inflate S1-only to BOTH, but never to S2-only."""
+        s1_only, _, _ = three_regions
+        for e in s1_only:
+            assert scheme.query(e).candidates != {Association.S2_ONLY}
+
+    def test_outside_universe_gives_empty_or_both(self, scheme):
+        foreign = make_elements(200, "foreign")
+        for e in foreign:
+            answer = scheme.query(e)
+            assert answer.outcome in (0, 1, 2, 3)  # any single or empty
+
+
+class TestSizing:
+    def test_memory_split_proportional(self):
+        scheme = IndividualBloomFilters.for_sets(
+            make_elements(100, "a"), make_elements(300, "b"), k=8)
+        assert scheme.bf2.m == pytest.approx(3 * scheme.bf1.m, rel=0.05)
+
+    def test_memory_scale(self):
+        base = IndividualBloomFilters.for_sets(
+            make_elements(100, "a"), make_elements(100, "b"), k=8)
+        scaled = IndividualBloomFilters.for_sets(
+            make_elements(100, "a"), make_elements(100, "b"), k=8,
+            memory_scale=2.0)
+        assert scaled.size_bits == pytest.approx(2 * base.size_bits, rel=0.02)
+
+    def test_hash_ops(self):
+        scheme = IndividualBloomFilters(m1=512, m2=512, k=8)
+        assert scheme.hash_ops_per_query == 16
+
+
+class TestIndependence:
+    def test_filters_use_disjoint_hash_indices(self):
+        scheme = IndividualBloomFilters(m1=1024, m2=1024, k=4)
+        scheme.add_to_s1(b"x")
+        # identical m: if families were shared, S2 would also match
+        assert scheme.bf1.query(b"x")
+        assert not scheme.bf2.query(b"x")
+
+    def test_access_accounting_shared(self):
+        scheme = IndividualBloomFilters(m1=1024, m2=1024, k=4)
+        scheme.add_to_s1(b"x")
+        scheme.memory.reset()
+        scheme.query(b"x")
+        # k reads in BF1 (all ones) + >= 1 read in BF2
+        assert scheme.memory.stats.read_ops >= 5

@@ -1,0 +1,85 @@
+"""Tests for the 1MemBF baseline (Qiao et al.)."""
+
+import pytest
+
+from repro.analysis import bf_fpr, one_mem_bf_fpr
+from repro.baselines import BloomFilter, OneMemoryBloomFilter
+from repro.errors import UnsupportedOperationError
+from tests.conftest import make_elements
+
+
+class TestBasics:
+    def test_no_false_negatives(self, elements):
+        f = OneMemoryBloomFilter(m=8192, k=8)
+        f.update(elements)
+        assert all(e in f for e in elements)
+
+    def test_empty_rejects(self, negatives):
+        f = OneMemoryBloomFilter(m=8192, k=8)
+        assert not any(e in f for e in negatives)
+
+    def test_m_rounds_up_to_words(self):
+        f = OneMemoryBloomFilter(m=100, k=4, word_bits=64)
+        assert f.m == 128
+        assert f.n_groups == 2
+
+    def test_remove_unsupported(self):
+        with pytest.raises(UnsupportedOperationError):
+            OneMemoryBloomFilter(m=64, k=2).remove(b"x")
+
+    def test_hash_ops_is_k_plus_one(self):
+        assert OneMemoryBloomFilter(m=64, k=8).hash_ops_per_query == 9
+
+    def test_multi_word_groups(self, elements):
+        f = OneMemoryBloomFilter(m=8192, k=8, words_per_element=2)
+        f.update(elements)
+        assert all(e in f for e in elements)
+
+
+class TestOneAccessProperty:
+    def test_every_query_is_exactly_one_access(self, elements, negatives):
+        f = OneMemoryBloomFilter(m=8192, k=8)
+        f.update(elements)
+        f.memory.reset()
+        queries = elements[:100] + negatives[:100]
+        for e in queries:
+            f.query(e)
+        assert f.memory.stats.read_ops == len(queries)
+        assert f.memory.stats.read_words == len(queries)
+
+    def test_insert_is_one_write(self):
+        f = OneMemoryBloomFilter(m=8192, k=8)
+        f.add(b"x")
+        assert f.memory.stats.write_ops == 1
+        assert f.memory.stats.write_words == 1
+
+
+class TestAccuracyVsStandardBF:
+    """The paper's point: one-word packing costs accuracy."""
+
+    def test_higher_fpr_than_standard_bf(self):
+        members = make_elements(2000, "m")
+        probes = make_elements(30000, "p")
+        m, k = 22976, 8
+        one_mem = OneMemoryBloomFilter(m=m, k=k)
+        bf = BloomFilter(m=m, k=k)
+        one_mem.update(members)
+        bf.update(members)
+        fpr_one_mem = sum(1 for e in probes if e in one_mem) / len(probes)
+        fpr_bf = sum(1 for e in probes if e in bf) / len(probes)
+        assert fpr_one_mem > fpr_bf * 1.5
+
+    def test_matches_poisson_model(self):
+        members = make_elements(1500, "m")
+        probes = make_elements(40000, "p")
+        m, k = 22016, 8
+        f = OneMemoryBloomFilter(m=m, k=k)
+        f.update(members)
+        measured = sum(1 for e in probes if e in f) / len(probes)
+        modelled = one_mem_bf_fpr(m, len(members), k)
+        assert measured == pytest.approx(modelled, rel=0.30)
+
+    def test_model_exceeds_bloom_model(self):
+        """Jensen's inequality: load imbalance strictly hurts."""
+        for n in (500, 1000, 2000):
+            assert one_mem_bf_fpr(22016, n, 8) > bf_fpr(22016, n, 8)

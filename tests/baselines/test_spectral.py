@@ -1,0 +1,133 @@
+"""Tests for the Spectral Bloom filter baseline (all three variants)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import SpectralBloomFilter, SpectralVariant
+from repro.errors import UnsupportedOperationError
+from tests.conftest import make_elements
+
+
+@pytest.fixture(params=["ms", "mi", "rm"])
+def variant(request):
+    return request.param
+
+
+class TestAllVariants:
+    def test_estimate_upper_bounds_truth(self, variant):
+        sbf = SpectralBloomFilter(m=4096, k=5, variant=variant)
+        counts = {b"a": 3, b"b": 1, b"c": 7}
+        for element, count in counts.items():
+            for _ in range(count):
+                sbf.add(element)
+        for element, count in counts.items():
+            assert sbf.estimate(element) >= count
+
+    def test_absent_elements_mostly_zero(self, variant, negatives):
+        sbf = SpectralBloomFilter(m=8192, k=5, variant=variant)
+        sbf.update(make_elements(200))
+        zero = sum(1 for e in negatives if sbf.estimate(e) == 0)
+        assert zero / len(negatives) > 0.95
+
+    def test_exact_on_sparse_filter(self, variant):
+        sbf = SpectralBloomFilter(m=8192, k=5, variant=variant)
+        counts = {(b"elem-%d" % i): (i % 5) + 1 for i in range(50)}
+        for element, count in counts.items():
+            for _ in range(count):
+                sbf.add(element)
+        correct = sum(
+            1 for element, count in counts.items()
+            if sbf.estimate(element) == count
+        )
+        assert correct / len(counts) > 0.9
+
+    def test_query_answer_format(self, variant):
+        sbf = SpectralBloomFilter(m=1024, k=4, variant=variant)
+        sbf.add(b"x")
+        answer = sbf.query(b"x")
+        assert answer.present
+        assert answer.reported >= 1
+        absent = sbf.query(b"only-fp-could-find-me")
+        assert absent.reported == 0 or absent.reported >= 1  # no crash
+
+    def test_contains(self, variant):
+        sbf = SpectralBloomFilter(m=1024, k=4, variant=variant)
+        sbf.add(b"x")
+        assert b"x" in sbf
+
+
+class TestVariantSpecifics:
+    def test_mi_rejects_deletion(self):
+        sbf = SpectralBloomFilter(m=1024, k=4, variant="mi")
+        sbf.add(b"x")
+        with pytest.raises(UnsupportedOperationError):
+            sbf.remove(b"x")
+
+    def test_ms_supports_deletion(self):
+        sbf = SpectralBloomFilter(m=1024, k=4, variant="ms")
+        sbf.add(b"x")
+        sbf.add(b"x")
+        sbf.remove(b"x")
+        assert sbf.estimate(b"x") == 1
+
+    def test_rm_supports_deletion(self):
+        sbf = SpectralBloomFilter(m=1024, k=4, variant="rm")
+        sbf.add(b"x")
+        sbf.add(b"x")
+        sbf.remove(b"x")
+        assert sbf.estimate(b"x") == 1
+
+    def test_mi_is_at_least_as_tight_as_ms(self):
+        """MI increments fewer counters, so its estimates can't exceed MS."""
+        members = make_elements(400, "flow")
+        counts = {e: (i % 7) + 1 for i, e in enumerate(members)}
+        ms = SpectralBloomFilter(m=2048, k=4, variant="ms")
+        mi = SpectralBloomFilter(m=2048, k=4, variant="mi",
+                                 family=ms._family)
+        for element, count in counts.items():
+            for _ in range(count):
+                ms.add(element)
+                mi.add(element)
+        for element in members:
+            assert mi.estimate(element) <= ms.estimate(element)
+
+    def test_rm_uses_more_memory_and_hashes(self):
+        rm = SpectralBloomFilter(m=1024, k=4, variant="rm")
+        ms = SpectralBloomFilter(m=1024, k=4, variant="ms")
+        assert rm.size_bits > ms.size_bits
+        assert rm.hash_ops_per_query == 2 * ms.hash_ops_per_query
+
+    def test_variant_enum_accepted(self):
+        sbf = SpectralBloomFilter(
+            m=256, k=2, variant=SpectralVariant.MINIMUM_INCREASE)
+        assert sbf.variant is SpectralVariant.MINIMUM_INCREASE
+
+
+class TestAccounting:
+    def test_ms_query_costs_at_most_k_reads(self):
+        sbf = SpectralBloomFilter(m=4096, k=6, variant="ms")
+        sbf.add(b"x")
+        sbf.memory.reset()
+        sbf.estimate(b"x")
+        assert sbf.memory.stats.read_ops == 6
+
+    def test_absent_query_early_exits(self, negatives):
+        sbf = SpectralBloomFilter(m=8192, k=8, variant="ms")
+        sbf.update(make_elements(50))
+        sbf.memory.reset()
+        for e in negatives[:300]:
+            sbf.estimate(e)
+        assert sbf.memory.stats.read_ops / 300 < 2.5
+
+
+@settings(max_examples=20, deadline=None)
+@given(counts=st.dictionaries(
+    st.integers(0, 20), st.integers(1, 6), max_size=12))
+def test_property_ms_never_underestimates(counts):
+    sbf = SpectralBloomFilter(m=2048, k=4, variant="ms")
+    for key, count in counts.items():
+        for _ in range(count):
+            sbf.add(b"k%d" % key)
+    for key, count in counts.items():
+        assert sbf.estimate(b"k%d" % key) >= count

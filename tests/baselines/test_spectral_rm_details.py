@@ -1,0 +1,78 @@
+"""Focused tests for the recurring-minimum Spectral BF mechanics.
+
+The RM variant's defining behaviours (Cohen & Matias §RM): elements
+whose primary minimum does not recur are tracked in the secondary
+filter, queries consult the secondary only in that case, and deletions
+keep both layers consistent.
+"""
+
+import pytest
+
+from repro.baselines import SpectralBloomFilter
+from repro.hashing import Blake2Family
+from tests.conftest import make_elements
+
+
+@pytest.fixture
+def crowded_rm():
+    """A deliberately small RM filter where collisions are common."""
+    filt = SpectralBloomFilter(
+        m=128, k=4, variant="rm", counter_bits=8,
+        family=Blake2Family(seed=13))
+    return filt
+
+
+class TestRecurringMinimumLogic:
+    def test_secondary_engages_under_collisions(self, crowded_rm):
+        """With heavy collisions some elements must spill to secondary."""
+        for i, element in enumerate(make_elements(60, "rm")):
+            crowded_rm.add(element, count=(i % 5) + 1)
+        assert crowded_rm._secondary is not None
+        assert crowded_rm._secondary.nonzero_count() > 0
+
+    def test_rm_no_less_accurate_than_ms_when_crowded(self):
+        """RM's raison d'etre: better estimates at the same density."""
+        members = make_elements(120, "flow")
+        counts = {e: (i % 6) + 1 for i, e in enumerate(members)}
+        ms = SpectralBloomFilter(
+            m=160, k=4, variant="ms", counter_bits=8,
+            family=Blake2Family(seed=17))
+        rm = SpectralBloomFilter(
+            m=160, k=4, variant="rm", counter_bits=8,
+            family=Blake2Family(seed=17))
+        for element, count in counts.items():
+            ms.add(element, count=count)
+            rm.add(element, count=count)
+        ms_error = sum(
+            abs(ms.estimate(e) - c) for e, c in counts.items())
+        rm_error = sum(
+            abs(rm.estimate(e) - c) for e, c in counts.items())
+        # RM uses extra memory (secondary) to be at least as accurate on
+        # average; allow a small band for unlucky hash draws
+        assert rm_error <= ms_error * 1.1
+
+    def test_estimates_never_below_truth_without_deletes(self, crowded_rm):
+        members = make_elements(40, "rm")
+        counts = {e: (i % 4) + 1 for i, e in enumerate(members)}
+        for element, count in counts.items():
+            crowded_rm.add(element, count=count)
+        for element, count in counts.items():
+            assert crowded_rm.estimate(element) >= count
+
+    def test_delete_keeps_layers_consistent(self):
+        filt = SpectralBloomFilter(
+            m=256, k=4, variant="rm", counter_bits=8)
+        for element in make_elements(30, "rm"):
+            filt.add(element, count=3)
+        target = make_elements(30, "rm")[0]
+        filt.remove(target)
+        assert filt.estimate(target) >= 2  # one removed, two remain
+
+    def test_sparse_rm_is_exact(self):
+        """No collisions -> recurring minima everywhere -> exact counts."""
+        filt = SpectralBloomFilter(m=4096, k=4, variant="rm")
+        counts = {b"a": 2, b"b": 9, b"c": 1}
+        for element, count in counts.items():
+            filt.add(element, count=count)
+        for element, count in counts.items():
+            assert filt.estimate(element) == count

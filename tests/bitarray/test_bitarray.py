@@ -1,0 +1,251 @@
+"""Tests for the BitArray substrate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitarray import BitArray, MemoryModel
+from repro.errors import ConfigurationError
+
+
+class TestBasicOperations:
+    def test_starts_all_zero(self):
+        bits = BitArray(100)
+        assert bits.count() == 0
+        assert not any(bits.peek(i) for i in range(100))
+
+    def test_set_and_test(self):
+        bits = BitArray(100)
+        bits.set(0)
+        bits.set(42)
+        bits.set(99)
+        assert bits.test(0) and bits.test(42) and bits.test(99)
+        assert not bits.test(1)
+        assert bits.count() == 3
+
+    def test_set_is_idempotent(self):
+        bits = BitArray(16)
+        bits.set(5)
+        bits.set(5)
+        assert bits.count() == 1
+
+    def test_clear(self):
+        bits = BitArray(16)
+        bits.set(5)
+        bits.clear(5)
+        assert not bits.test(5)
+        assert bits.count() == 0
+
+    def test_clear_unset_bit_is_noop(self):
+        bits = BitArray(16)
+        bits.clear(3)
+        assert bits.count() == 0
+
+    def test_len_and_nbits(self):
+        bits = BitArray(77)
+        assert len(bits) == 77
+        assert bits.nbits == 77
+        assert bits.nbytes == 10
+
+    def test_getitem_matches_peek(self):
+        bits = BitArray(16)
+        bits.set(9)
+        assert bits[9] is True
+        assert bits[8] is False
+
+    def test_fill_ratio(self):
+        bits = BitArray(10)
+        for i in range(5):
+            bits.set(i)
+        assert bits.fill_ratio() == pytest.approx(0.5)
+
+    def test_clear_all(self):
+        bits = BitArray(64)
+        for i in range(0, 64, 3):
+            bits.set(i)
+        bits.clear_all()
+        assert bits.count() == 0
+
+
+class TestBounds:
+    def test_negative_index_rejected(self):
+        bits = BitArray(8)
+        with pytest.raises(IndexError):
+            bits.test(-1)
+
+    def test_index_past_end_rejected(self):
+        bits = BitArray(8)
+        with pytest.raises(IndexError):
+            bits.set(8)
+
+    def test_window_past_end_rejected(self):
+        bits = BitArray(16)
+        with pytest.raises(IndexError):
+            bits.read_window(10, 7)
+
+    def test_set_offsets_past_end_rejected(self):
+        bits = BitArray(16)
+        with pytest.raises(IndexError):
+            bits.set_offsets(10, [0, 6])
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitArray(0)
+
+
+class TestWindowedReads:
+    def test_read_window_single_byte(self):
+        bits = BitArray(16)
+        bits.set(3)
+        bits.set(5)
+        # bits 3..7 -> positions 0 and 2 of the window
+        assert bits.read_window(3, 5) == 0b00101
+
+    def test_read_window_across_bytes(self):
+        bits = BitArray(32)
+        bits.set(7)
+        bits.set(8)
+        bits.set(14)
+        window = bits.read_window(7, 8)  # bits 7..14
+        assert window == 0b10000011
+
+    def test_read_window_across_many_bytes(self):
+        bits = BitArray(256)
+        positions = [10, 17, 40, 63, 66]
+        for p in positions:
+            bits.set(p)
+        window = bits.read_window(10, 57)
+        for p in positions:
+            assert window >> (p - 10) & 1
+
+    def test_read_window_full_width(self):
+        bits = BitArray(64)
+        for i in range(64):
+            bits.set(i)
+        assert bits.read_window(0, 64) == (1 << 64) - 1
+
+    @given(
+        positions=st.sets(st.integers(0, 255), max_size=40),
+        start=st.integers(0, 200),
+        nbits=st.integers(1, 56),
+    )
+    def test_window_matches_individual_bits(self, positions, start, nbits):
+        """Property: windowed reads agree with bit-by-bit reads."""
+        bits = BitArray(256)
+        for p in positions:
+            bits.set(p)
+        if start + nbits > 256:
+            nbits = 256 - start
+        window = bits.read_window(start, nbits, record=False)
+        for j in range(nbits):
+            assert bool(window >> j & 1) == bits.peek(start + j)
+
+    def test_test_offsets(self):
+        bits = BitArray(128)
+        bits.set(10)
+        bits.set(30)
+        assert bits.test_offsets(10, (0, 20)) == (True, True)
+        assert bits.test_offsets(10, (0, 19)) == (True, False)
+        assert bits.test_offsets(11, (0, 19)) == (False, True)
+
+    def test_test_offsets_empty(self):
+        bits = BitArray(8)
+        assert bits.test_offsets(0, ()) == ()
+
+    def test_set_offsets(self):
+        bits = BitArray(128)
+        bits.set_offsets(10, (0, 20))
+        assert bits.peek(10) and bits.peek(30)
+        assert bits.count() == 2
+
+
+class TestAccessAccounting:
+    def test_single_bit_test_costs_one_word(self):
+        bits = BitArray(1024)
+        bits.test(700)
+        assert bits.memory.stats.read_words == 1
+        assert bits.memory.stats.read_ops == 1
+
+    def test_pair_read_within_bound_costs_one_word(self):
+        bits = BitArray(1024, memory=MemoryModel(word_bits=64))
+        bits.test_offsets(700, (0, 57))
+        assert bits.memory.stats.read_words == 1
+        assert bits.memory.stats.read_ops == 1
+
+    def test_peek_is_free(self):
+        bits = BitArray(64)
+        bits.peek(10)
+        assert bits.memory.stats.read_ops == 0
+
+    def test_record_false_suppresses_accounting(self):
+        bits = BitArray(64)
+        bits.set(3, record=False)
+        bits.test(3, record=False)
+        bits.read_window(0, 8, record=False)
+        assert bits.memory.stats.read_ops == 0
+        assert bits.memory.stats.write_ops == 0
+
+    def test_set_offsets_costs_one_write(self):
+        bits = BitArray(1024)
+        bits.set_offsets(100, (0, 40))
+        assert bits.memory.stats.write_ops == 1
+        assert bits.memory.stats.write_words == 1
+
+    def test_shared_memory_model(self):
+        model = MemoryModel()
+        a = BitArray(64, memory=model)
+        b = BitArray(64, memory=model)
+        a.test(0)
+        b.test(0)
+        assert model.stats.read_ops == 2
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        bits = BitArray(100)
+        for i in (0, 13, 64, 99):
+            bits.set(i)
+        clone = BitArray.from_bytes(bits.to_bytes(), 100)
+        assert [clone.peek(i) for i in range(100)] == [
+            bits.peek(i) for i in range(100)
+        ]
+
+    def test_from_bytes_validates_length(self):
+        with pytest.raises(ConfigurationError):
+            BitArray.from_bytes(b"\x00", 100)
+
+    def test_copy_is_deep(self):
+        bits = BitArray(32)
+        bits.set(5)
+        clone = bits.copy()
+        clone.set(6)
+        assert not bits.peek(6)
+        assert clone.peek(5)
+
+    def test_copy_has_fresh_stats(self):
+        bits = BitArray(32)
+        bits.test(0)
+        clone = bits.copy()
+        assert clone.memory.stats.read_ops == 0
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["set", "clear"]), st.integers(0, 127)),
+        max_size=60,
+    )
+)
+def test_model_against_reference_set(ops):
+    """Property: BitArray behaves like a set of integers."""
+    bits = BitArray(128)
+    reference = set()
+    for op, i in ops:
+        if op == "set":
+            bits.set(i)
+            reference.add(i)
+        else:
+            bits.clear(i)
+            reference.discard(i)
+    assert bits.count() == len(reference)
+    for i in range(128):
+        assert bits.peek(i) == (i in reference)

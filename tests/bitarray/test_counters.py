@@ -1,0 +1,190 @@
+"""Tests for the packed counter array."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitarray import CounterArray, OverflowPolicy
+from repro.errors import (
+    ConfigurationError,
+    CounterOverflowError,
+    CounterUnderflowError,
+)
+
+
+class TestBasics:
+    def test_starts_all_zero(self):
+        counters = CounterArray(10)
+        assert counters.to_list() == [0] * 10
+        assert counters.nonzero_count() == 0
+
+    def test_increment_and_get(self):
+        counters = CounterArray(10)
+        counters.increment(3)
+        counters.increment(3)
+        counters.increment(7)
+        assert counters.get(3) == 2
+        assert counters.get(7) == 1
+        assert counters.get(0) == 0
+        assert counters.nonzero_count() == 2
+
+    def test_decrement(self):
+        counters = CounterArray(4)
+        counters.increment(1, by=3)
+        assert counters.decrement(1) == 2
+        assert counters.get(1) == 2
+
+    def test_decrement_to_zero_updates_nonzero(self):
+        counters = CounterArray(4)
+        counters.increment(1)
+        counters.decrement(1)
+        assert counters.nonzero_count() == 0
+
+    def test_set_value(self):
+        counters = CounterArray(4, bits_per_counter=6)
+        counters.set(2, 63)
+        assert counters.get(2) == 63
+        counters.set(2, 0)
+        assert counters.nonzero_count() == 0
+
+    def test_set_rejects_out_of_range(self):
+        counters = CounterArray(4, bits_per_counter=4)
+        with pytest.raises(ConfigurationError):
+            counters.set(0, 16)
+        with pytest.raises(ConfigurationError):
+            counters.set(0, -1)
+
+    def test_properties(self):
+        counters = CounterArray(10, bits_per_counter=6)
+        assert len(counters) == 10
+        assert counters.size == 10
+        assert counters.bits_per_counter == 6
+        assert counters.max_value == 63
+        assert counters.total_bits == 60
+
+    def test_clear_all(self):
+        counters = CounterArray(8)
+        for i in range(8):
+            counters.increment(i)
+        counters.clear_all()
+        assert counters.to_list() == [0] * 8
+        assert counters.nonzero_count() == 0
+
+
+class TestPacking:
+    """Packed layouts must not bleed between adjacent counters."""
+
+    @pytest.mark.parametrize("bits", [1, 3, 4, 5, 6, 8, 12, 16, 32, 64])
+    def test_neighbours_are_independent(self, bits):
+        counters = CounterArray(9, bits_per_counter=bits)
+        maximum = counters.max_value
+        for i in range(0, 9, 2):
+            counters.set(i, maximum if maximum > 0 else 0)
+        for i in range(9):
+            expected = counters.max_value if i % 2 == 0 else 0
+            assert counters.get(i, record=False) == expected
+
+    @given(
+        bits=st.sampled_from([3, 4, 5, 7]),
+        updates=st.lists(
+            st.tuples(st.integers(0, 15), st.integers(1, 6)), max_size=50
+        ),
+    )
+    def test_matches_reference_list(self, bits, updates):
+        """Property: a packed array behaves like a plain list of ints."""
+        counters = CounterArray(
+            16, bits_per_counter=bits, overflow=OverflowPolicy.SATURATE
+        )
+        reference = [0] * 16
+        maximum = (1 << bits) - 1
+        for index, amount in updates:
+            counters.increment(index, by=amount)
+            reference[index] = min(maximum, reference[index] + amount)
+        assert counters.to_list() == reference
+
+
+class TestOverflow:
+    def test_saturate_clamps(self):
+        counters = CounterArray(2, bits_per_counter=2)
+        for _ in range(10):
+            counters.increment(0)
+        assert counters.get(0) == 3
+
+    def test_saturated_counter_is_not_decremented(self):
+        counters = CounterArray(2, bits_per_counter=2)
+        for _ in range(5):
+            counters.increment(0)
+        counters.decrement(0)
+        assert counters.get(0) == 3  # stuck at max: true value unknown
+
+    def test_raise_policy(self):
+        counters = CounterArray(
+            2, bits_per_counter=2, overflow=OverflowPolicy.RAISE
+        )
+        counters.increment(0, by=3)
+        with pytest.raises(CounterOverflowError):
+            counters.increment(0)
+
+    def test_underflow_raises(self):
+        counters = CounterArray(2)
+        with pytest.raises(CounterUnderflowError):
+            counters.decrement(0)
+
+    def test_bits_per_counter_bounds(self):
+        with pytest.raises(ConfigurationError):
+            CounterArray(4, bits_per_counter=0)
+        with pytest.raises(ConfigurationError):
+            CounterArray(4, bits_per_counter=65)
+
+
+class TestOffsets:
+    def test_get_offsets(self):
+        counters = CounterArray(64)
+        counters.increment(10, by=2)
+        counters.increment(13, by=5)
+        assert counters.get_offsets(10, (0, 3)) == (2, 5)
+
+    def test_increment_offsets(self):
+        counters = CounterArray(64)
+        counters.increment_offsets(10, (0, 3))
+        assert counters.get(10, record=False) == 1
+        assert counters.get(13, record=False) == 1
+
+    def test_decrement_offsets(self):
+        counters = CounterArray(64)
+        counters.increment_offsets(10, (0, 3), by=2)
+        counters.decrement_offsets(10, (0, 3))
+        assert counters.get(10, record=False) == 1
+        assert counters.get(13, record=False) == 1
+
+    def test_offsets_access_counts_single_operation(self):
+        counters = CounterArray(64, bits_per_counter=4)
+        counters.get_offsets(0, (0, 7))
+        assert counters.memory.stats.read_ops == 1
+        # 8 counters x 4 bits = 32 bits -> one 64-bit word
+        assert counters.memory.stats.read_words == 1
+
+    def test_out_of_range_offset_rejected(self):
+        counters = CounterArray(8)
+        with pytest.raises(IndexError):
+            counters.get_offsets(6, (0, 3))
+
+
+class TestAccounting:
+    def test_counter_ops_record_traffic(self):
+        counters = CounterArray(16, bits_per_counter=4)
+        counters.increment(3)
+        counters.get(3)
+        counters.decrement(3)
+        assert counters.memory.stats.write_ops == 2
+        assert counters.memory.stats.read_ops == 1
+
+    def test_default_tier_is_dram(self):
+        assert CounterArray(4).memory.tier == "dram"
+
+    def test_record_false_suppresses(self):
+        counters = CounterArray(4)
+        counters.increment(0, record=False)
+        counters.get(0, record=False)
+        assert counters.memory.stats.read_ops == 0
+        assert counters.memory.stats.write_ops == 0

@@ -1,0 +1,127 @@
+"""Tests for the byte-aligned word-granular memory cost model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitarray.memory import AccessStats, MemoryModel
+from repro.errors import ConfigurationError
+
+
+class TestReadCost:
+    def test_single_bit_is_one_access(self):
+        model = MemoryModel(word_bits=64)
+        for start in (0, 1, 7, 8, 63, 64, 1023):
+            assert model.read_cost(start, 1) == 1
+
+    def test_zero_bits_is_free(self):
+        assert MemoryModel().read_cost(10, 0) == 0
+
+    def test_pair_within_offset_bound_is_one_access(self):
+        """The paper's w_bar = w - 7 rule: pair reads cost one access.
+
+        Offsets are drawn from [1, w_bar - 1] = [1, w - 8], so the widest
+        pair read spans max_offset + 1 = w - 7 bits.
+        """
+        model = MemoryModel(word_bits=64)
+        max_offset = model.max_single_read_offset()
+        assert max_offset == 56
+        assert model.w_bar() == 57
+        for start in range(0, 128):
+            span = max_offset + 1  # bits start .. start + max_offset
+            assert model.read_cost(start, span) == 1
+
+    def test_pair_beyond_offset_bound_may_need_two_accesses(self):
+        model = MemoryModel(word_bits=64)
+        # start at the 8th bit of a byte (j=8), worst case in the paper
+        start = 7
+        assert model.read_cost(start, 58) == 2
+        assert model.read_cost(start, 57) == 1
+
+    def test_32_bit_word(self):
+        model = MemoryModel(word_bits=32)
+        assert model.max_single_read_offset() == 24
+        assert model.w_bar() == 25
+        assert model.read_cost(7, 26) == 2
+        assert model.read_cost(7, 25) == 1
+
+    def test_wide_window_costs_ceil_span_over_word(self):
+        model = MemoryModel(word_bits=64)
+        assert model.read_cost(0, 64) == 1
+        assert model.read_cost(0, 65) == 2
+        assert model.read_cost(0, 129) == 3
+        assert model.read_cost(4, 61) == 2  # byte-aligned start adds 4 bits
+
+    @given(start=st.integers(0, 10_000), nbits=st.integers(1, 4096))
+    def test_cost_formula_matches_definition(self, start, nbits):
+        model = MemoryModel(word_bits=64)
+        span = (start % 8) + nbits
+        expected = (span + 63) // 64
+        assert model.read_cost(start, nbits) == expected
+
+    @given(start=st.integers(0, 10_000), nbits=st.integers(1, 4096))
+    def test_cost_is_monotone_in_width(self, start, nbits):
+        model = MemoryModel(word_bits=64)
+        assert model.read_cost(start, nbits) <= model.read_cost(
+            start, nbits + 1)
+
+
+class TestRecording:
+    def test_record_read_accumulates(self):
+        model = MemoryModel(word_bits=64)
+        model.record_read(0, 1)
+        model.record_read(7, 58)
+        assert model.stats.read_ops == 2
+        assert model.stats.read_words == 3
+
+    def test_record_write_accumulates(self):
+        model = MemoryModel(word_bits=64)
+        model.record_write(0, 1)
+        model.record_write(0, 65)
+        assert model.stats.write_ops == 2
+        assert model.stats.write_words == 3
+
+    def test_reset(self):
+        model = MemoryModel()
+        model.record_read(0, 1)
+        model.record_write(0, 1)
+        model.reset()
+        assert model.stats.read_words == 0
+        assert model.stats.write_words == 0
+        assert model.stats.read_ops == 0
+        assert model.stats.write_ops == 0
+
+    def test_snapshot_and_diff(self):
+        model = MemoryModel()
+        model.record_read(0, 1)
+        before = model.snapshot()
+        model.record_read(0, 1)
+        model.record_write(0, 1)
+        delta = model.stats.diff(before)
+        assert delta.read_words == 1
+        assert delta.write_words == 1
+        assert delta.read_ops == 1
+        assert delta.write_ops == 1
+
+    def test_snapshot_is_independent(self):
+        model = MemoryModel()
+        snap = model.snapshot()
+        model.record_read(0, 1)
+        assert snap.read_words == 0
+
+    def test_total_words(self):
+        stats = AccessStats(read_words=3, write_words=2)
+        assert stats.total_words == 5
+
+
+class TestConfiguration:
+    def test_word_bits_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel(word_bits=0)
+
+    def test_word_bits_must_be_byte_multiple(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel(word_bits=12)
+
+    def test_tier_label_is_kept(self):
+        assert MemoryModel(tier="dram").tier == "dram"

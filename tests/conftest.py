@@ -1,0 +1,22 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def make_elements(count: int, prefix: str = "elem") -> list[bytes]:
+    """Deterministic distinct byte-string elements for filter tests."""
+    return [("%s-%08d" % (prefix, i)).encode() for i in range(count)]
+
+
+@pytest.fixture
+def elements():
+    """200 distinct member elements."""
+    return make_elements(200, "member")
+
+
+@pytest.fixture
+def negatives():
+    """2000 distinct elements disjoint from the ``elements`` fixture."""
+    return make_elements(2000, "absent")

@@ -1,0 +1,118 @@
+"""Tests for CShBF_M — the counting shifting Bloom filter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CountingShiftingBloomFilter
+from repro.errors import ConfigurationError, CounterUnderflowError
+from tests.conftest import make_elements
+
+
+class TestBasics:
+    def test_no_false_negatives(self, elements):
+        filt = CountingShiftingBloomFilter(m=4096, k=8)
+        filt.update(elements)
+        assert all(e in filt for e in elements)
+
+    def test_delete_removes(self):
+        filt = CountingShiftingBloomFilter(m=2048, k=6)
+        filt.add(b"x")
+        filt.remove(b"x")
+        assert b"x" not in filt
+
+    def test_delete_preserves_others(self, elements):
+        filt = CountingShiftingBloomFilter(m=8192, k=6)
+        filt.update(elements)
+        for e in elements[:100]:
+            filt.remove(e)
+        assert all(e in filt for e in elements[100:])
+
+    def test_delete_absent_raises(self):
+        filt = CountingShiftingBloomFilter(m=2048, k=6)
+        with pytest.raises(CounterUnderflowError):
+            filt.remove(b"never")
+
+    def test_double_insert_double_delete(self):
+        filt = CountingShiftingBloomFilter(m=2048, k=6)
+        filt.add(b"x")
+        filt.add(b"x")
+        filt.remove(b"x")
+        assert b"x" in filt
+        filt.remove(b"x")
+        assert b"x" not in filt
+
+    def test_counting_w_bar_bound(self):
+        """§3.3: w_bar <= (w-7)/z so counter pairs share a fetch."""
+        filt = CountingShiftingBloomFilter(m=1024, k=4, counter_bits=4)
+        assert filt.w_bar == 14
+
+    def test_w_bar_above_counting_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CountingShiftingBloomFilter(
+                m=1024, k=4, counter_bits=4, w_bar=57)
+
+    def test_k_must_be_even(self):
+        with pytest.raises(ConfigurationError):
+            CountingShiftingBloomFilter(m=1024, k=5)
+
+
+class TestTieredDeployment:
+    """§3.3: B in SRAM answers queries; C in DRAM absorbs updates."""
+
+    def test_query_touches_only_sram(self):
+        filt = CountingShiftingBloomFilter(m=2048, k=6)
+        filt.add(b"x")
+        filt.bits.memory.reset()
+        filt.counters.memory.reset()
+        filt.query(b"x")
+        assert filt.bits.memory.stats.read_ops == 3  # k/2
+        assert filt.counters.memory.stats.read_ops == 0
+
+    def test_update_touches_both_tiers(self):
+        filt = CountingShiftingBloomFilter(m=2048, k=6)
+        filt.add(b"x")
+        assert filt.counters.memory.stats.write_ops == 3  # k/2 pairs
+        assert filt.bits.memory.stats.write_ops == 3
+
+    def test_tier_labels(self):
+        filt = CountingShiftingBloomFilter(m=128, k=2)
+        assert filt.bits.memory.tier == "sram"
+        assert filt.counters.memory.tier == "dram"
+
+    def test_update_pair_is_one_dram_access(self):
+        """With the counting bound, one update = k/2 DRAM accesses."""
+        filt = CountingShiftingBloomFilter(m=2048, k=8, counter_bits=4)
+        filt.add(b"x")
+        assert filt.counters.memory.stats.write_words == 4
+
+
+class TestSynchronisation:
+    def test_arrays_synchronised_after_mixed_ops(self, elements):
+        filt = CountingShiftingBloomFilter(m=4096, k=6)
+        filt.update(elements[:150])
+        for e in elements[:50]:
+            filt.remove(e)
+        assert filt.check_synchronised()
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(0, 9)), max_size=40
+        )
+    )
+    def test_property_synchronised_and_no_fn(self, ops):
+        filt = CountingShiftingBloomFilter(m=1024, k=4)
+        reference: dict[int, int] = {}
+        for insert, key in ops:
+            element = b"key-%d" % key
+            if insert:
+                filt.add(element)
+                reference[key] = reference.get(key, 0) + 1
+            elif reference.get(key, 0) > 0:
+                filt.remove(element)
+                reference[key] -= 1
+        assert filt.check_synchronised()
+        for key, count in reference.items():
+            if count > 0:
+                assert b"key-%d" % key in filt

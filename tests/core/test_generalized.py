@@ -1,0 +1,107 @@
+"""Tests for the generalized (t-shift) shifting Bloom filter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import generalized_shbf_fpr, shbf_m_fpr
+from repro.core import GeneralizedShiftingBloomFilter, ShiftingBloomFilter
+from repro.errors import ConfigurationError
+from tests.conftest import make_elements
+
+
+class TestConstruction:
+    def test_k_divisibility_enforced(self):
+        with pytest.raises(ConfigurationError):
+            GeneralizedShiftingBloomFilter(m=1024, k=8, t=2)  # 3 !| 8
+
+    def test_t_bounds(self):
+        with pytest.raises(ConfigurationError):
+            GeneralizedShiftingBloomFilter(m=1024, k=4, t=4)
+        with pytest.raises(ConfigurationError):
+            GeneralizedShiftingBloomFilter(m=1024, k=4, t=0)
+
+    def test_group_arithmetic(self):
+        g = GeneralizedShiftingBloomFilter(m=1024, k=12, t=2)
+        assert g.groups == 4
+        assert g.hash_ops_per_query == 6
+        assert g.segment == 28  # (57-1)//2
+
+    def test_t1_hash_cost_matches_shbf_m(self):
+        g = GeneralizedShiftingBloomFilter(m=1024, k=8, t=1)
+        s = ShiftingBloomFilter(m=1024, k=8)
+        assert g.hash_ops_per_query == s.hash_ops_per_query
+
+    def test_insert_sets_k_bits(self):
+        g = GeneralizedShiftingBloomFilter(m=4096, k=12, t=3)
+        g.add(b"x")
+        assert g.bits.count() == 12
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("k,t", [(8, 1), (12, 2), (12, 3), (16, 7)])
+    def test_no_false_negatives(self, k, t, elements):
+        g = GeneralizedShiftingBloomFilter(m=8192, k=k, t=t)
+        g.update(elements)
+        assert all(e in g for e in elements)
+
+    def test_empty_rejects(self, negatives):
+        g = GeneralizedShiftingBloomFilter(m=8192, k=12, t=2)
+        assert not any(e in g for e in negatives)
+
+    def test_query_cost_is_group_count(self):
+        g = GeneralizedShiftingBloomFilter(m=8192, k=12, t=2)
+        g.add(b"x")
+        g.memory.reset()
+        g.query(b"x")
+        assert g.memory.stats.read_ops == 4  # k/(t+1)
+
+    def test_t1_matches_shbf_m_structure(self):
+        """t=1 generalized == ShBF_M: same positions, same bits."""
+        family_seed = 11
+        from repro.hashing import Blake2Family
+
+        g = GeneralizedShiftingBloomFilter(
+            m=2048, k=8, t=1, family=Blake2Family(seed=family_seed))
+        s = ShiftingBloomFilter(
+            m=2048, k=8, family=Blake2Family(seed=family_seed))
+        for e in make_elements(100):
+            g.add(e)
+            s.add(e)
+        assert g.bits.to_bytes() == s.bits.to_bytes()
+
+
+class TestTheoryAgreement:
+    @pytest.mark.parametrize("t,k", [(1, 8), (2, 9), (3, 8)])
+    def test_fpr_matches_eq_11(self, t, k):
+        n, m = 2000, 22976
+        members = make_elements(n, "m")
+        probes = make_elements(50000, "p")
+        g = GeneralizedShiftingBloomFilter(m=m, k=k, t=t)
+        g.update(members)
+        measured = sum(1 for e in probes if e in g) / len(probes)
+        predicted = generalized_shbf_fpr(m, n, k, w_bar=57, t=t)
+        assert measured == pytest.approx(predicted, rel=0.3)
+
+    def test_eq11_t1_equals_eq1(self):
+        for k in (4, 8, 12):
+            assert generalized_shbf_fpr(
+                100000, 10000, k, 57, t=1
+            ) == pytest.approx(shbf_m_fpr(100000, 10000, k, 57), rel=1e-12)
+
+    def test_larger_t_trades_fpr_for_accesses(self):
+        """More shifts -> fewer accesses but (slightly) worse FPR."""
+        m, n, k = 100000, 10000, 12
+        f1 = generalized_shbf_fpr(m, n, k, 57, t=1)
+        f2 = generalized_shbf_fpr(m, n, k, 57, t=2)
+        f3 = generalized_shbf_fpr(m, n, k, 57, t=3)
+        assert f1 <= f2 <= f3
+
+
+@settings(max_examples=15, deadline=None)
+@given(members=st.sets(st.binary(min_size=1, max_size=12), max_size=40))
+def test_property_no_false_negatives(members):
+    g = GeneralizedShiftingBloomFilter(m=2048, k=12, t=3)
+    for element in members:
+        g.add(element)
+    assert all(g.query(element) for element in members)

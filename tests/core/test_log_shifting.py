@@ -1,0 +1,92 @@
+"""Tests for the §3.6 log-method extension."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ShiftingBloomFilter
+from repro.core.log_shifting import LogShiftingBloomFilter
+from repro.errors import ConfigurationError, UnsupportedOperationError
+from tests.conftest import make_elements
+
+
+class TestConstruction:
+    def test_divisibility_enforced(self):
+        with pytest.raises(ConfigurationError):
+            LogShiftingBloomFilter(m=1024, k=12, levels=3)  # 8 !| 12
+
+    def test_too_many_levels_for_w_bar(self):
+        with pytest.raises(ConfigurationError):
+            LogShiftingBloomFilter(m=1024, k=64, levels=6, w_bar=20)
+
+    def test_hash_cost_log_endpoint(self):
+        """The paper's log(k)+1 endpoint: k=16, L=4 -> 1 base + 4."""
+        filt = LogShiftingBloomFilter(m=4096, k=16, levels=4)
+        assert filt.hash_ops_per_query == 5  # log2(16) + 1
+
+    def test_level_one_matches_shbf_m_cost(self):
+        log_filt = LogShiftingBloomFilter(m=1024, k=8, levels=1)
+        shbf = ShiftingBloomFilter(m=1024, k=8)
+        assert log_filt.hash_ops_per_query == shbf.hash_ops_per_query
+
+    def test_insert_sets_k_bits(self):
+        filt = LogShiftingBloomFilter(m=8192, k=16, levels=3)
+        filt.add(b"x")
+        # subset-sum collisions possible but rare at w_bar=57
+        assert 12 <= filt.bits.count() <= 16
+
+    def test_offsets_bounded_by_w_bar(self):
+        filt = LogShiftingBloomFilter(m=1024, k=16, levels=3)
+        for element in make_elements(200):
+            offsets = filt._offsets(element)
+            assert len(offsets) == 8
+            assert offsets[0] == 0
+            assert max(offsets) <= filt.w_bar - 1
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("k,levels", [(8, 1), (8, 2), (16, 3),
+                                          (16, 4)])
+    def test_no_false_negatives(self, k, levels, elements):
+        filt = LogShiftingBloomFilter(m=8192, k=k, levels=levels)
+        filt.update(elements)
+        assert all(e in filt for e in elements)
+
+    def test_empty_rejects(self, negatives):
+        filt = LogShiftingBloomFilter(m=8192, k=16, levels=3)
+        assert not any(e in filt for e in negatives)
+
+    def test_query_cost_is_base_count(self):
+        filt = LogShiftingBloomFilter(m=8192, k=16, levels=3)
+        filt.add(b"x")
+        filt.memory.reset()
+        filt.query(b"x")
+        assert filt.memory.stats.read_ops == 2  # k / 2**L
+
+    def test_remove_unsupported(self):
+        with pytest.raises(UnsupportedOperationError):
+            LogShiftingBloomFilter(m=64, k=4, levels=1).remove(b"x")
+
+    def test_fpr_degrades_gracefully_with_levels(self):
+        """More levels -> more correlation -> no better FPR, but still
+        within an order of magnitude at the paper's operating point."""
+        members = make_elements(2000, "m")
+        probes = make_elements(30000, "p")
+        m, k = 22976, 16
+        fprs = {}
+        for levels in (1, 2, 3):
+            filt = LogShiftingBloomFilter(m=m, k=k, levels=levels)
+            filt.update(members)
+            fprs[levels] = sum(
+                1 for e in probes if e in filt) / len(probes)
+        assert fprs[3] >= fprs[1] * 0.5  # monotone-ish, noise allowed
+        assert fprs[3] < max(20 * fprs[1], 0.02)
+
+
+@settings(max_examples=15, deadline=None)
+@given(members=st.sets(st.binary(min_size=1, max_size=10), max_size=40))
+def test_property_no_false_negatives(members):
+    filt = LogShiftingBloomFilter(m=2048, k=16, levels=3)
+    for element in members:
+        filt.add(element)
+    assert all(filt.query(element) for element in members)

@@ -1,0 +1,165 @@
+"""Tests for ShBF_M — the membership shifting Bloom filter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import bf_fpr, shbf_m_fpr
+from repro.baselines import BloomFilter
+from repro.core import ShiftingBloomFilter
+from repro.errors import ConfigurationError, UnsupportedOperationError
+from tests.conftest import make_elements
+
+
+class TestBasics:
+    def test_no_false_negatives(self, elements):
+        shbf = ShiftingBloomFilter(m=4096, k=8)
+        shbf.update(elements)
+        assert all(e in shbf for e in elements)
+
+    def test_empty_rejects(self, negatives):
+        shbf = ShiftingBloomFilter(m=4096, k=8)
+        assert not any(e in shbf for e in negatives)
+
+    def test_k_must_be_even(self):
+        with pytest.raises(ConfigurationError):
+            ShiftingBloomFilter(m=1024, k=7)
+
+    def test_remove_unsupported(self):
+        with pytest.raises(UnsupportedOperationError):
+            ShiftingBloomFilter(m=64, k=2).remove(b"x")
+
+    def test_default_w_bar(self):
+        assert ShiftingBloomFilter(m=1024, k=4).w_bar == 57
+        assert ShiftingBloomFilter(m=1024, k=4, word_bits=32).w_bar == 25
+
+    def test_array_includes_slack(self):
+        shbf = ShiftingBloomFilter(m=1024, k=4)
+        assert shbf.size_bits == 1024 + 56
+        assert shbf.m == 1024
+
+    def test_custom_w_bar(self):
+        shbf = ShiftingBloomFilter(m=1024, k=4, w_bar=20)
+        assert shbf.w_bar == 20
+        assert shbf.size_bits == 1024 + 19
+
+    def test_n_items(self, elements):
+        shbf = ShiftingBloomFilter(m=4096, k=8)
+        shbf.update(elements)
+        assert shbf.n_items == len(elements)
+
+
+class TestCostModel:
+    def test_hash_ops_halved(self):
+        """§3.1: k/2 + 1 hash computations vs k for BF."""
+        shbf = ShiftingBloomFilter(m=4096, k=8)
+        bf = BloomFilter(m=4096, k=8)
+        assert shbf.hash_ops_per_query == 5
+        assert bf.hash_ops_per_query == 8
+
+    def test_member_query_costs_k_half_accesses(self):
+        shbf = ShiftingBloomFilter(m=4096, k=8)
+        shbf.add(b"x")
+        shbf.memory.reset()
+        assert shbf.query(b"x")
+        assert shbf.memory.stats.read_ops == 4
+        assert shbf.memory.stats.read_words == 4
+
+    def test_insert_costs_k_half_writes(self):
+        shbf = ShiftingBloomFilter(m=4096, k=8)
+        shbf.add(b"x")
+        assert shbf.memory.stats.write_ops == 4
+        assert shbf.memory.stats.write_words == 4
+
+    def test_insert_sets_k_bits(self):
+        shbf = ShiftingBloomFilter(m=4096, k=8)
+        shbf.add(b"x")
+        assert shbf.bits.count() == 8  # collisions possible but unlikely
+
+    def test_halved_accesses_vs_bf_on_mixed_queries(self):
+        """Fig. 8's claim: ~half the accesses of BF on a 50/50 mix."""
+        members = make_elements(1000, "m")
+        foreign = make_elements(1000, "f")
+        m, k = 22008, 8
+        shbf = ShiftingBloomFilter(m=m, k=k)
+        bf = BloomFilter(m=m, k=k)
+        shbf.update(members)
+        bf.update(members)
+        shbf.memory.reset()
+        bf.memory.reset()
+        for e in members + foreign:
+            shbf.query(e)
+            bf.query(e)
+        ratio = (shbf.memory.stats.read_words
+                 / bf.memory.stats.read_words)
+        assert 0.4 < ratio < 0.62
+
+
+class TestAccuracy:
+    def test_fpr_matches_theorem_1(self):
+        """Simulated FPR agrees with Eq. (1) within sampling error."""
+        n, m, k = 2000, 22976, 8
+        members = make_elements(n, "m")
+        probes = make_elements(60000, "p")
+        shbf = ShiftingBloomFilter(m=m, k=k)
+        shbf.update(members)
+        measured = sum(1 for e in probes if e in shbf) / len(probes)
+        predicted = shbf_m_fpr(m, n, k)
+        assert measured == pytest.approx(predicted, rel=0.25)
+
+    def test_fpr_close_to_bf(self):
+        """§3.5: the FPR sacrifice vs BF is negligible at w_bar = 57."""
+        n, m, k = 2000, 22976, 8
+        members = make_elements(n, "m")
+        probes = make_elements(60000, "p")
+        shbf = ShiftingBloomFilter(m=m, k=k)
+        bf = BloomFilter(m=m, k=k)
+        shbf.update(members)
+        bf.update(members)
+        fpr_shbf = sum(1 for e in probes if e in shbf) / len(probes)
+        fpr_bf = sum(1 for e in probes if e in bf) / len(probes)
+        # theory gap at these parameters is ~2%; allow sampling noise
+        assert fpr_shbf == pytest.approx(fpr_bf, rel=0.35)
+
+    def test_small_w_bar_hurts_fpr(self):
+        """Fig. 3: FPR grows as w_bar shrinks below ~20."""
+        n, m, k = 3000, 22976, 8
+        members = make_elements(n, "m")
+        probes = make_elements(40000, "p")
+        fprs = {}
+        for w_bar in (3, 57):
+            shbf = ShiftingBloomFilter(m=m, k=k, w_bar=w_bar)
+            shbf.update(members)
+            fprs[w_bar] = sum(1 for e in probes if e in shbf) / len(probes)
+        assert fprs[3] > fprs[57]
+
+    def test_offset_pairs_share_one_word(self):
+        """Structural invariant: every pair fits one 64-bit fetch."""
+        shbf = ShiftingBloomFilter(m=2048, k=6)
+        for e in make_elements(50):
+            bases, offset = shbf._bases_and_offset(e)
+            assert 1 <= offset <= 56
+            for base in bases:
+                assert shbf.memory.read_cost(base, offset + 1) == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(members=st.sets(st.binary(min_size=1, max_size=16), max_size=50))
+def test_property_no_false_negatives(members):
+    shbf = ShiftingBloomFilter(m=2048, k=6)
+    for element in members:
+        shbf.add(element)
+    assert all(shbf.query(element) for element in members)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    w_bar=st.integers(10, 57),
+    members=st.sets(st.binary(min_size=1, max_size=8),
+                    min_size=1, max_size=30),
+)
+def test_property_no_false_negatives_any_w_bar(w_bar, members):
+    shbf = ShiftingBloomFilter(m=1024, k=4, w_bar=w_bar)
+    for element in members:
+        shbf.add(element)
+    assert all(shbf.query(element) for element in members)

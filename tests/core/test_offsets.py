@@ -1,0 +1,132 @@
+"""Tests for the offset policy rules."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.offsets import OffsetPolicy
+from repro.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_64_bit_default_w_bar(self):
+        assert OffsetPolicy(word_bits=64).w_bar == 57
+
+    def test_32_bit_default_w_bar(self):
+        assert OffsetPolicy(word_bits=32).w_bar == 25
+
+    def test_counting_bound(self):
+        # §3.3: w_bar <= (w - 7) / z
+        assert OffsetPolicy(word_bits=64, cell_bits=4).w_bar == 14
+
+    def test_explicit_w_bar_kept(self):
+        assert OffsetPolicy(word_bits=64, w_bar=20).w_bar == 20
+
+    def test_w_bar_above_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OffsetPolicy(word_bits=64, w_bar=58)
+
+    def test_w_bar_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OffsetPolicy(word_bits=64, w_bar=1)
+
+    def test_word_bits_validated(self):
+        with pytest.raises(ConfigurationError):
+            OffsetPolicy(word_bits=20)
+
+    def test_max_w_bar_static(self):
+        assert OffsetPolicy.max_w_bar(64) == 57
+        assert OffsetPolicy.max_w_bar(64, 4) == 14
+        assert OffsetPolicy.max_w_bar(32) == 25
+
+
+class TestMembershipOffsets:
+    @given(hv=st.integers(0, 2**64 - 1))
+    def test_range(self, hv):
+        policy = OffsetPolicy(word_bits=64)
+        offset = policy.membership_offset(hv)
+        assert 1 <= offset <= policy.w_bar - 1
+
+    def test_never_zero(self):
+        """§3.1: o(e) != 0, else the pair collapses onto one bit."""
+        policy = OffsetPolicy(word_bits=64)
+        assert all(
+            policy.membership_offset(hv) != 0 for hv in range(1000)
+        )
+
+    def test_offset_count(self):
+        assert OffsetPolicy(word_bits=64).membership_offset_count == 56
+
+    def test_all_values_reachable(self):
+        policy = OffsetPolicy(word_bits=64)
+        seen = {policy.membership_offset(hv) for hv in range(10_000)}
+        assert seen == set(range(1, 57))
+
+
+class TestAssociationOffsets:
+    @given(hv1=st.integers(0, 2**64 - 1), hv2=st.integers(0, 2**64 - 1))
+    def test_ordering_and_range(self, hv1, hv2):
+        policy = OffsetPolicy(word_bits=64)
+        o1, o2 = policy.association_offsets(hv1, hv2)
+        assert 0 < o1 < o2 <= policy.w_bar - 1
+
+    def test_half_range(self):
+        assert OffsetPolicy(word_bits=64).association_half_range == 28
+
+    def test_three_cases_never_alias(self):
+        """Offsets 0, o1, o2 are pairwise distinct for all hash values."""
+        policy = OffsetPolicy(word_bits=64)
+        for hv1 in range(50):
+            for hv2 in range(50):
+                o1, o2 = policy.association_offsets(hv1, hv2)
+                assert len({0, o1, o2}) == 3
+
+
+class TestPartitionedOffsets:
+    def test_segments_disjoint(self):
+        policy = OffsetPolicy(word_bits=64)
+        t = 4
+        segment = policy.partition_segment(t)
+        ranges = []
+        for j in range(1, t + 1):
+            values = {
+                policy.partitioned_offset(j, t, hv) for hv in range(2000)
+            }
+            assert len(values) == segment
+            ranges.append(values)
+        for a in range(t):
+            for b in range(a + 1, t):
+                assert not ranges[a] & ranges[b]
+
+    def test_max_offset_within_w_bar(self):
+        policy = OffsetPolicy(word_bits=64)
+        for t in (1, 2, 3, 4, 7):
+            top = max(
+                policy.partitioned_offset(t, t, hv) for hv in range(2000)
+            )
+            assert top <= policy.w_bar - 1
+
+    def test_invalid_shift_index(self):
+        policy = OffsetPolicy(word_bits=64)
+        with pytest.raises(ConfigurationError):
+            policy.partitioned_offset(0, 2, 5)
+        with pytest.raises(ConfigurationError):
+            policy.partitioned_offset(3, 2, 5)
+
+    def test_too_many_partitions_rejected(self):
+        policy = OffsetPolicy(word_bits=64)
+        with pytest.raises(ConfigurationError):
+            policy.partition_segment(60)
+
+    def test_t1_equals_membership_range(self):
+        """With t=1 the partitioned offset is the membership offset."""
+        policy = OffsetPolicy(word_bits=64)
+        for hv in range(500):
+            assert policy.partitioned_offset(
+                1, 1, hv) == policy.membership_offset(hv)
+
+
+class TestSlack:
+    def test_slack_cells(self):
+        assert OffsetPolicy(word_bits=64).slack_cells == 56
+        assert OffsetPolicy(word_bits=64, w_bar=20).slack_cells == 19

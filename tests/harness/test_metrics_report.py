@@ -1,0 +1,144 @@
+"""Tests for the measurement primitives and table rendering."""
+
+import pytest
+
+from repro.baselines import BloomFilter
+from repro.errors import ConfigurationError
+from repro.harness import (
+    Table,
+    measure_accesses_per_query,
+    measure_fpr,
+    measure_throughput,
+)
+from tests.conftest import make_elements
+
+
+class TestMeasureFpr:
+    def test_zero_on_empty_filter(self, negatives):
+        bf = BloomFilter(m=4096, k=4)
+        assert measure_fpr(bf.query, negatives) == 0.0
+
+    def test_one_on_degenerate_filter(self, negatives):
+        bf = BloomFilter(m=8, k=1)
+        bf.update(make_elements(100))
+        assert measure_fpr(bf.query, negatives) == 1.0
+
+    def test_requires_probes(self):
+        bf = BloomFilter(m=64, k=2)
+        with pytest.raises(ConfigurationError):
+            measure_fpr(bf.query, [])
+
+
+class TestMeasureAccesses:
+    def test_member_queries_cost_k(self, elements):
+        bf = BloomFilter(m=8192, k=5)
+        bf.update(elements)
+        mean = measure_accesses_per_query(bf, elements)
+        assert mean == pytest.approx(5.0, abs=0.2)
+
+    def test_resets_before_measuring(self, elements):
+        bf = BloomFilter(m=8192, k=5)
+        bf.update(elements)
+        bf.query(elements[0])  # pre-existing traffic must not leak in
+        mean = measure_accesses_per_query(bf, elements[:10])
+        assert mean <= 5.0
+
+
+class TestMeasureThroughput:
+    def test_positive_and_sane(self, elements):
+        bf = BloomFilter(m=8192, k=4)
+        bf.update(elements)
+        qps = measure_throughput(bf.query, elements[:100], repeats=2)
+        assert qps > 1000  # even CPython manages thousands of queries/s
+
+    def test_requires_queries(self):
+        with pytest.raises(ConfigurationError):
+            measure_throughput(lambda e: True, [], repeats=1)
+
+
+class TestTable:
+    def test_add_row_validates_arity(self):
+        table = Table(title="t", columns=("a", "b"))
+        with pytest.raises(ConfigurationError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = Table(title="t", columns=("k", "fpr"))
+        table.add_row(4, 0.01)
+        table.add_row(8, 0.001)
+        assert table.column("k") == [4, 8]
+        assert table.column("fpr") == [0.01, 0.001]
+
+    def test_column_unknown_name(self):
+        table = Table(title="t", columns=("k",))
+        with pytest.raises(ConfigurationError):
+            table.column("missing")
+
+    def test_render_contains_everything(self):
+        table = Table(title="Figure X", columns=("k", "fpr"),
+                      notes=["hello"])
+        table.add_row(4, 0.25)
+        text = table.render()
+        assert "Figure X" in text
+        assert "fpr" in text
+        assert "0.25" in text
+        assert "note: hello" in text
+
+    def test_render_alignment(self):
+        table = Table(title="t", columns=("param", "v"))
+        table.add_row(1, 2)
+        table.add_row(100000, 3)
+        lines = table.render().splitlines()
+        rows = [line for line in lines if line.strip().endswith(("2", "3"))]
+        assert len(rows[0]) == len(rows[1])
+
+    def test_to_csv(self):
+        table = Table(title="t", columns=("a", "b"))
+        table.add_row(1, None)
+        csv = table.to_csv()
+        assert csv.splitlines() == ["a,b", "1,-"]
+
+    def test_str_is_render(self):
+        table = Table(title="t", columns=("a",))
+        assert str(table) == table.render()
+
+
+class TestExperimentRegistry:
+    def test_registry_covers_every_figure_and_table(self):
+        from repro.harness import EXPERIMENTS
+
+        expected = {
+            "fig3a", "fig3b", "fig4", "eq7", "table2",
+            "fig7a", "fig7b", "fig7c",
+            "fig8a", "fig8b", "fig8c",
+            "fig9a", "fig9b", "fig9c",
+            "fig10a", "fig10b", "fig10c",
+            "fig11a", "fig11b", "fig11c",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_analytic_drivers_run_instantly(self):
+        from repro.harness import EXPERIMENTS
+
+        for name in ("fig3a", "fig3b", "fig4", "eq7"):
+            table = EXPERIMENTS[name]()
+            assert table.rows
+
+    def test_cli_list(self, capsys):
+        from repro.harness.__main__ import main
+
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "fig7a" in out
+
+    def test_cli_unknown_experiment(self, capsys):
+        from repro.harness.__main__ import main
+
+        assert main(["not-an-experiment"]) == 2
+
+    def test_cli_runs_and_writes_csv(self, tmp_path, capsys):
+        from repro.harness.__main__ import main
+
+        assert main(["eq7", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "eq7.csv").exists()
+        assert "kopt_coefficient" in capsys.readouterr().out

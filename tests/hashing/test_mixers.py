@@ -1,0 +1,136 @@
+"""Tests for the pure-Python hash ports, including reference vectors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing import (
+    FNV1aFamily,
+    Murmur3Family,
+    XXHash64Family,
+    fnv1a_64,
+    murmur3_32,
+    splitmix64,
+    xxh64,
+)
+
+
+class TestMurmur3ReferenceVectors:
+    """Vectors checked against the canonical MurmurHash3 C implementation."""
+
+    @pytest.mark.parametrize(
+        "data,seed,expected",
+        [
+            (b"", 0, 0),
+            (b"", 1, 0x514E28B7),
+            (b"", 0xFFFFFFFF, 0x81F16F39),
+            (b"\xff\xff\xff\xff", 0, 0x76293B50),
+            (b"!Ce\x87", 0, 0xF55B516B),
+            (b"!Ce", 0, 0x7E4A8634),
+            (b"!C", 0, 0xA0F7B07A),
+            (b"!", 0, 0x72661CF4),
+            (b"\x00\x00\x00\x00", 0, 0x2362F9DE),
+            (b"aaaa", 0x9747B28C, 0x5A97808A),
+            (b"Hello, world!", 0x9747B28C, 0x24884CBA),
+        ],
+    )
+    def test_vector(self, data, seed, expected):
+        assert murmur3_32(data, seed) == expected
+
+    def test_output_is_32_bits(self):
+        for i in range(64):
+            value = murmur3_32(b"probe%d" % i, seed=i)
+            assert 0 <= value < 1 << 32
+
+
+class TestFNV1aReferenceVectors:
+    """Vectors from the FNV reference distribution (64-bit FNV-1a)."""
+
+    @pytest.mark.parametrize(
+        "data,expected",
+        [
+            (b"", 0xCBF29CE484222325),
+            (b"a", 0xAF63DC4C8601EC8C),
+            (b"b", 0xAF63DF4C8601F1A5),
+            (b"foobar", 0x85944171F73967E8),
+        ],
+    )
+    def test_vector(self, data, expected):
+        assert fnv1a_64(data, seed=0) == expected
+
+    def test_seed_changes_output(self):
+        assert fnv1a_64(b"x", seed=1) != fnv1a_64(b"x", seed=2)
+
+
+class TestXXH64ReferenceVectors:
+    """Vectors checked against the xxHash reference implementation."""
+
+    @pytest.mark.parametrize(
+        "data,seed,expected",
+        [
+            (b"", 0, 0xEF46DB3751D8E999),
+            (b"", 1, 0xD5AFBA1336A3BE4B),
+            (b"a", 0, 0xD24EC4F1A98C6E5B),
+            (b"abc", 0, 0x44BC2CF5AD770999),
+            (b"abcd", 0, 0xDE0327B0D25D92CC),
+            (b"Hello, world!", 0, 0xF58336A78B6F9476),
+            # 32+ bytes exercises the 4-accumulator main loop
+            (b"abcdefghijklmnopqrstuvwxyz012345", 0, 0xBF2CD639B4143B80),
+            (b"abcdefghijklmnopqrstuvwxyz0123456789", 0, 0x64F23ECF1609B766),
+        ],
+    )
+    def test_vector(self, data, seed, expected):
+        assert xxh64(data, seed) == expected
+
+    def test_output_is_64_bits(self):
+        for i in range(32):
+            assert 0 <= xxh64(b"x" * i, seed=i) < 1 << 64
+
+
+class TestSplitmix64:
+    def test_known_sequence(self):
+        """First outputs of splitmix64 seeded with 0 (reference values)."""
+        assert splitmix64(0) == 0xE220A8397B1DCDAF
+
+    def test_is_injective_on_sample(self):
+        values = {splitmix64(i) for i in range(10_000)}
+        assert len(values) == 10_000
+
+
+@pytest.mark.parametrize(
+    "family_cls", [Murmur3Family, FNV1aFamily, XXHash64Family]
+)
+class TestFamilyWrappers:
+    def test_deterministic(self, family_cls):
+        fam1, fam2 = family_cls(seed=7), family_cls(seed=7)
+        assert fam1.hash(3, b"element") == fam2.hash(3, b"element")
+
+    def test_indices_differ(self, family_cls):
+        fam = family_cls()
+        values = {fam.hash(i, b"element") for i in range(16)}
+        assert len(values) == 16
+
+    def test_seeds_differ(self, family_cls):
+        assert family_cls(seed=1).hash(0, b"e") != family_cls(seed=2).hash(
+            0, b"e")
+
+    def test_str_and_bytes_agree(self, family_cls):
+        fam = family_cls()
+        assert fam.hash(0, "abc") == fam.hash(0, b"abc")
+
+    def test_values_matches_hash(self, family_cls):
+        fam = family_cls(seed=3)
+        assert fam.values(b"x", 5, start=2) == [
+            fam.hash(i, b"x") for i in range(2, 7)
+        ]
+
+    def test_output_within_range(self, family_cls):
+        fam = family_cls()
+        for i in range(8):
+            assert 0 <= fam.hash(i, b"probe") < fam.output_range
+
+    @given(data=st.binary(max_size=64))
+    def test_positions_in_range(self, family_cls, data):
+        fam = family_cls()
+        for pos in fam.positions(data, 4, 97):
+            assert 0 <= pos < 97

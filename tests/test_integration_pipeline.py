@@ -1,0 +1,166 @@
+"""End-to-end integration tests across the full library pipeline.
+
+Trace generation → workload building → structure construction → query
+scoring, plus differential tests pinning different implementations of
+the same semantics to each other.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BloomFilter, CountingBloomFilter
+from repro.core import (
+    CountingShiftingBloomFilter,
+    CountingShiftingMultiplicityFilter,
+    ShiftingBloomFilter,
+    ShiftingMultiplicityFilter,
+)
+from repro.harness.metrics import measure_fpr
+from repro.hashing import Blake2Family
+from repro.traces import FlowTraceGenerator
+from repro.workloads import (
+    build_association_workload,
+    build_membership_workload,
+    build_multiplicity_workload,
+)
+
+
+class TestTraceToFilterPipeline:
+    def test_dedup_pipeline_counts_duplicates_exactly_when_fpr_tiny(self):
+        """On a generously-sized filter, flagged duplicates == truth."""
+        generator = FlowTraceGenerator(seed=11)
+        trace = generator.trace(total=3000, distinct=1000, skew=1.0)
+        filt = ShiftingBloomFilter(m=64_000, k=8)
+        flagged = 0
+        for packet in trace:
+            if filt.query(packet):
+                flagged += 1
+            else:
+                filt.add(packet)
+        assert flagged == 3000 - 1000  # FPR ~ 1e-7 here: exact w.h.p.
+
+    def test_membership_workload_through_all_filters(self):
+        workload = build_membership_workload(800, 8000, seed=5)
+        for filt in (
+            BloomFilter(m=16384, k=6),
+            ShiftingBloomFilter(m=16384, k=6),
+            CountingBloomFilter(m=16384, k=6),
+            CountingShiftingBloomFilter(m=16384, k=6),
+        ):
+            filt.update(workload.members)
+            assert all(e in filt for e in workload.members)
+            assert measure_fpr(filt.query, workload.negatives) < 0.02
+
+    def test_association_workload_scoring(self):
+        from repro.core import ShiftingAssociationFilter
+
+        workload = build_association_workload(
+            n1=800, n2=800, n_intersection=200, n_queries=900, seed=6)
+        filt = ShiftingAssociationFilter.for_sets(
+            workload.s1, workload.s2, k=10)
+        for element, truth in workload.queries:
+            assert filt.query(element).consistent_with(truth)
+            assert filt.region_of(element) is truth
+
+    def test_multiplicity_workload_scoring(self):
+        workload = build_multiplicity_workload(
+            n_distinct=600, c_max=20, n_absent=600, seed=7)
+        filt = ShiftingMultiplicityFilter(
+            m=20_000, k=6, c_max=20, report="smallest")
+        filt.build(workload.count_map)
+        exact = sum(
+            1 for element, count in workload.counts
+            if filt.estimate(element) == count
+        )
+        assert exact / workload.n_distinct > 0.97
+        false_presence = sum(
+            1 for element in workload.absent_queries
+            if filt.query(element).present
+        )
+        assert false_presence / len(workload.absent_queries) < 0.05
+
+
+class TestDifferentialConsistency:
+    """Different implementations of the same semantics must agree."""
+
+    def test_shbf_m_vs_counting_variant(self):
+        """Insert-only: plain and counting ShBF_M answer identically
+        when configured with the same w_bar and family."""
+        family = Blake2Family(seed=21)
+        plain = ShiftingBloomFilter(m=4096, k=6, w_bar=14, family=family)
+        counting = CountingShiftingBloomFilter(
+            m=4096, k=6, w_bar=14, family=family)
+        workload = build_membership_workload(300, 3000, seed=8)
+        for element in workload.members:
+            plain.add(element)
+            counting.add(element)
+        for element in workload.members + workload.negatives:
+            assert plain.query(element) == counting.query(element)
+
+    def test_static_vs_dynamic_multiplicity(self):
+        """Building CShBF_x by repeated add == static build from counts."""
+        family = Blake2Family(seed=22)
+        workload = build_multiplicity_workload(
+            n_distinct=300, c_max=12, seed=9)
+        static = ShiftingMultiplicityFilter(
+            m=8192, k=4, c_max=12, family=family)
+        static.build(workload.count_map)
+        dynamic = CountingShiftingMultiplicityFilter(
+            m=8192, k=4, c_max=12, family=family)
+        for element, count in workload.counts:
+            for _ in range(count):
+                dynamic.add(element)
+        assert dynamic.bits.to_bytes() == static.bits.to_bytes()
+
+    def test_lazy_and_batch_hashing_agree(self):
+        family = Blake2Family(seed=23)
+        for element in (b"a", b"flow-xyz", b"x" * 64):
+            assert list(family.iter_values(element, 20)) == family.values(
+                element, 20)
+            assert list(
+                family.iter_values(element, 7, start=5)
+            ) == family.values(element, 7, start=5)
+
+    def test_per_index_mode_lazy_and_batch_agree(self):
+        family = Blake2Family(seed=24, batch_lanes=False)
+        assert list(family.iter_values(b"e", 9)) == family.values(b"e", 9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(members=st.sets(st.binary(min_size=1, max_size=10),
+                           max_size=30))
+    def test_property_counting_deletion_returns_to_plain(self, members):
+        """Insert extras into CShBF_M, delete them: answers match the
+        filter that never saw them."""
+        family = Blake2Family(seed=25)
+        reference = CountingShiftingBloomFilter(
+            m=2048, k=4, family=family)
+        churned = CountingShiftingBloomFilter(m=2048, k=4, family=family)
+        extras = [b"extra-%d" % i for i in range(10)]
+        for element in members:
+            reference.add(element)
+            churned.add(element)
+        for element in extras:
+            churned.add(element)
+        for element in extras:
+            churned.remove(element)
+        assert churned.bits.to_bytes() == reference.bits.to_bytes()
+        assert churned.check_synchronised()
+
+
+class TestAccessAccountingEndToEnd:
+    def test_total_traffic_decomposes(self):
+        """Traffic recorded during a query session equals the sum of
+        per-query deltas — the accounting is leak-free."""
+        workload = build_membership_workload(200, 200, seed=10)
+        filt = ShiftingBloomFilter(m=8192, k=8)
+        filt.update(workload.members)
+        filt.memory.reset()
+        deltas = []
+        for element in workload.mixed_queries():
+            before = filt.memory.snapshot()
+            filt.query(element)
+            deltas.append(filt.memory.stats.diff(before).read_words)
+        assert sum(deltas) == filt.memory.stats.read_words
+        assert max(deltas) <= 4  # k/2
+        assert min(deltas) >= 1

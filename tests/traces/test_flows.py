@@ -1,0 +1,158 @@
+"""Tests for synthetic flow traces and Zipf multiplicities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.traces import (
+    FlowRecord,
+    FlowTraceGenerator,
+    bounded_zipf_counts,
+    zipf_rank_weights,
+)
+
+
+class TestFlowRecord:
+    def test_packs_to_13_bytes(self):
+        record = FlowRecord(
+            src_ip=0x0A000001, src_port=443,
+            dst_ip=0xC0A80101, dst_port=55555, protocol=6)
+        assert len(record.pack()) == 13
+
+    def test_roundtrip(self):
+        record = FlowRecord(
+            src_ip=0x0A000001, src_port=443,
+            dst_ip=0xC0A80101, dst_port=55555, protocol=17)
+        assert FlowRecord.unpack(record.pack()) == record
+
+    def test_str_is_readable(self):
+        record = FlowRecord(
+            src_ip=0x0A000001, src_port=443,
+            dst_ip=0xC0A80101, dst_port=80, protocol=6)
+        assert "10.0.0.1:443" in str(record)
+        assert "192.168.1.1:80" in str(record)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FlowRecord(src_ip=1 << 32, src_port=0, dst_ip=0,
+                       dst_port=0, protocol=6)
+        with pytest.raises(ConfigurationError):
+            FlowRecord(src_ip=0, src_port=1 << 16, dst_ip=0,
+                       dst_port=0, protocol=6)
+        with pytest.raises(ConfigurationError):
+            FlowRecord(src_ip=0, src_port=0, dst_ip=0,
+                       dst_port=0, protocol=256)
+
+    def test_unpack_validates_length(self):
+        with pytest.raises(ConfigurationError):
+            FlowRecord.unpack(b"\x00" * 12)
+
+    @given(
+        src_ip=st.integers(0, 2**32 - 1),
+        src_port=st.integers(0, 2**16 - 1),
+        dst_ip=st.integers(0, 2**32 - 1),
+        dst_port=st.integers(0, 2**16 - 1),
+        protocol=st.integers(0, 255),
+    )
+    def test_property_pack_roundtrip(
+            self, src_ip, src_port, dst_ip, dst_port, protocol):
+        record = FlowRecord(src_ip=src_ip, src_port=src_port,
+                            dst_ip=dst_ip, dst_port=dst_port,
+                            protocol=protocol)
+        assert FlowRecord.unpack(record.pack()) == record
+
+
+class TestFlowTraceGenerator:
+    def test_distinct_flows_are_distinct(self):
+        flows = FlowTraceGenerator(seed=1).distinct_flows(5000)
+        assert len(set(flows)) == 5000
+        assert all(len(f) == 13 for f in flows)
+
+    def test_deterministic_by_seed(self):
+        a = FlowTraceGenerator(seed=7).distinct_flows(100)
+        b = FlowTraceGenerator(seed=7).distinct_flows(100)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = FlowTraceGenerator(seed=1).distinct_flows(100)
+        b = FlowTraceGenerator(seed=2).distinct_flows(100)
+        assert a != b
+
+    def test_trace_cardinalities(self):
+        """The paper's shape: total=10M over 8M distinct (here scaled)."""
+        trace = FlowTraceGenerator(seed=3).trace(total=1000, distinct=800)
+        assert len(trace) == 1000
+        assert len(set(trace)) == 800
+
+    def test_every_flow_appears(self):
+        gen = FlowTraceGenerator(seed=4)
+        flows = gen.distinct_flows(50)
+        trace = gen.trace(total=500, distinct=50, flows=flows)
+        assert set(trace) == set(flows)
+
+    def test_skew_concentrates_traffic(self):
+        from collections import Counter
+
+        gen = FlowTraceGenerator(seed=5)
+        flows = gen.distinct_flows(100)
+        heavy = FlowTraceGenerator(seed=5).trace(
+            total=20000, distinct=100, skew=1.5, flows=flows)
+        uniform = FlowTraceGenerator(seed=5).trace(
+            total=20000, distinct=100, skew=0.0, flows=flows)
+        top_heavy = Counter(heavy).most_common(1)[0][1]
+        top_uniform = Counter(uniform).most_common(1)[0][1]
+        assert top_heavy > 3 * top_uniform
+
+    def test_distinct_cannot_exceed_total(self):
+        with pytest.raises(ConfigurationError):
+            FlowTraceGenerator().trace(total=10, distinct=20)
+
+    def test_supplied_flows_validated(self):
+        gen = FlowTraceGenerator()
+        with pytest.raises(ConfigurationError):
+            gen.trace(total=10, distinct=5, flows=[b"x" * 13] * 3)
+
+    def test_iter_packets(self):
+        packets = list(FlowTraceGenerator(seed=6).iter_packets(
+            total=100, distinct=10))
+        assert len(packets) == 100
+
+
+class TestZipf:
+    def test_weights_normalised(self):
+        weights = zipf_rank_weights(100, 1.0)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_weights_decreasing(self):
+        weights = zipf_rank_weights(100, 1.0)
+        assert all(weights[i] >= weights[i + 1] for i in range(99))
+
+    def test_zero_skew_uniform(self):
+        weights = zipf_rank_weights(10, 0.0)
+        assert all(w == pytest.approx(0.1) for w in weights)
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(ConfigurationError):
+            zipf_rank_weights(10, -1.0)
+
+    def test_counts_within_bounds(self):
+        elements = [b"e%d" % i for i in range(500)]
+        counts = bounded_zipf_counts(elements, c_max=57, seed=1)
+        assert set(counts) == set(elements)
+        assert all(1 <= c <= 57 for c in counts.values())
+
+    def test_counts_deterministic(self):
+        elements = [b"e%d" % i for i in range(50)]
+        assert bounded_zipf_counts(elements, 10, seed=3) == (
+            bounded_zipf_counts(elements, 10, seed=3))
+
+    def test_skew_favours_small_counts(self):
+        elements = [b"e%d" % i for i in range(2000)]
+        counts = bounded_zipf_counts(elements, c_max=20, skew=1.5, seed=2)
+        ones = sum(1 for c in counts.values() if c == 1)
+        maxed = sum(1 for c in counts.values() if c == 20)
+        assert ones > 5 * maxed
+
+    def test_empty_elements(self):
+        assert bounded_zipf_counts([], c_max=5) == {}

@@ -1,0 +1,114 @@
+"""Tests for the query-workload builders."""
+
+import pytest
+
+from repro.core.association_types import Association
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    build_association_workload,
+    build_membership_workload,
+    build_multiplicity_workload,
+)
+
+
+class TestMembershipWorkload:
+    def test_members_and_negatives_disjoint(self):
+        workload = build_membership_workload(500, 2000, seed=1)
+        assert not set(workload.members) & set(workload.negatives)
+        assert workload.n == 500
+
+    def test_mixed_queries_shape(self):
+        """§6.2.2: 2n queries, n of them members."""
+        workload = build_membership_workload(300, 300, seed=1)
+        mixed = workload.mixed_queries()
+        assert len(mixed) == 600
+        members = set(workload.members)
+        assert sum(1 for q in mixed if q in members) == 300
+
+    def test_deterministic(self):
+        a = build_membership_workload(100, 100, seed=9)
+        b = build_membership_workload(100, 100, seed=9)
+        assert a.members == b.members
+        assert a.negatives == b.negatives
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_membership_workload(0, 10)
+
+
+class TestAssociationWorkload:
+    def test_region_geometry(self):
+        workload = build_association_workload(
+            n1=1000, n2=1000, n_intersection=250, n_queries=500, seed=1)
+        assert workload.n1 == 1000
+        assert workload.n2 == 1000
+        assert workload.n_intersection == 250
+        assert len(workload.s1_only) == 750
+        assert len(workload.s2_only) == 750
+        assert len(set(workload.s1) & set(workload.s2)) == 250
+
+    def test_queries_balanced_over_regions(self):
+        workload = build_association_workload(
+            n1=600, n2=600, n_intersection=150, n_queries=3000, seed=2)
+        from collections import Counter
+
+        counts = Counter(truth for _, truth in workload.queries)
+        for region in Association:
+            assert counts[region] == pytest.approx(1000, rel=0.2)
+
+    def test_query_truth_is_consistent(self):
+        workload = build_association_workload(
+            n1=200, n2=200, n_intersection=50, n_queries=400, seed=3)
+        s1_only = set(workload.s1_only)
+        both = set(workload.both)
+        s2_only = set(workload.s2_only)
+        for element, truth in workload.queries:
+            if truth is Association.S1_ONLY:
+                assert element in s1_only
+            elif truth is Association.BOTH:
+                assert element in both
+            else:
+                assert element in s2_only
+
+    def test_empty_intersection_supported(self):
+        workload = build_association_workload(
+            n1=100, n2=100, n_intersection=0, n_queries=50, seed=1)
+        assert workload.n_intersection == 0
+        assert all(truth is not Association.BOTH
+                   for _, truth in workload.queries)
+
+    def test_oversized_intersection_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_association_workload(
+                n1=100, n2=100, n_intersection=150, n_queries=10)
+
+
+class TestMultiplicityWorkload:
+    def test_counts_within_cap(self):
+        workload = build_multiplicity_workload(
+            n_distinct=500, c_max=57, n_absent=100, seed=1)
+        assert workload.n_distinct == 500
+        assert all(1 <= c <= 57 for _, c in workload.counts)
+        assert len(workload.absent_queries) == 100
+
+    def test_absent_disjoint_from_members(self):
+        workload = build_multiplicity_workload(
+            n_distinct=300, c_max=10, n_absent=300, seed=2)
+        assert not set(workload.member_queries) & set(
+            workload.absent_queries)
+
+    def test_count_map_and_totals(self):
+        workload = build_multiplicity_workload(
+            n_distinct=100, c_max=5, seed=3)
+        count_map = workload.count_map
+        assert len(count_map) == 100
+        assert workload.total_occurrences == sum(count_map.values())
+
+    def test_deterministic(self):
+        a = build_multiplicity_workload(50, c_max=8, seed=4)
+        b = build_multiplicity_workload(50, c_max=8, seed=4)
+        assert a.counts == b.counts
+
+    def test_unrealistic_c_max_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_multiplicity_workload(10, c_max=100000)
