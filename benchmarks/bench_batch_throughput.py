@@ -1,0 +1,216 @@
+"""Scalar-vs-batch throughput benchmark for every batch-capable filter.
+
+The paper's speed story is about *memory accesses per query*; this
+bench tracks the orthogonal engineering story — how much wall-clock
+throughput the NumPy batch pipeline (``add_batch`` / ``query_batch``)
+recovers over per-element Python calls on identical workloads.  Both
+paths perform the same logical accesses (the equivalence tests assert
+it), so any speedup is pure interpreter-overhead removal.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py --smoke
+
+Writes ``BENCH_batch_throughput.json`` (repo root by default) with
+ops/sec for each (structure, operation) pair and the batch/scalar
+speedup — the perf trajectory later scaling PRs measure against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.baselines import BloomFilter, OneMemoryBloomFilter
+from repro.core import (
+    CountingShiftingBloomFilter,
+    GeneralizedShiftingBloomFilter,
+    ShiftingAssociationFilter,
+    ShiftingBloomFilter,
+    ShiftingMultiplicityFilter,
+)
+
+DEFAULT_M = 65536
+DEFAULT_K = 8
+DEFAULT_N = 4000
+
+
+def _elements(n: int, prefix: str) -> list:
+    return [("%s-%08d" % (prefix, i)).encode() for i in range(n)]
+
+
+def _time(fn, repeats: int) -> float:
+    """Best-of-*repeats* wall time of ``fn()`` (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _rate(n_ops: int, seconds: float) -> float:
+    return n_ops / seconds if seconds > 0 else float("inf")
+
+
+def bench_structures(m: int, k: int, n: int, batch_size: int,
+                     repeats: int) -> list:
+    """Return one result row per (structure, operation) pair."""
+    members = _elements(n, "member")
+    absent = _elements(n, "absent")
+    mixed = [e for pair in zip(members, absent) for e in pair]
+    counts = [(i % 57) + 1 for i in range(n)]
+    rows = []
+
+    def scalar_query_loop(structure):
+        for q in mixed:
+            structure.query(q)
+
+    def batch_query_loop(structure):
+        for i in range(0, len(mixed), batch_size):
+            structure.query_batch(mixed[i : i + batch_size])
+
+    def add_row(label, op, scalar_s, batch_s, n_ops):
+        scalar_rate = _rate(n_ops, scalar_s)
+        batch_rate = _rate(n_ops, batch_s)
+        rows.append({
+            "structure": label,
+            "op": op,
+            "n_ops": n_ops,
+            "scalar_ops_per_s": round(scalar_rate),
+            "batch_ops_per_s": round(batch_rate),
+            "speedup": round(batch_rate / scalar_rate, 2),
+        })
+
+    membership = [
+        ("bf", lambda: BloomFilter(m=m, k=k)),
+        ("shbf_m", lambda: ShiftingBloomFilter(m=m, k=k)),
+        ("cshbf_m", lambda: CountingShiftingBloomFilter(m=m, k=k)),
+        ("one_mem_bf", lambda: OneMemoryBloomFilter(m=m, k=k)),
+        ("generalized_t2",
+         lambda: GeneralizedShiftingBloomFilter(m=m, k=12, t=2)),
+    ]
+    def scalar_insert_loop(make):
+        structure = make()
+        for e in members:
+            structure.add(e)
+
+    for label, make in membership:
+        scalar_insert = _time(lambda: scalar_insert_loop(make), repeats)
+        batch_insert = _time(lambda: make().add_batch(members), repeats)
+        add_row(label, "insert", scalar_insert, batch_insert, n)
+
+        filled = make()
+        filled.add_batch(members)
+        scalar_query = _time(lambda: scalar_query_loop(filled), repeats)
+        batch_query = _time(lambda: batch_query_loop(filled), repeats)
+        add_row(label, "query", scalar_query, batch_query, len(mixed))
+
+    # ShBF_x — multiplicity encode + query
+    def make_x():
+        return ShiftingMultiplicityFilter(m=m, k=k, c_max=57)
+
+    def scalar_insert_x():
+        structure = make_x()
+        for e, c in zip(members, counts):
+            structure.add(e, c)
+
+    scalar_insert = _time(scalar_insert_x, repeats)
+    batch_insert = _time(lambda: make_x().add_batch(members, counts), repeats)
+    add_row("shbf_x", "insert", scalar_insert, batch_insert, n)
+    filled = make_x()
+    filled.add_batch(members, counts)
+    scalar_query = _time(lambda: scalar_query_loop(filled), repeats)
+    batch_query = _time(lambda: batch_query_loop(filled), repeats)
+    add_row("shbf_x", "query", scalar_query, batch_query, len(mixed))
+
+    # ShBF_A — association build + query
+    s1, s2 = members, members[n // 2 :] + absent[: n // 2]
+    distinct = len(set(s1) | set(s2))
+    scalar_build = _time(
+        lambda: ShiftingAssociationFilter(m=m, k=k).build(s1, s2), repeats)
+    batch_build = _time(
+        lambda: ShiftingAssociationFilter(m=m, k=k).build_batch(s1, s2),
+        repeats)
+    add_row("shbf_a", "insert", scalar_build, batch_build, distinct)
+    filled = ShiftingAssociationFilter(m=m, k=k)
+    filled.build_batch(s1, s2)
+    scalar_query = _time(lambda: scalar_query_loop(filled), repeats)
+    batch_query = _time(lambda: batch_query_loop(filled), repeats)
+    add_row("shbf_a", "query", scalar_query, batch_query, len(mixed))
+
+    return rows
+
+
+def render_table(rows: list) -> str:
+    header = "%-16s %-7s %14s %14s %9s" % (
+        "structure", "op", "scalar ops/s", "batch ops/s", "speedup")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append("%-16s %-7s %14d %14d %8.2fx" % (
+            row["structure"], row["op"], row["scalar_ops_per_s"],
+            row["batch_ops_per_s"], row["speedup"]))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--m", type=int, default=DEFAULT_M)
+    parser.add_argument("--k", type=int, default=DEFAULT_K)
+    parser.add_argument("--n", type=int, default=DEFAULT_N)
+    parser.add_argument("--batch-size", type=int, default=2048)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny workload, single repeat (CI sanity run)")
+    parser.add_argument(
+        "--check-min-speedup", type=float, default=None, metavar="X",
+        help="exit non-zero unless ShBF_M batch query speedup >= X")
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=None,
+        help="result JSON path (default: BENCH_batch_throughput.json at "
+             "the repo root; smoke runs default to a .smoke.json sibling "
+             "so they never clobber the committed full-config baseline)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.n = min(args.n, 500)
+        args.repeats = 1
+    if args.output is None:
+        name = ("BENCH_batch_throughput.smoke.json" if args.smoke
+                else "BENCH_batch_throughput.json")
+        args.output = pathlib.Path(__file__).resolve().parent.parent / name
+
+    rows = bench_structures(
+        args.m, args.k, args.n, args.batch_size, args.repeats)
+    print(render_table(rows))
+
+    payload = {
+        "config": {
+            "m": args.m, "k": args.k, "n": args.n,
+            "batch_size": args.batch_size, "repeats": args.repeats,
+            "smoke": args.smoke,
+        },
+        "results": rows,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print("\nwrote %s" % args.output)
+
+    if args.check_min_speedup is not None:
+        shbf_m_query = next(
+            r for r in rows
+            if r["structure"] == "shbf_m" and r["op"] == "query")
+        if shbf_m_query["speedup"] < args.check_min_speedup:
+            print("FAIL: ShBF_M batch query speedup %.2fx < %.2fx"
+                  % (shbf_m_query["speedup"], args.check_min_speedup))
+            return 1
+        print("OK: ShBF_M batch query speedup %.2fx >= %.2fx"
+              % (shbf_m_query["speedup"], args.check_min_speedup))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

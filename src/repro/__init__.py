@@ -32,7 +32,7 @@ modules it needs.
 from importlib import import_module
 from typing import TYPE_CHECKING
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 #: Maps public name -> defining submodule, for lazy loading.
 _EXPORTS = {

@@ -15,7 +15,9 @@ multi-word generalisations, which ``words_per_element`` exposes.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
 
 from repro._util import ElementLike, require_positive
 from repro.bitarray.bitarray import BitArray
@@ -155,6 +157,46 @@ class OneMemoryBloomFilter:
         """Insert every element of an iterable."""
         for element in elements:
             self.add(element)
+
+    def _groups_and_offsets_batch(self, elements):
+        values = self._family.values_batch(elements, self._k + 1)
+        bases = (values[:, 0] % self._n_groups).astype(
+            np.int64) * self._group_bits
+        offsets = (values[:, 1:] % self._group_bits).astype(np.int64)
+        return bases, offsets
+
+    def add_batch(self, elements: Sequence[ElementLike]) -> None:
+        """Batch insert: one billed word-group write per element."""
+        elements = list(elements)
+        if not elements:
+            return
+        bases, offsets = self._groups_and_offsets_batch(elements)
+        self._bits.set_offsets_batch(bases, offsets)
+        self._n_items += len(elements)
+
+    def query_batch(self, elements: Sequence[ElementLike]) -> np.ndarray:
+        """Batch membership test, one billed read per element.
+
+        Verdicts and accounting equal the scalar path: the word group is
+        fetched (and billed) unconditionally, the in-word bit checks are
+        register work.  Word groups wider than 64 bits fall back to the
+        scalar query per element.
+        """
+        elements = list(elements)
+        if not elements:
+            return np.zeros(0, dtype=bool)
+        if self._group_bits > 64:
+            return np.fromiter(
+                (self.query(e) for e in elements), dtype=bool,
+                count=len(elements),
+            )
+        bases, offsets = self._groups_and_offsets_batch(elements)
+        windows = self._bits.read_windows_batch(
+            bases, self._group_bits, record=False)
+        costs = self.memory.read_cost_batch(bases, self._group_bits)
+        self.memory.record_reads(len(elements), int(costs.sum()))
+        probes = (windows[:, None] >> offsets.astype(np.uint64)) & np.uint64(1)
+        return (probes != 0).all(axis=1)
 
     def query(self, element: ElementLike) -> bool:
         """Membership test in exactly one memory access.

@@ -4,9 +4,11 @@ This subpackage provides the storage layer every filter in the library is
 built on:
 
 * :class:`~repro.bitarray.bitarray.BitArray` — a dense bit vector backed by
-  a numpy ``uint64`` buffer with windowed (multi-bit) reads,
+  a ``bytearray`` (LSB-first within each byte) with windowed (multi-bit)
+  reads and NumPy-vectorised batch kernels that operate on a zero-copy
+  ``uint8`` view of the same buffer,
 * :class:`~repro.bitarray.counters.CounterArray` — packed fixed-width
-  counters with selectable overflow policies,
+  counters with selectable overflow policies and batched updates,
 * :class:`~repro.bitarray.memory.MemoryModel` — the byte-aligned,
   word-granular access cost model from §3.1 of the paper, used to reproduce
   the "number of memory accesses" figures (Fig. 8, 10(b), 11(b)).

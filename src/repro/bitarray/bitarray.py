@@ -23,13 +23,14 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
+import numpy as np
+
 from repro._util import require_positive
+from repro._vector import as_batch_int64
 from repro.bitarray.memory import MemoryModel
 from repro.errors import ConfigurationError
 
 __all__ = ["BitArray"]
-
-_BYTE_POPCOUNT = bytes(bin(i).count("1") for i in range(256))
 
 
 class BitArray:
@@ -79,8 +80,7 @@ class BitArray:
 
     def count(self) -> int:
         """Number of set bits (population count)."""
-        table = _BYTE_POPCOUNT
-        return sum(table[b] for b in self._buf)
+        return int.from_bytes(self._buf, "little").bit_count()
 
     def fill_ratio(self) -> float:
         """Fraction of bits set, in ``[0, 1]``."""
@@ -261,12 +261,179 @@ class BitArray:
             buf[i >> 3] |= 1 << (i & 7)
 
     # ------------------------------------------------------------------
+    # Batch kernels — NumPy bulk operations over the same buffer
+    # ------------------------------------------------------------------
+    # Each kernel is the vectorised twin of a scalar operation above:
+    # same bits touched, and (when ``record`` is true) the same logical
+    # accounting — n probes bill n ops whose word costs are computed per
+    # access with ``memory.read_cost_batch`` and recorded in one call.
+    # Query paths that need the scalar loops' *early-exit* billing call
+    # the kernels with ``record=False`` and bill the prefix themselves.
+
+    def as_numpy(self) -> np.ndarray:
+        """Writable zero-copy ``uint8`` view of the backing buffer."""
+        return np.frombuffer(self._buf, dtype=np.uint8)
+
+    def _check_batch(self, positions: np.ndarray) -> None:
+        if positions.size == 0:
+            return
+        lo = int(positions.min())
+        hi = int(positions.max())
+        if lo < 0 or hi >= self._nbits:
+            bad = lo if lo < 0 else hi
+            raise IndexError(
+                "bit index %d out of range for BitArray of %d bits"
+                % (bad, self._nbits)
+            )
+
+    def test_bits_batch(self, positions, record: bool = True) -> np.ndarray:
+        """Vectorised :meth:`test`: a boolean per position.
+
+        When recording, bills one single-bit read per position — exactly
+        a scalar ``test`` loop without early exit.
+        """
+        positions = as_batch_int64(positions)
+        self._check_batch(positions)
+        if record and positions.size:
+            costs = self.memory.read_cost_batch(positions, 1)
+            self.memory.record_reads(positions.size, int(costs.sum()))
+        view = self.as_numpy()
+        return ((view[positions >> 3] >> (positions & 7)) & 1).astype(bool)
+
+    def test_pairs_batch(self, bases, offsets,
+                         record: bool = True) -> np.ndarray:
+        """Vectorised :meth:`test_pair`: both bits of each pair set?
+
+        ``bases`` and ``offsets`` broadcast together; each pair is billed
+        (when recording) as one read spanning ``offset + 1`` bits from
+        its base, matching the scalar pair billing.
+        """
+        bases = as_batch_int64(bases)
+        offsets = as_batch_int64(offsets)
+        bases, offsets = np.broadcast_arrays(bases, offsets)
+        ends = bases + offsets
+        if offsets.size and int(offsets.min()) < 0:
+            raise IndexError("pair offsets must be non-negative")
+        self._check_batch(bases)
+        self._check_batch(ends)
+        if record and bases.size:
+            costs = self.memory.read_cost_batch(bases, offsets + 1)
+            self.memory.record_reads(bases.size, int(costs.sum()))
+        view = self.as_numpy()
+        first = view[bases >> 3] >> (bases & 7)
+        second = view[ends >> 3] >> (ends & 7)
+        return ((first & second) & 1).astype(bool)
+
+    def test_offsets_batch(self, bases, offsets,
+                           record: bool = True) -> np.ndarray:
+        """Vectorised :meth:`test_offsets`: bits at ``base + o`` per row.
+
+        ``bases`` has shape ``(n,)`` and ``offsets`` ``(n, g)`` or
+        ``(g,)``; returns an ``(n, g)`` boolean matrix.  Each row is
+        billed as one read spanning its largest offset, like the scalar
+        windowed fetch.
+        """
+        bases = as_batch_int64(bases)
+        offsets = np.atleast_2d(as_batch_int64(offsets))
+        positions = bases[:, None] + offsets
+        self._check_batch(bases)
+        self._check_batch(positions)
+        if record and bases.size:
+            spans = offsets.max(axis=-1) + 1
+            costs = self.memory.read_cost_batch(
+                bases, np.broadcast_to(spans, bases.shape))
+            self.memory.record_reads(bases.size, int(costs.sum()))
+        view = self.as_numpy()
+        return ((view[positions >> 3] >> (positions & 7)) & 1).astype(bool)
+
+    def set_bits_batch(self, positions, record: bool = True) -> None:
+        """Vectorised :meth:`set`: one recorded write per position."""
+        positions = as_batch_int64(positions).ravel()
+        self._check_batch(positions)
+        if positions.size == 0:
+            return
+        if record:
+            costs = self.memory.read_cost_batch(positions, 1)
+            self.memory.record_writes(positions.size, int(costs.sum()))
+        view = self.as_numpy()
+        np.bitwise_or.at(
+            view, positions >> 3,
+            (np.uint8(1) << (positions & 7).astype(np.uint8)))
+
+    def set_offsets_batch(self, bases, offsets,
+                          record: bool = True) -> None:
+        """Vectorised :meth:`set_offsets` over ``(n,)`` bases.
+
+        ``offsets`` is ``(n, g)`` or ``(g,)``; sets the bits
+        ``base + o`` for every offset of the row, billing one write per
+        base spanning the row's largest offset — the construction-phase
+        accounting of the shifting framework.
+        """
+        bases = as_batch_int64(bases)
+        offsets = np.atleast_2d(as_batch_int64(offsets))
+        if bases.size == 0:
+            return
+        positions = (bases[:, None] + offsets).ravel()
+        self._check_batch(bases)
+        self._check_batch(positions)
+        if record:
+            spans = np.broadcast_to(offsets.max(axis=-1) + 1, bases.shape)
+            costs = self.memory.read_cost_batch(bases, spans)
+            self.memory.record_writes(bases.size, int(costs.sum()))
+        view = self.as_numpy()
+        np.bitwise_or.at(
+            view, positions >> 3,
+            (np.uint8(1) << (positions & 7).astype(np.uint8)))
+
+    def read_windows_batch(self, starts, nbits: int,
+                           record: bool = True) -> np.ndarray:
+        """Vectorised :meth:`read_window`: one ``uint64`` per start.
+
+        The fast path gathers eight consecutive bytes per window, which
+        covers every span with ``(start % 8) + nbits <= 64`` — all the
+        configurations the paper's offset bounds permit.  Wider windows
+        fall back to per-element :meth:`read_window` calls (identical
+        values, still one Python call for the batch).
+        """
+        starts = as_batch_int64(starts)
+        require_positive("nbits", nbits)
+        self._check_batch(starts)
+        if starts.size and int(starts.max()) + nbits > self._nbits:
+            raise IndexError(
+                "window of %d bits exceeds BitArray of %d bits"
+                % (nbits, self._nbits)
+            )
+        if record and starts.size:
+            costs = self.memory.read_cost_batch(starts, nbits)
+            self.memory.record_reads(starts.size, int(costs.sum()))
+        if starts.size == 0:
+            return np.empty(0, dtype=np.uint64)
+        misalign = starts & 7
+        if nbits + int(misalign.max()) > 64:
+            return np.array(
+                [self.read_window(int(s), nbits, record=False)
+                 for s in starts],
+                dtype=object if nbits > 64 else np.uint64,
+            )
+        view = self.as_numpy()
+        # Gather 8 bytes per window, clamping indices at the buffer end:
+        # the window itself is bounds-checked, so clamped (duplicated)
+        # bytes only ever occupy the bits shifted/masked away below.
+        idx = (starts >> 3)[:, None] + np.arange(8)
+        np.minimum(idx, len(self._buf) - 1, out=idx)
+        chunk = view[idx]
+        values = np.ascontiguousarray(chunk).view("<u8").ravel()
+        values >>= misalign.astype(np.uint64)
+        if nbits < 64:
+            values &= np.uint64((1 << nbits) - 1)
+        return values
+
+    # ------------------------------------------------------------------
     # Bulk helpers
     # ------------------------------------------------------------------
     def clear_all(self) -> None:
         """Reset every bit to 0 (does not touch access statistics)."""
-        for i in range(len(self._buf)):
-            self._buf[i] = 0
+        self._buf[:] = bytes(len(self._buf))
 
     def copy(self) -> "BitArray":
         """Return a deep copy sharing no state (fresh access statistics)."""

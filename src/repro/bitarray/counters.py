@@ -19,7 +19,10 @@ from __future__ import annotations
 import enum
 from typing import Iterable, Optional, Sequence
 
+import numpy as np
+
 from repro._util import require_positive
+from repro._vector import as_batch_int64
 from repro.bitarray.memory import MemoryModel
 from repro.errors import (
     ConfigurationError,
@@ -288,12 +291,73 @@ class CounterArray:
             self.decrement(base + o, by=by, record=False)
 
     # ------------------------------------------------------------------
+    # Batch operations
+    # ------------------------------------------------------------------
+    # Counter updates are inherently sequential (saturation and underflow
+    # depend on the running value, and duplicate positions within a batch
+    # must accumulate), so the inner loop stays in Python over the packed
+    # buffer — but billing is aggregated into one call per batch and the
+    # span arithmetic is vectorised, matching the scalar accounting.
+
+    def _apply_offsets_batch(self, bases, offsets, op, by: int,
+                             record: bool) -> None:
+        """Shared body of the batch offset updates.
+
+        *op* is the scalar per-position update (:meth:`increment` or
+        :meth:`decrement`, called with ``record=False``).  On success
+        the whole batch's writes are billed in one aggregate call; if a
+        row's update raises (overflow/underflow), only the rows the
+        scalar loop would have billed — every completed row plus the
+        failing one — are recorded before the exception propagates, so
+        accounting matches the scalar path on exception paths too.
+        """
+        bases = as_batch_int64(bases)
+        offsets = np.atleast_2d(as_batch_int64(offsets))
+        if bases.size == 0:
+            return
+        positions = bases[:, None] + offsets
+        if (int(bases.min()) < 0 or int(bases.max()) >= self._size
+                or int(positions.min()) < 0
+                or int(positions.max()) >= self._size):
+            raise IndexError(
+                "counter index out of range for %d counters" % self._size)
+        spans = np.broadcast_to(offsets.max(axis=-1) + 1, bases.shape)
+        row_costs = self.memory.read_cost_batch(
+            bases * self._bits, spans * self._bits)
+        row = 0
+        try:
+            for row, row_positions in enumerate(positions.tolist()):
+                for position in row_positions:
+                    op(position, by=by, record=False)
+        except Exception:
+            if record:
+                self.memory.record_writes(
+                    row + 1, int(row_costs[: row + 1].sum()))
+            raise
+        if record:
+            self.memory.record_writes(bases.size, int(row_costs.sum()))
+
+    def increment_offsets_batch(self, bases, offsets, by: int = 1,
+                                record: bool = True) -> None:
+        """Batch :meth:`increment_offsets`: one write billed per base row.
+
+        ``bases`` has shape ``(n,)``; ``offsets`` is ``(n, g)`` or
+        ``(g,)``.  State and accounting are identical to ``n`` scalar
+        ``increment_offsets`` calls.
+        """
+        self._apply_offsets_batch(bases, offsets, self.increment, by, record)
+
+    def decrement_offsets_batch(self, bases, offsets, by: int = 1,
+                                record: bool = True) -> None:
+        """Batch :meth:`decrement_offsets`: one write billed per base row."""
+        self._apply_offsets_batch(bases, offsets, self.decrement, by, record)
+
+    # ------------------------------------------------------------------
     # Bulk helpers
     # ------------------------------------------------------------------
     def clear_all(self) -> None:
         """Reset every counter to zero (does not touch access statistics)."""
-        for i in range(len(self._buf)):
-            self._buf[i] = 0
+        self._buf[:] = bytes(len(self._buf))
         self._nonzero = 0
 
     def to_list(self) -> list[int]:

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro._util import require_positive
 from repro.errors import ConfigurationError
 
@@ -130,6 +132,19 @@ class MemoryModel:
         span = (start_bit % 8) + nbits
         return -(-span // self.word_bits)  # ceil division
 
+    def read_cost_batch(self, start_bits, nbits) -> np.ndarray:
+        """Vectorised :meth:`read_cost` over arrays of spans.
+
+        ``start_bits`` and ``nbits`` may be arrays or scalars and are
+        broadcast together; the result is an int64 array of per-span word
+        costs, elementwise equal to ``read_cost(start, n)``.  The batch
+        kernels use this to bill *aggregate* traffic that matches the
+        scalar path access for access.
+        """
+        start_bits = np.asarray(start_bits, dtype=np.int64)
+        span = (start_bits % 8) + np.asarray(nbits, dtype=np.int64)
+        return -(-span // self.word_bits)
+
     def max_single_read_offset(self) -> int:
         """Largest offset ``o`` such that bits ``i`` and ``i+o`` always share
         one word fetch.
@@ -167,6 +182,23 @@ class MemoryModel:
         self.stats.write_words += cost
         self.stats.write_ops += 1
         return cost
+
+    def record_reads(self, n_ops: int, words: int) -> None:
+        """Record *n_ops* logical reads totalling *words* word fetches.
+
+        The batch kernels pre-compute the per-access costs with
+        :meth:`read_cost_batch` (honouring early exits) and bill them in
+        one call, so a batch of ``n`` probes updates the counters exactly
+        as ``n`` scalar :meth:`record_read` calls would — without ``n``
+        rounds of Python attribute churn.
+        """
+        self.stats.read_words += words
+        self.stats.read_ops += n_ops
+
+    def record_writes(self, n_ops: int, words: int) -> None:
+        """Record *n_ops* logical writes totalling *words* word fetches."""
+        self.stats.write_words += words
+        self.stats.write_ops += n_ops
 
     def reset(self) -> None:
         """Zero the accumulated statistics."""

@@ -27,9 +27,14 @@ is the §5.3 design axis reproduced by
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import (
+    Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union,
+)
+
+import numpy as np
 
 from repro._util import ElementLike, require_positive, to_bytes
+from repro._vector import billed_prefix, bit_length_u64, prefix_cost_sum
 from repro.bitarray.bitarray import BitArray
 from repro.bitarray.counters import CounterArray, OverflowPolicy
 from repro.bitarray.memory import MemoryModel
@@ -131,6 +136,43 @@ class _MultiplicityBase:
             if mask == 0:
                 break
         return self._answer_from_mask(mask)
+
+    def _query_bits_batch(
+        self, bits: BitArray, elements: Sequence[ElementLike]
+    ) -> np.ndarray:
+        """Batch §5.2 query: reported multiplicities as an int64 array.
+
+        Vectorises the per-base window reads and the candidate-mask
+        intersection, billing each element for window reads up to and
+        including the read that emptied its mask (the scalar early
+        exit).  Reported values follow the filter's ``report`` policy;
+        they equal ``query(e).reported`` element for element.  Falls
+        back to the scalar loop when ``c_max`` is too wide for a single
+        ``uint64`` window gather (never the case under the paper's
+        ``c_max <= w_bar`` configurations).
+        """
+        elements = list(elements)
+        if not elements:
+            return np.zeros(0, dtype=np.int64)
+        if self._c_max + 7 > 64:
+            return np.fromiter(
+                (self._query_bits(bits, e).reported for e in elements),
+                dtype=np.int64, count=len(elements),
+            )
+        bases = self._family.positions_batch(elements, self._k, self._m)
+        windows = bits.read_windows_batch(
+            bases.ravel(), self._c_max, record=False,
+        ).reshape(bases.shape)
+        masks = np.bitwise_and.accumulate(windows, axis=1)
+        billed = billed_prefix(masks != 0)
+        costs = bits.memory.read_cost_batch(bases, self._c_max)
+        bits.memory.record_reads(
+            int(billed.sum()), prefix_cost_sum(costs, billed))
+        final = masks[:, -1]
+        if self._report == "largest":
+            return bit_length_u64(final)
+        lowest = final & (~final + np.uint64(1))
+        return bit_length_u64(lowest)
 
 
 class ShiftingMultiplicityFilter(_MultiplicityBase):
@@ -234,12 +276,61 @@ class ShiftingMultiplicityFilter(_MultiplicityBase):
         for element, count in items:
             self.add(element, count)
 
+    def add_batch(
+        self, elements: Sequence[ElementLike], counts: Sequence[int]
+    ) -> None:
+        """Batch encode: one vectorised bit-write pass for the batch.
+
+        Validates every (element, count) pair *before* touching the
+        array, then produces the same state and access totals as a
+        scalar :meth:`add` loop — ``k`` single-bit writes per element at
+        offset ``count - 1``.
+        """
+        elements = list(elements)
+        counts = [int(c) for c in counts]
+        if len(elements) != len(counts):
+            raise ConfigurationError(
+                "add_batch needs one count per element (%d vs %d)"
+                % (len(elements), len(counts))
+            )
+        if not elements:
+            return
+        datas = [to_bytes(e) for e in elements]
+        seen = set()
+        for data, count in zip(datas, counts):
+            require_positive("count", count)
+            if count > self._c_max:
+                raise ConfigurationError(
+                    "count %d exceeds c_max %d" % (count, self._c_max)
+                )
+            if data in self._counts or data in seen:
+                raise ConfigurationError(
+                    "element already encoded; the static ShBF_x encodes "
+                    "each element exactly once (use "
+                    "CountingShiftingMultiplicityFilter for updates)"
+                )
+            seen.add(data)
+        bases = self._family.positions_batch(datas, self._k, self._m)
+        offsets = np.asarray(counts, dtype=np.int64) - 1
+        self._bits.set_bits_batch((bases + offsets[:, None]).ravel())
+        for data, count in zip(datas, counts):
+            self._counts[data] = count
+
     # ------------------------------------------------------------------
     # Query (§5.2)
     # ------------------------------------------------------------------
     def query(self, element: ElementLike) -> MultiplicityAnswer:
         """Return candidate multiplicities and the reported value."""
         return self._query_bits(self._bits, element)
+
+    def query_batch(self, elements: Sequence[ElementLike]) -> np.ndarray:
+        """Batch query: reported multiplicities as an ``int64`` array.
+
+        Equals ``[query(e).reported for e in elements]`` (i.e. the
+        :meth:`estimate` view of the answers) with scalar-identical
+        memory accounting.
+        """
+        return self._query_bits_batch(self._bits, elements)
 
     def estimate(self, element: ElementLike) -> int:
         """Shortcut for ``query(element).reported``."""
@@ -428,6 +519,10 @@ class CountingShiftingMultiplicityFilter(_MultiplicityBase):
     def query(self, element: ElementLike) -> MultiplicityAnswer:
         """Return candidate multiplicities and the reported value."""
         return self._query_bits(self._bits, element)
+
+    def query_batch(self, elements: Sequence[ElementLike]) -> np.ndarray:
+        """Batch query against the SRAM bit array (reported values)."""
+        return self._query_bits_batch(self._bits, elements)
 
     def estimate(self, element: ElementLike) -> int:
         """Shortcut for ``query(element).reported``."""

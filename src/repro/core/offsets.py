@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro._util import require_positive
 from repro.errors import ConfigurationError
 
@@ -97,6 +99,11 @@ class OffsetPolicy:
         """Map a uniform hash value to ``o(e) = h % (w_bar - 1) + 1``."""
         return hash_value % (self.w_bar - 1) + 1
 
+    def membership_offset_batch(self, hash_values) -> np.ndarray:
+        """Vectorised :meth:`membership_offset` (``int64`` array out)."""
+        hash_values = np.asarray(hash_values, dtype=np.uint64)
+        return (hash_values % (self.w_bar - 1)).astype(np.int64) + 1
+
     # ------------------------------------------------------------------
     # Association (§4.1)
     # ------------------------------------------------------------------
@@ -122,6 +129,18 @@ class OffsetPolicy:
         half = self.association_half_range
         o1 = hv1 % half + 1
         o2 = o1 + hv2 % half + 1
+        return o1, o2
+
+    def association_offsets_batch(self, hv1, hv2):
+        """Vectorised :meth:`association_offsets` over hash-value arrays.
+
+        Returns the pair of ``int64`` arrays ``(o1, o2)``.
+        """
+        half = self.association_half_range
+        hv1 = np.asarray(hv1, dtype=np.uint64)
+        hv2 = np.asarray(hv2, dtype=np.uint64)
+        o1 = (hv1 % half).astype(np.int64) + 1
+        o2 = o1 + (hv2 % half).astype(np.int64) + 1
         return o1, o2
 
     # ------------------------------------------------------------------
@@ -162,6 +181,16 @@ class OffsetPolicy:
         if not 1 <= j <= t:
             raise ConfigurationError("shift index %d outside [1, %d]" % (j, t))
         return (j - 1) * segment + hash_value % segment + 1
+
+    def partitioned_offset_batch(self, j: int, t: int,
+                                 hash_values) -> np.ndarray:
+        """Vectorised :meth:`partitioned_offset` (``int64`` array out)."""
+        segment = self.partition_segment(t)
+        if not 1 <= j <= t:
+            raise ConfigurationError("shift index %d outside [1, %d]" % (j, t))
+        hash_values = np.asarray(hash_values, dtype=np.uint64)
+        return (j - 1) * segment + (
+            hash_values % segment).astype(np.int64) + 1
 
     # ------------------------------------------------------------------
     # Array sizing

@@ -13,7 +13,9 @@ side.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
+
+import numpy as np
 
 from repro._util import ElementLike, require_non_negative, to_bytes
 from repro.hashing.family import HashFamily, default_family
@@ -83,3 +85,25 @@ class DoubleHashingFamily(HashFamily):
         h1, h2 = self._pair(data)
         for i in range(count):
             yield (h1 + (start + i) * h2) & _M64
+
+    def values_batch(
+        self, elements: Sequence[ElementLike], count: int, start: int = 0
+    ) -> np.ndarray:
+        """Two real hashes per element, then pure ``uint64`` arithmetic.
+
+        NumPy's modular ``uint64`` wrap-around is exactly the scalar
+        path's ``& _M64`` reduction, so values are bit-identical.
+        """
+        require_non_negative("count", count)
+        require_non_negative("start", start)
+        elements = list(elements)
+        n = len(elements)
+        if count == 0 or n == 0:
+            return np.empty((n, count), dtype=np.uint64)
+        pairs = np.empty((n, 2), dtype=np.uint64)
+        for row, element in enumerate(elements):
+            h1, h2 = self._pair(to_bytes(element))
+            pairs[row, 0] = h1
+            pairs[row, 1] = h2
+        indices = np.arange(start, start + count, dtype=np.uint64)
+        return pairs[:, :1] + indices[None, :] * pairs[:, 1:]

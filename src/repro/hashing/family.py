@@ -16,7 +16,9 @@ candidate hash functions and using the ones that pass a randomness test.
 from __future__ import annotations
 
 import abc
-from typing import List
+from typing import List, Sequence
+
+import numpy as np
 
 from repro._util import ElementLike, require_non_negative, to_bytes
 
@@ -91,6 +93,45 @@ class HashFamily(abc.ABC):
     ) -> List[int]:
         """Return ``count`` probe positions in ``[0, m)`` for *element*."""
         return [v % m for v in self.values(element, count, start=start)]
+
+    # ------------------------------------------------------------------
+    # Batch entry points
+    # ------------------------------------------------------------------
+    def values_batch(
+        self, elements: Sequence[ElementLike], count: int, start: int = 0
+    ) -> np.ndarray:
+        """Hashes ``start .. start+count-1`` of every element at once.
+
+        Returns a ``uint64`` array of shape ``(len(elements), count)``
+        whose row ``i`` equals ``values(elements[i], count, start)`` bit
+        for bit.  The base implementation simply loops over
+        :meth:`values`, so every family gets a correct batch path for
+        free; families with digest-amortising internals (BLAKE2 lanes,
+        Kirsch–Mitzenmacher) override this to cut per-element overhead.
+        """
+        require_non_negative("count", count)
+        require_non_negative("start", start)
+        elements = list(elements)
+        out = np.empty((len(elements), count), dtype=np.uint64)
+        for row, element in enumerate(elements):
+            out[row] = np.fromiter(
+                self.values(element, count, start=start),
+                dtype=np.uint64, count=count,
+            )
+        return out
+
+    def positions_batch(
+        self, elements: Sequence[ElementLike], count: int, m: int,
+        start: int = 0,
+    ) -> np.ndarray:
+        """Probe positions in ``[0, m)`` for every element at once.
+
+        ``int64`` array of shape ``(len(elements), count)``; row ``i``
+        equals ``positions(elements[i], count, m, start)``.
+        """
+        require_non_negative("count", count)
+        return (self.values_batch(elements, count, start=start) % m).astype(
+            np.int64)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "%s(name=%r)" % (type(self).__name__, self.name)

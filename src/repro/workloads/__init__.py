@@ -22,6 +22,7 @@ from repro.workloads.association import (
 from repro.workloads.membership import (
     MembershipWorkload,
     build_membership_workload,
+    run_membership_queries,
 )
 from repro.workloads.multiplicity import (
     MultiplicityWorkload,
@@ -35,4 +36,5 @@ __all__ = [
     "build_association_workload",
     "build_membership_workload",
     "build_multiplicity_workload",
+    "run_membership_queries",
 ]

@@ -12,12 +12,16 @@ The paper's membership experiments use two query mixes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence
 
 from repro._util import require_non_negative, require_positive
 from repro.traces.flows import FlowTraceGenerator
 
-__all__ = ["MembershipWorkload", "build_membership_workload"]
+__all__ = [
+    "MembershipWorkload",
+    "build_membership_workload",
+    "run_membership_queries",
+]
 
 
 @dataclass(frozen=True)
@@ -52,6 +56,43 @@ class MembershipWorkload:
             mixed.append(member)
             mixed.append(negative)
         return mixed
+
+    def mixed_query_batches(self, batch_size: int) -> List[List[bytes]]:
+        """The :meth:`mixed_queries` stream chopped into batches.
+
+        The last batch may be shorter; order is preserved so batch and
+        scalar runs see the identical query sequence.
+        """
+        require_positive("batch_size", batch_size)
+        queries = self.mixed_queries()
+        return [
+            queries[i : i + batch_size]
+            for i in range(0, len(queries), batch_size)
+        ]
+
+
+def run_membership_queries(
+    structure, queries: Sequence, batch_size: int = 0
+) -> List[bool]:
+    """Drive membership queries through the scalar or batch path.
+
+    With ``batch_size <= 0`` (the default) every query goes through
+    ``structure.query`` one element at a time — the paper's per-query
+    procedure.  With a positive ``batch_size`` the queries are chopped
+    into chunks fed to ``structure.query_batch``, the vectorised fast
+    path.  Both paths return the same verdict list and bill the same
+    logical memory accesses, so figure harnesses can switch paths with
+    one knob instead of duplicating experiment code.
+    """
+    queries = list(queries)
+    if batch_size <= 0:
+        return [bool(structure.query(q)) for q in queries]
+    verdicts: List[bool] = []
+    for i in range(0, len(queries), batch_size):
+        verdicts.extend(
+            bool(v) for v in structure.query_batch(queries[i : i + batch_size])
+        )
+    return verdicts
 
 
 def build_membership_workload(

@@ -1,0 +1,243 @@
+"""Batch kernels vs scalar operations on the storage layer.
+
+Every NumPy kernel on :class:`BitArray` / :class:`CounterArray` must be
+observationally identical to the scalar loop it replaces: same buffer
+bytes afterwards, same returned values, and the same
+:class:`AccessStats` tallies (ops *and* word counts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitarray import AccessStats, BitArray, CounterArray, MemoryModel
+
+
+def make_pair(nbits=700, word_bits=64):
+    return (BitArray(nbits, memory=MemoryModel(word_bits=word_bits)),
+            BitArray(nbits, memory=MemoryModel(word_bits=word_bits)))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+def test_set_bits_batch_matches_scalar(rng):
+    batch, scalar = make_pair()
+    positions = rng.integers(0, 700, 120)
+    batch.set_bits_batch(positions)
+    for p in positions:
+        scalar.set(int(p))
+    assert batch.to_bytes() == scalar.to_bytes()
+    assert batch.memory.stats == scalar.memory.stats
+
+
+def test_set_bits_batch_duplicates_and_empty():
+    batch, scalar = make_pair()
+    batch.set_bits_batch([3, 3, 3, 9])
+    for p in (3, 3, 3, 9):
+        scalar.set(p)
+    assert batch.to_bytes() == scalar.to_bytes()
+    assert batch.memory.stats == scalar.memory.stats
+    before = batch.memory.snapshot()
+    batch.set_bits_batch([])
+    assert batch.memory.stats == before
+
+
+def test_set_offsets_batch_matches_scalar(rng):
+    batch, scalar = make_pair()
+    bases = rng.integers(0, 600, 50)
+    offsets = rng.integers(1, 50, 50)
+    batch.set_offsets_batch(
+        bases, np.stack([np.zeros(50, dtype=int), offsets], axis=1))
+    for b, o in zip(bases, offsets):
+        scalar.set_offsets(int(b), (0, int(o)))
+    assert batch.to_bytes() == scalar.to_bytes()
+    assert batch.memory.stats == scalar.memory.stats
+
+
+def test_test_bits_and_pairs_batch_match_scalar(rng):
+    batch, scalar = make_pair()
+    filler = rng.integers(0, 700, 200)
+    batch.set_bits_batch(filler, record=False)
+    scalar.set_bits_batch(filler, record=False)
+    positions = rng.integers(0, 700, 80)
+    got = batch.test_bits_batch(positions)
+    want = [scalar.test(int(p)) for p in positions]
+    assert got.tolist() == want
+    assert batch.memory.stats == scalar.memory.stats
+
+    bases = rng.integers(0, 640, 60)
+    offsets = rng.integers(1, 57, 60)
+    got = batch.test_pairs_batch(bases, offsets)
+    want = [scalar.test_pair(int(b), int(o))
+            for b, o in zip(bases, offsets)]
+    assert got.tolist() == want
+    assert batch.memory.stats == scalar.memory.stats
+
+
+def test_test_offsets_batch_matches_scalar(rng):
+    batch, scalar = make_pair()
+    filler = rng.integers(0, 700, 250)
+    batch.set_bits_batch(filler, record=False)
+    scalar.set_bits_batch(filler, record=False)
+    bases = rng.integers(0, 600, 40)
+    group = np.stack([np.zeros(40, dtype=int),
+                      rng.integers(1, 25, 40),
+                      rng.integers(25, 50, 40)], axis=1)
+    got = batch.test_offsets_batch(bases, group)
+    want = [scalar.test_offsets(int(b), tuple(int(o) for o in row))
+            for b, row in zip(bases, group)]
+    assert [tuple(r) for r in got] == want
+    assert batch.memory.stats == scalar.memory.stats
+
+
+@pytest.mark.parametrize("nbits", [1, 8, 13, 57])
+def test_read_windows_batch_matches_scalar(rng, nbits):
+    batch, scalar = make_pair()
+    filler = rng.integers(0, 700, 300)
+    batch.set_bits_batch(filler, record=False)
+    scalar.set_bits_batch(filler, record=False)
+    starts = rng.integers(0, 700 - nbits, 64)
+    got = batch.read_windows_batch(starts, nbits)
+    want = [scalar.read_window(int(s), nbits) for s in starts]
+    assert [int(v) for v in got] == want
+    assert batch.memory.stats == scalar.memory.stats
+
+
+def test_read_windows_batch_aligned_64_and_wide_fallback(rng):
+    batch, scalar = make_pair(nbits=1024)
+    filler = rng.integers(0, 1024, 400)
+    batch.set_bits_batch(filler, record=False)
+    scalar.set_bits_batch(filler, record=False)
+    aligned = (rng.integers(0, 120, 16) * 8).astype(np.int64)
+    got = batch.read_windows_batch(aligned, 64)
+    want = [scalar.read_window(int(s), 64) for s in aligned]
+    assert [int(v) for v in got] == want
+    assert batch.memory.stats == scalar.memory.stats
+    # spans too wide for the uint64 gather fall back element-wise
+    wide_starts = aligned[:4] % 800
+    got = batch.read_windows_batch(wide_starts, 90)
+    want = [scalar.read_window(int(s), 90) for s in wide_starts]
+    assert [int(v) for v in got] == want
+    assert batch.memory.stats == scalar.memory.stats
+
+
+def test_batch_bounds_checks():
+    bits = BitArray(64)
+    with pytest.raises(IndexError):
+        bits.set_bits_batch([0, 64])
+    with pytest.raises(IndexError):
+        bits.test_bits_batch([-1])
+    with pytest.raises(IndexError):
+        bits.test_pairs_batch([60], [10])
+    with pytest.raises(IndexError):
+        bits.test_pairs_batch([10], [-1])
+    with pytest.raises(IndexError):
+        bits.read_windows_batch([60], 10)
+    # negative bases must be rejected even when base + offset is in range,
+    # matching the scalar twins' index validation
+    with pytest.raises(IndexError):
+        bits.set_offsets_batch([-5], [[10]])
+    with pytest.raises(IndexError):
+        bits.test_offsets_batch([-5], [[10]])
+    with pytest.raises(IndexError):
+        CounterArray(16).increment_offsets_batch([-5], [[10]])
+    stats = bits.memory.stats
+    assert stats.read_ops == 0 and stats.write_ops == 0
+
+
+def test_count_and_clear_all():
+    bits = BitArray(203)
+    positions = [0, 1, 7, 8, 64, 131, 202]
+    bits.set_bits_batch(positions, record=False)
+    assert bits.count() == len(positions)
+    assert bits.fill_ratio() == pytest.approx(len(positions) / 203)
+    bits.clear_all()
+    assert bits.count() == 0
+    assert bits.to_bytes() == bytes(len(bits.to_bytes()))
+
+
+def test_as_numpy_is_zero_copy():
+    bits = BitArray(64)
+    view = bits.as_numpy()
+    bits.set(9, record=False)
+    assert view[1] == 2  # bit 9 = byte 1, bit 1
+    view[0] = 1
+    assert bits.peek(0)
+
+
+def test_counter_batch_ops_match_scalar(rng):
+    batch = CounterArray(400, bits_per_counter=4)
+    scalar = CounterArray(400, bits_per_counter=4)
+    bases = rng.integers(0, 340, 60)
+    offsets = rng.integers(1, 14, 60)
+    pair = np.stack([np.zeros(60, dtype=int), offsets], axis=1)
+    batch.increment_offsets_batch(bases, pair)
+    for b, o in zip(bases, offsets):
+        scalar.increment_offsets(int(b), (0, int(o)))
+    assert batch.to_list() == scalar.to_list()
+    assert batch.memory.stats == scalar.memory.stats
+    assert batch.nonzero_count() == scalar.nonzero_count()
+
+    batch.decrement_offsets_batch(bases[:20], pair[:20])
+    for b, o in zip(bases[:20], offsets[:20]):
+        scalar.decrement_offsets(int(b), (0, int(o)))
+    assert batch.to_list() == scalar.to_list()
+    assert batch.memory.stats == scalar.memory.stats
+
+
+def test_counter_batch_bounds_and_empty():
+    counters = CounterArray(16, bits_per_counter=4)
+    with pytest.raises(IndexError):
+        counters.increment_offsets_batch([15], [[0, 1]])
+    before = counters.memory.stats.snapshot()
+    counters.increment_offsets_batch([], [[0, 1]])
+    assert counters.memory.stats == before
+
+
+def test_counter_batch_exception_billing_matches_scalar():
+    """A mid-batch underflow must leave the same accounting (and state)
+    as the scalar loop: every completed row plus the failing row."""
+    from repro.errors import CounterUnderflowError
+
+    batch = CounterArray(64, bits_per_counter=4)
+    scalar = CounterArray(64, bits_per_counter=4)
+    for c in (batch, scalar):
+        for position in (0, 2, 5, 7, 10):  # row 2's position 12 stays 0
+            c.increment(position, record=False)
+    rows = [(0, [0, 2]), (5, [0, 2]), (10, [0, 2])]
+    with pytest.raises(CounterUnderflowError):
+        batch.decrement_offsets_batch([b for b, _ in rows],
+                                      [o for _, o in rows])
+    with pytest.raises(CounterUnderflowError):
+        for b, o in rows:
+            scalar.decrement_offsets(b, o)
+    assert batch.to_list() == scalar.to_list()
+    assert batch.memory.stats == scalar.memory.stats
+
+
+def test_counter_clear_all_bulk():
+    counters = CounterArray(50, bits_per_counter=6)
+    for i in range(0, 50, 7):
+        counters.increment(i, by=3)
+    counters.clear_all()
+    assert counters.to_list() == [0] * 50
+    assert counters.nonzero_count() == 0
+
+
+def test_record_aggregates_match_scalar_records():
+    model_a = MemoryModel(word_bits=64)
+    model_b = MemoryModel(word_bits=64)
+    spans = [(3, 1), (7, 57), (12, 64), (0, 128)]
+    for start, nbits in spans:
+        model_a.record_read(start, nbits)
+        model_a.record_write(start, nbits)
+    costs = model_b.read_cost_batch([s for s, _ in spans],
+                                    np.asarray([n for _, n in spans]))
+    model_b.record_reads(len(spans), int(costs.sum()))
+    model_b.record_writes(len(spans), int(costs.sum()))
+    assert model_a.stats == model_b.stats
+    assert isinstance(model_a.stats, AccessStats)

@@ -43,6 +43,16 @@ class TestMeasureAccesses:
         mean = measure_accesses_per_query(bf, elements[:10])
         assert mean <= 5.0
 
+    def test_batch_driving_measures_identical_accesses(
+            self, elements, negatives):
+        bf = BloomFilter(m=8192, k=5)
+        bf.update(elements)
+        queries = list(elements) + list(negatives[:200])
+        scalar = measure_accesses_per_query(bf, queries)
+        for batch_size in (1, 64, 10_000):
+            assert measure_accesses_per_query(
+                bf, queries, batch_size=batch_size) == scalar
+
 
 class TestMeasureThroughput:
     def test_positive_and_sane(self, elements):

@@ -1,0 +1,238 @@
+"""Batch/scalar equivalence across every filter with a batch fast path.
+
+The batch pipeline's contract, asserted structure by structure:
+
+1. **state** — ``add_batch`` leaves a bit-identical array (and counter
+   array, for counting variants) to an element-at-a-time ``add`` loop;
+2. **verdicts** — ``query_batch`` answers equal scalar ``query`` element
+   for element, members and non-members alike;
+3. **accounting** — both paths bill identical logical memory-access
+   totals (ops and words, on every tier), *including* the scalar query
+   loops' early-exit behaviour;
+4. **edges** — empty batches are no-ops and single-element batches
+   behave like one scalar call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BloomFilter, OneMemoryBloomFilter
+from repro.core import (
+    CountingShiftingAssociationFilter,
+    CountingShiftingBloomFilter,
+    CountingShiftingMultiplicityFilter,
+    GeneralizedShiftingBloomFilter,
+    ShiftingAssociationFilter,
+    ShiftingBloomFilter,
+    ShiftingMultiplicityFilter,
+)
+from repro.errors import ConfigurationError
+from tests.conftest import make_elements
+
+MEMBERS = make_elements(400, "member")
+ABSENT = make_elements(400, "absent")
+MIXED = [e for pair in zip(MEMBERS, ABSENT) for e in pair]
+
+
+def assert_same_stats(batch, scalar):
+    assert batch.memory.stats == scalar.memory.stats
+    if hasattr(batch, "counters"):
+        assert batch.counters.memory.stats == scalar.counters.memory.stats
+
+
+MEMBERSHIP_FACTORIES = [
+    pytest.param(lambda: BloomFilter(m=8192, k=7), id="bf"),
+    pytest.param(lambda: ShiftingBloomFilter(m=8192, k=8), id="shbf_m"),
+    pytest.param(lambda: ShiftingBloomFilter(m=8192, k=8, word_bits=32),
+                 id="shbf_m_w32"),
+    pytest.param(lambda: CountingShiftingBloomFilter(m=8192, k=8),
+                 id="cshbf_m"),
+    pytest.param(lambda: OneMemoryBloomFilter(m=8192, k=8),
+                 id="one_mem_bf"),
+    pytest.param(lambda: OneMemoryBloomFilter(m=8192, k=8,
+                                              words_per_element=2),
+                 id="one_mem_bf_2w"),
+    pytest.param(lambda: GeneralizedShiftingBloomFilter(m=8192, k=12, t=2),
+                 id="generalized_t2"),
+    pytest.param(lambda: GeneralizedShiftingBloomFilter(m=8192, k=8, t=3),
+                 id="generalized_t3"),
+]
+
+
+@pytest.mark.parametrize("make", MEMBERSHIP_FACTORIES)
+def test_membership_batch_equivalence(make):
+    batch, scalar = make(), make()
+    batch.add_batch(MEMBERS)
+    for element in MEMBERS:
+        scalar.add(element)
+    assert batch.bits.to_bytes() == scalar.bits.to_bytes()
+    assert batch.n_items == scalar.n_items
+    assert_same_stats(batch, scalar)
+
+    verdicts = batch.query_batch(MIXED)
+    assert isinstance(verdicts, np.ndarray)
+    assert verdicts.dtype == bool
+    assert verdicts.tolist() == [scalar.query(q) for q in MIXED]
+    assert_same_stats(batch, scalar)
+    # every member must be found (no false negatives through the batch path)
+    assert batch.query_batch(MEMBERS).all()
+
+
+@pytest.mark.parametrize("make", MEMBERSHIP_FACTORIES)
+def test_membership_batch_edge_cases(make):
+    structure = make()
+    structure.add_batch([])
+    assert structure.n_items == 0
+    before = structure.memory.stats.snapshot()
+    empty = structure.query_batch([])
+    assert empty.shape == (0,)
+    assert structure.memory.stats == before
+
+    single = make()
+    single_scalar = make()
+    single.add_batch([MEMBERS[0]])
+    single_scalar.add(MEMBERS[0])
+    assert single.bits.to_bytes() == single_scalar.bits.to_bytes()
+    assert single.query_batch([MEMBERS[0]]).tolist() == [True]
+    assert single_scalar.query(MEMBERS[0]) is True
+    assert_same_stats(single, single_scalar)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    elements=st.lists(st.binary(min_size=0, max_size=24), unique=True,
+                      min_size=1, max_size=60),
+    k=st.sampled_from([2, 4, 8]),
+    word_bits=st.sampled_from([32, 64]),
+    seed=st.integers(min_value=0, max_value=5),
+)
+def test_shbf_m_batch_property(elements, k, word_bits, seed):
+    """Property: for arbitrary byte elements and configurations, the
+    batch pipeline is indistinguishable from the scalar one."""
+    from repro.hashing import Blake2Family
+
+    split = max(1, len(elements) // 2)
+    members, probes = elements[:split], elements
+    batch = ShiftingBloomFilter(
+        m=1024, k=k, word_bits=word_bits, family=Blake2Family(seed=seed))
+    scalar = ShiftingBloomFilter(
+        m=1024, k=k, word_bits=word_bits, family=Blake2Family(seed=seed))
+    batch.add_batch(members)
+    for element in members:
+        scalar.add(element)
+    assert batch.bits.to_bytes() == scalar.bits.to_bytes()
+    assert batch.query_batch(probes).tolist() \
+        == [scalar.query(p) for p in probes]
+    assert batch.memory.stats == scalar.memory.stats
+
+
+def test_counting_membership_batch_keeps_tiers_synchronised():
+    batch = CountingShiftingBloomFilter(m=4096, k=8)
+    batch.add_batch(MEMBERS[:150])
+    assert batch.check_synchronised()
+    scalar = CountingShiftingBloomFilter(m=4096, k=8)
+    for element in MEMBERS[:150]:
+        scalar.add(element)
+    assert batch.counters.to_list() == scalar.counters.to_list()
+
+
+# ----------------------------------------------------------------------
+# Association (ShBF_A)
+# ----------------------------------------------------------------------
+S1 = MEMBERS[:250]
+S2 = MEMBERS[150:350]  # overlaps S1 — intersection is first-class in ShBF_A
+
+
+def test_association_build_batch_equivalence():
+    batch = ShiftingAssociationFilter(m=8192, k=8)
+    scalar = ShiftingAssociationFilter(m=8192, k=8)
+    batch.build_batch(S1, S2)
+    scalar.build(S1, S2)
+    assert batch.bits.to_bytes() == scalar.bits.to_bytes()
+    assert batch.memory.stats == scalar.memory.stats
+    assert (batch.n_s1, batch.n_s2) == (scalar.n_s1, scalar.n_s2)
+
+
+@pytest.mark.parametrize("make", [
+    pytest.param(lambda: ShiftingAssociationFilter(m=8192, k=8),
+                 id="shbf_a"),
+    pytest.param(lambda: CountingShiftingAssociationFilter(m=8192, k=8),
+                 id="cshbf_a"),
+])
+def test_association_query_batch_equivalence(make):
+    batch, scalar = make(), make()
+    batch.build(S1, S2)
+    scalar.build(S1, S2)
+    queries = MEMBERS[:400] + ABSENT[:100]
+    got = batch.query_batch(queries)
+    want = [scalar.query(q) for q in queries]
+    assert [(a.candidates, a.clear) for a in got] \
+        == [(a.candidates, a.clear) for a in want]
+    assert batch.memory.stats == scalar.memory.stats
+    assert batch.query_batch([]) == []
+
+
+# ----------------------------------------------------------------------
+# Multiplicity (ShBF_x)
+# ----------------------------------------------------------------------
+COUNTS = [(i % 57) + 1 for i in range(len(MEMBERS))]
+
+
+@pytest.mark.parametrize("report", ["largest", "smallest"])
+def test_multiplicity_batch_equivalence(report):
+    batch = ShiftingMultiplicityFilter(m=16384, k=4, c_max=57, report=report)
+    scalar = ShiftingMultiplicityFilter(m=16384, k=4, c_max=57, report=report)
+    batch.add_batch(MEMBERS, COUNTS)
+    for element, count in zip(MEMBERS, COUNTS):
+        scalar.add(element, count)
+    assert batch.bits.to_bytes() == scalar.bits.to_bytes()
+    assert batch.memory.stats == scalar.memory.stats
+
+    got = batch.query_batch(MIXED)
+    assert got.dtype == np.int64
+    assert got.tolist() == [scalar.query(q).reported for q in MIXED]
+    assert batch.memory.stats == scalar.memory.stats
+    assert batch.query_batch([]).shape == (0,)
+
+
+def test_multiplicity_batch_wide_cmax_fallback():
+    batch = ShiftingMultiplicityFilter(m=16384, k=4, c_max=80)
+    scalar = ShiftingMultiplicityFilter(m=16384, k=4, c_max=80)
+    counts = [(i % 80) + 1 for i in range(100)]
+    batch.add_batch(MEMBERS[:100], counts)
+    for element, count in zip(MEMBERS[:100], counts):
+        scalar.add(element, count)
+    queries = MEMBERS[:100] + ABSENT[:50]
+    assert batch.query_batch(queries).tolist() \
+        == [scalar.query(q).reported for q in queries]
+    assert batch.memory.stats == scalar.memory.stats
+
+
+def test_multiplicity_add_batch_validates_before_mutating():
+    structure = ShiftingMultiplicityFilter(m=4096, k=4, c_max=8)
+    snapshot = structure.bits.to_bytes()
+    with pytest.raises(ConfigurationError):
+        structure.add_batch([b"a", b"b"], [1])  # length mismatch
+    with pytest.raises(ConfigurationError):
+        structure.add_batch([b"a", b"b"], [1, 99])  # count over c_max
+    with pytest.raises(ConfigurationError):
+        structure.add_batch([b"a", b"a"], [1, 2])  # duplicate in batch
+    assert structure.bits.to_bytes() == snapshot
+    assert structure.n_items == 0
+
+
+def test_counting_multiplicity_query_batch_equivalence():
+    batch = CountingShiftingMultiplicityFilter(m=8192, k=4, c_max=15)
+    scalar = CountingShiftingMultiplicityFilter(m=8192, k=4, c_max=15)
+    for i, element in enumerate(MEMBERS[:120]):
+        for _ in range((i % 5) + 1):
+            batch.add(element)
+            scalar.add(element)
+    queries = MEMBERS[:120] + ABSENT[:40]
+    assert batch.query_batch(queries).tolist() \
+        == [scalar.query(q).reported for q in queries]
+    assert batch.memory.stats == scalar.memory.stats

@@ -8,6 +8,7 @@ from repro.workloads import (
     build_association_workload,
     build_membership_workload,
     build_multiplicity_workload,
+    run_membership_queries,
 )
 
 
@@ -34,6 +35,32 @@ class TestMembershipWorkload:
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             build_membership_workload(0, 10)
+
+    def test_mixed_query_batches_preserve_order(self):
+        workload = build_membership_workload(100, 100, seed=2)
+        batches = workload.mixed_query_batches(64)
+        assert [q for batch in batches for q in batch] \
+            == workload.mixed_queries()
+        assert all(len(batch) <= 64 for batch in batches)
+        with pytest.raises(ConfigurationError):
+            workload.mixed_query_batches(0)
+
+    def test_run_membership_queries_scalar_vs_batch(self):
+        from repro.core import ShiftingBloomFilter
+
+        workload = build_membership_workload(200, 200, seed=3)
+        structure = ShiftingBloomFilter(m=8192, k=8)
+        structure.add_batch(list(workload.members))
+        queries = workload.mixed_queries()
+        scalar = run_membership_queries(structure, queries)
+        stats_after_scalar = structure.memory.stats.snapshot()
+        for batch_size in (1, 37, 128, 10_000):
+            assert run_membership_queries(
+                structure, queries, batch_size=batch_size) == scalar
+        # batch driving bills the same traffic per pass as scalar driving
+        delta = structure.memory.stats.diff(stats_after_scalar)
+        assert delta.read_ops == 4 * stats_after_scalar.read_ops
+        assert delta.read_words == 4 * stats_after_scalar.read_words
 
 
 class TestAssociationWorkload:
