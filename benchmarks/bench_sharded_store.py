@@ -1,0 +1,202 @@
+"""Sharded-store throughput benchmark: 1 filter vs N-shard fleets.
+
+Holds total memory constant (one filter of ``N * m`` bits vs ``N``
+shards of ``m`` bits) and measures insert/query throughput for:
+
+* the single filter driven scalar (the paper's per-query procedure),
+* the single filter driven through ``query_batch`` (PR 1's fast path),
+* an N-shard :class:`~repro.store.ShardedFilterStore` driven through
+  its batch-routing path, for each configured shard count.
+
+Routing adds one vectorised hash pass and a scatter per batch, so the
+store pays a small overhead over the unsharded batch path — the point
+of the bench is to show that overhead is bounded while the store keeps
+the fleet-scale operational properties (rotation, bounded blast
+radius, shard-wise merges).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_store.py
+    PYTHONPATH=src python benchmarks/bench_sharded_store.py --smoke
+
+Writes ``BENCH_sharded_store.json`` (repo root by default).  The
+``--check`` flag enforces the acceptance bar of the sharded-store PR:
+the store's batch query path must beat the single-filter scalar path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.core import ShiftingBloomFilter
+from repro.store import ShardedFilterStore
+
+DEFAULT_M_TOTAL = 262144
+DEFAULT_K = 8
+DEFAULT_N = 4000
+DEFAULT_SHARDS = (1, 4, 8)
+
+
+def _elements(n: int, prefix: str) -> list:
+    return [("%s-%08d" % (prefix, i)).encode() for i in range(n)]
+
+
+def _time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _rate(n_ops: int, seconds: float) -> float:
+    return n_ops / seconds if seconds > 0 else float("inf")
+
+
+def bench(m_total: int, k: int, n: int, shard_counts, batch_size: int,
+          repeats: int) -> dict:
+    members = _elements(n, "member")
+    absent = _elements(n, "absent")
+    mixed = [e for pair in zip(members, absent) for e in pair]
+
+    def batched(run, queries):
+        for i in range(0, len(queries), batch_size):
+            run(queries[i : i + batch_size])
+
+    # --- single-filter reference points ------------------------------
+    solo = ShiftingBloomFilter(m=m_total, k=k)
+    solo.add_batch(members)
+    scalar_query_s = _time(
+        lambda: [solo.query(q) for q in mixed], repeats)
+    batch_query_s = _time(
+        lambda: batched(solo.query_batch, mixed), repeats)
+    def scalar_insert():
+        filt = ShiftingBloomFilter(m=m_total, k=k)
+        for element in members:
+            filt.add(element)
+
+    scalar_insert_s = _time(scalar_insert, repeats)
+
+    results = {
+        "single_filter": {
+            "m": m_total,
+            "scalar_query_ops_per_s": round(_rate(len(mixed),
+                                                  scalar_query_s)),
+            "batch_query_ops_per_s": round(_rate(len(mixed),
+                                                 batch_query_s)),
+            "scalar_insert_ops_per_s": round(_rate(n, scalar_insert_s)),
+        },
+        "stores": [],
+    }
+
+    # --- sharded stores at equal total bits --------------------------
+    for n_shards in shard_counts:
+        m_shard = m_total // n_shards
+
+        def make_store():
+            return ShardedFilterStore(
+                lambda s: ShiftingBloomFilter(m=m_shard, k=k),
+                n_shards=n_shards)
+
+        store = make_store()
+        store.add_batch(members)
+        insert_s = _time(lambda: make_store().add_batch(members), repeats)
+        query_s = _time(
+            lambda: batched(store.query_batch, mixed), repeats)
+        query_rate = _rate(len(mixed), query_s)
+        results["stores"].append({
+            "n_shards": n_shards,
+            "m_per_shard": m_shard,
+            "batch_insert_ops_per_s": round(_rate(n, insert_s)),
+            "batch_query_ops_per_s": round(query_rate),
+            "speedup_vs_single_scalar": round(
+                query_rate * scalar_query_s / len(mixed), 2),
+            "imbalance": round(store.report().imbalance, 3),
+        })
+    return results
+
+
+def render_table(results: dict) -> str:
+    single = results["single_filter"]
+    lines = [
+        "single filter (m=%d): scalar %d q/s, batch %d q/s" % (
+            single["m"], single["scalar_query_ops_per_s"],
+            single["batch_query_ops_per_s"]),
+        "",
+        "%-9s %12s %14s %14s %22s %10s" % (
+            "n_shards", "m/shard", "insert ops/s", "query ops/s",
+            "vs single scalar", "imbalance"),
+    ]
+    lines.append("-" * len(lines[-1]))
+    for row in results["stores"]:
+        lines.append("%-9d %12d %14d %14d %21.2fx %10.3f" % (
+            row["n_shards"], row["m_per_shard"],
+            row["batch_insert_ops_per_s"], row["batch_query_ops_per_s"],
+            row["speedup_vs_single_scalar"], row["imbalance"]))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--m-total", type=int, default=DEFAULT_M_TOTAL)
+    parser.add_argument("--k", type=int, default=DEFAULT_K)
+    parser.add_argument("--n", type=int, default=DEFAULT_N)
+    parser.add_argument("--shards", type=int, nargs="+",
+                        default=list(DEFAULT_SHARDS))
+    parser.add_argument("--batch-size", type=int, default=2048)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny workload, single repeat (CI sanity run)")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless every store's batch query path beats "
+             "the single-filter scalar path")
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=None,
+        help="result JSON path (default: BENCH_sharded_store.json at the "
+             "repo root; smoke runs write a .smoke.json sibling)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.n = min(args.n, 500)
+        args.repeats = 1
+    if args.output is None:
+        name = ("BENCH_sharded_store.smoke.json" if args.smoke
+                else "BENCH_sharded_store.json")
+        args.output = pathlib.Path(__file__).resolve().parent.parent / name
+
+    results = bench(args.m_total, args.k, args.n, args.shards,
+                    args.batch_size, args.repeats)
+    print(render_table(results))
+
+    payload = {
+        "config": {
+            "m_total": args.m_total, "k": args.k, "n": args.n,
+            "shards": args.shards, "batch_size": args.batch_size,
+            "repeats": args.repeats, "smoke": args.smoke,
+        },
+        "results": results,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print("\nwrote %s" % args.output)
+
+    if args.check:
+        failing = [row for row in results["stores"]
+                   if row["speedup_vs_single_scalar"] < 1.0]
+        if failing:
+            print("FAIL: store batch query slower than single-filter "
+                  "scalar for shards=%s"
+                  % [row["n_shards"] for row in failing])
+            return 1
+        print("OK: every store batch query path beats the "
+              "single-filter scalar path")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

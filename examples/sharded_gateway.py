@@ -1,0 +1,96 @@
+"""A gateway serving one keyspace from a sharded filter fleet.
+
+The §1.1 deployment at fleet scale: a gateway answers membership for a
+large catalog from a :class:`~repro.store.ShardedFilterStore` — N
+ShBF_M shards behind one hash router — and exercises the operations
+that make the fleet run like a service, not a data structure:
+
+* **batch routing** — one vectorised routing pass splits each query
+  batch across shards, each shard answers through its own fast path;
+* **snapshot / restore** — the whole fleet ships as one
+  integrity-checked container blob (standby gateways, restarts);
+* **rotation** — one shard is rebuilt into a larger geometry while the
+  other shards keep serving;
+* **merge** — two gateways' stores union shard-wise, the Summary-Cache
+  exchange pattern of §2.2 at store scale.
+
+Run::
+
+    python examples/sharded_gateway.py
+"""
+
+from repro import ShardedFilterStore
+from repro.core import ShiftingBloomFilter
+from repro.traces import FlowTraceGenerator
+from repro.workloads import partition_by_shard
+
+N_SHARDS = 4
+M_PER_SHARD = 65_536
+K = 8
+CATALOG_SIZE = 20_000
+
+
+def shard_filter(shard_id: int) -> ShiftingBloomFilter:
+    """Per-shard geometry; every shard is an independent ShBF_M."""
+    return ShiftingBloomFilter(m=M_PER_SHARD, k=K)
+
+
+def main() -> None:
+    generator = FlowTraceGenerator(seed=7)
+    catalog = generator.distinct_flows(CATALOG_SIZE + 5_000)
+    members, absent = catalog[:CATALOG_SIZE], catalog[CATALOG_SIZE:]
+
+    # --- build: one batch call routes the whole catalog ---------------
+    store = ShardedFilterStore(shard_filter, n_shards=N_SHARDS)
+    store.add_batch(members)
+    report = store.report()
+    print("fleet: %d shards, %d items, imbalance %.3f"
+          % (store.n_shards, report.n_items, report.imbalance))
+    for shard in report.shards:
+        print("  shard %d: %5d items, %6.1f KiB, %d write words"
+              % (shard.shard, shard.n_items, shard.size_bits / 8192,
+                 shard.stats.write_words))
+
+    # --- serve: batch queries scatter back in input order -------------
+    verdicts = store.query_batch(members[:5_000] + absent)
+    fpr = verdicts[5_000:].mean()
+    print("\nserved %d queries: all members found=%s, fpr=%.4f"
+          % (len(verdicts), bool(verdicts[:5_000].all()), fpr))
+
+    # --- ship: one container blob for a standby gateway ----------------
+    blob = store.snapshot()
+    standby = ShardedFilterStore.restore(blob)
+    same = (standby.query_batch(members[:100])
+            == store.query_batch(members[:100])).all()
+    print("\nsnapshot: %.1f KiB container, standby verdicts identical: %s"
+          % (len(blob) / 1024, bool(same)))
+
+    # --- grow: rotate one hot shard into a larger geometry -------------
+    hot = int(store.router.histogram(members).argmax())
+    slices = partition_by_shard(members, store.router)
+    store.rotate_shard(
+        hot, slices[hot],
+        factory=lambda s: ShiftingBloomFilter(m=2 * M_PER_SHARD, k=K))
+    print("\nrotated shard %d to m=%d; members still served: %s"
+          % (hot, store.shards[hot].m,
+             bool(store.query_batch(members).all())))
+
+    # --- federate: merge a peer gateway's store ------------------------
+    peer = ShardedFilterStore(shard_filter, n_shards=N_SHARDS)
+    peer_only = absent[:2_000]
+    peer.add_batch(peer_only)
+    try:
+        merged = store.merge(peer)
+    except Exception as exc:  # rotated shard changed geometry
+        print("\nmerge after rotation rejected (%s)"
+              % type(exc).__name__)
+        # rebuild the rotated shard back to fleet geometry, then merge
+        store.rotate_shard(hot, slices[hot], factory=shard_filter)
+        merged = store.merge(peer)
+    print("merged fleet: %d items, peer catalog served: %s"
+          % (merged.n_items,
+             bool(merged.query_batch(peer_only).all())))
+
+
+if __name__ == "__main__":
+    main()

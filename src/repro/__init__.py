@@ -59,6 +59,10 @@ _EXPORTS = {
     "CountMinSketch": "repro.baselines.count_min",
     "CuckooFilter": "repro.baselines.cuckoo",
     "DynamicCountFilter": "repro.baselines.dcf",
+    # Sharded store (fleet-scale serving)
+    "ShardedFilterStore": "repro.store.sharded",
+    "ShardRouter": "repro.store.router",
+    "StoreAccessReport": "repro.store.sharded",
     # Hashing
     "HashFamily": "repro.hashing.family",
     "default_family": "repro.hashing.family",
@@ -74,6 +78,7 @@ _EXPORTS = {
     "CounterOverflowError": "repro.errors",
     "CounterUnderflowError": "repro.errors",
     "UnsupportedOperationError": "repro.errors",
+    "UnsupportedSnapshotError": "repro.errors",
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__"]
@@ -131,6 +136,9 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         CounterUnderflowError,
         ReproError,
         UnsupportedOperationError,
+        UnsupportedSnapshotError,
     )
     from repro.hashing.blake import Blake2Family
     from repro.hashing.family import HashFamily, default_family
+    from repro.store.router import ShardRouter
+    from repro.store.sharded import ShardedFilterStore, StoreAccessReport

@@ -18,6 +18,7 @@ __all__ = [
     "as_batch_int64",
     "billed_prefix",
     "bit_length_u64",
+    "group_indices",
     "prefix_cost_sum",
 ]
 
@@ -51,6 +52,28 @@ def prefix_cost_sum(costs: np.ndarray, billed: np.ndarray) -> int:
         return 0
     mask = np.arange(r) < billed[:, None]
     return int(costs[mask].sum())
+
+
+def group_indices(labels: np.ndarray, n_groups: int):
+    """Yield ``(label, indices)`` for each non-empty label bucket.
+
+    ``labels`` is an ``(n,)`` integer array with values in
+    ``[0, n_groups)``.  One stable argsort groups all rows sharing a
+    label; the returned index arrays partition ``arange(n)`` and preserve
+    the original order within each bucket, so scatter-back with
+    ``out[indices] = result`` reconstructs input order exactly.  This is
+    the routing kernel of the sharded store: one vectorised pass instead
+    of a Python dict of per-shard lists.
+    """
+    labels = as_batch_int64(labels)
+    if labels.size == 0:
+        return
+    order = np.argsort(labels, kind="stable")
+    bounds = np.searchsorted(labels[order], np.arange(n_groups + 1))
+    for group in range(n_groups):
+        lo, hi = bounds[group], bounds[group + 1]
+        if lo != hi:
+            yield group, order[lo:hi]
 
 
 def bit_length_u64(values: np.ndarray) -> np.ndarray:

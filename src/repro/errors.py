@@ -23,6 +23,19 @@ class ConfigurationError(ReproError, ValueError):
     """
 
 
+class UnsupportedSnapshotError(ConfigurationError):
+    """A structure was handed to :mod:`repro.persistence` that cannot
+    round-trip through a snapshot.
+
+    The main case is the counting variants (``CShBF_*``,
+    ``CountingBloomFilter``): their DRAM-tier counter state belongs to
+    the updater process, not to query-side snapshots, so serialising the
+    bit array alone would silently produce a filter that can no longer
+    honour deletions.  Snapshot the query-side bit filter instead, or
+    rebuild from the catalog.
+    """
+
+
 class CapacityError(ReproError, RuntimeError):
     """A bounded structure ran out of room.
 

@@ -18,12 +18,32 @@ import time
 from typing import Callable, Iterable, Sequence
 
 from repro._util import ElementLike, require_positive
+from repro.bitarray.memory import AccessStats
 
 __all__ = [
+    "aggregate_access_stats",
     "measure_accesses_per_query",
     "measure_fpr",
     "measure_throughput",
 ]
+
+
+def aggregate_access_stats(stats: Iterable[AccessStats]) -> AccessStats:
+    """Sum several :class:`AccessStats` into one fleet-level tally.
+
+    Logical accesses are additive across independent memory models, so a
+    sharded store's traffic is simply the sum over its shards — this is
+    the accounting rule behind
+    :meth:`repro.store.ShardedFilterStore.memory`, which makes
+    :func:`measure_accesses_per_query` work unchanged on a whole store.
+    """
+    total = AccessStats()
+    for item in stats:
+        total.read_words += item.read_words
+        total.write_words += item.write_words
+        total.read_ops += item.read_ops
+        total.write_ops += item.write_ops
+    return total
 
 
 def measure_fpr(

@@ -15,6 +15,17 @@ state belongs to the updater, not to query-side snapshots.
 Format: a JSON header (magic, version, type, parameters, family seed)
 followed by the raw bit buffer.  Integrity is guarded by a BLAKE2 digest
 over header and payload.
+
+Two container levels share the scheme:
+
+* :func:`dumps`/:func:`loads` — one filter per blob (magic ``SHBF``);
+* :func:`dumps_store`/:func:`loads_store` — a whole
+  :class:`~repro.store.ShardedFilterStore` (magic ``SHBS``): a header
+  carrying the shard count, router seed and per-shard blob sizes,
+  followed by the concatenated per-shard :func:`dumps` blobs, the lot
+  guarded by one digest.  Restoring rebuilds every shard *and* the
+  router, so restored stores route — and therefore answer —
+  bit-identically to the original fleet.
 """
 
 from __future__ import annotations
@@ -25,19 +36,40 @@ import struct
 from typing import Union
 
 from repro.baselines.bloom import BloomFilter
+from repro.baselines.counting_bloom import CountingBloomFilter
 from repro.baselines.one_mem_bloom import OneMemoryBloomFilter
 from repro.bitarray.bitarray import BitArray
-from repro.core.membership import ShiftingBloomFilter
-from repro.errors import ConfigurationError
+from repro.core.association import CountingShiftingAssociationFilter
+from repro.core.membership import (
+    CountingShiftingBloomFilter,
+    ShiftingBloomFilter,
+)
+from repro.core.multiplicity import CountingShiftingMultiplicityFilter
+from repro.errors import ConfigurationError, UnsupportedSnapshotError
 from repro.hashing.blake import Blake2Family
+from repro.store.router import ShardRouter
+from repro.store.sharded import ShardedFilterStore
 
-__all__ = ["dumps", "loads"]
+__all__ = ["dumps", "dumps_store", "loads", "loads_store"]
 
 _MAGIC = b"SHBF"
+_STORE_MAGIC = b"SHBS"
 _VERSION = 1
 
 SnapshotFilter = Union[BloomFilter, ShiftingBloomFilter,
                        OneMemoryBloomFilter]
+
+#: Counting variants pair the query-side bit array with DRAM-tier
+#: counter state owned by the updater; a bits-only snapshot would
+#: restore a filter that silently cannot honour deletions, so these are
+#: rejected with a dedicated error type rather than the generic
+#: "unsupported type" catch-all.
+_COUNTING_TYPES = (
+    CountingBloomFilter,
+    CountingShiftingAssociationFilter,
+    CountingShiftingBloomFilter,
+    CountingShiftingMultiplicityFilter,
+)
 
 
 def _family_seed(filt: SnapshotFilter) -> int:
@@ -82,6 +114,14 @@ def dumps(filt: SnapshotFilter) -> bytes:
             "seed": _family_seed(filt),
         }
         payload = filt.bits.to_bytes()
+    elif isinstance(filt, _COUNTING_TYPES):
+        raise UnsupportedSnapshotError(
+            "%s cannot be snapshotted: its counter array is DRAM-tier "
+            "updater state that a bits-only snapshot would silently "
+            "drop, leaving a restored filter unable to honour "
+            "deletions.  Snapshot a plain query-side filter instead, "
+            "or rebuild from the catalog." % type(filt).__name__
+        )
     else:
         raise ConfigurationError(
             "unsupported filter type %r" % type(filt).__name__
@@ -108,6 +148,9 @@ def loads(blob: bytes) -> SnapshotFilter:
     """
     if blob[:4] != _MAGIC:
         raise ConfigurationError("not a ShBF snapshot (bad magic)")
+    if len(blob) < 10:
+        raise ConfigurationError(
+            "snapshot truncated inside the fixed header")
     version, header_len = struct.unpack("<HI", blob[4:10])
     if version != _VERSION:
         raise ConfigurationError(
@@ -145,3 +188,91 @@ def loads(blob: bytes) -> SnapshotFilter:
         return filt
     raise ConfigurationError(
         "unknown snapshot type %r" % header["type"])
+
+
+def dumps_store(store: ShardedFilterStore) -> bytes:
+    """Serialise a whole sharded store to one container byte string.
+
+    Layout: ``SHBS`` magic, version, header length, JSON header
+    (``n_shards``, ``router_seed``, per-shard blob sizes), a 16-byte
+    BLAKE2 digest over header + payload, then the concatenated
+    per-shard :func:`dumps` blobs.  Every shard must itself be
+    snapshot-capable; counting shards raise
+    :class:`~repro.errors.UnsupportedSnapshotError` exactly as in the
+    single-filter path.
+    """
+    if not isinstance(store, ShardedFilterStore):
+        raise ConfigurationError(
+            "dumps_store expects a ShardedFilterStore, got %r"
+            % type(store).__name__
+        )
+    blobs = [dumps(shard) for shard in store.shards]
+    header = {
+        "type": "sharded_store",
+        "n_shards": store.n_shards,
+        "router_seed": store.router.seed,
+        "blob_bytes": [len(blob) for blob in blobs],
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode()
+    payload = b"".join(blobs)
+    digest = hashlib.blake2b(
+        header_bytes + payload, digest_size=16).digest()
+    return b"".join((
+        _STORE_MAGIC,
+        struct.pack("<HI", _VERSION, len(header_bytes)),
+        header_bytes,
+        digest,
+        payload,
+    ))
+
+
+def loads_store(blob: bytes) -> ShardedFilterStore:
+    """Rebuild a sharded store from :func:`dumps_store` output.
+
+    Raises:
+        ConfigurationError: on bad magic or version, digest mismatch
+            (covers any truncated or tampered byte, shard blobs
+            included), inconsistent blob sizes, or a malformed shard
+            blob — a damaged container never yields a silently-wrong
+            fleet.
+    """
+    if blob[:4] != _STORE_MAGIC:
+        raise ConfigurationError("not a ShBF store container (bad magic)")
+    if len(blob) < 10:
+        raise ConfigurationError(
+            "store container truncated inside the fixed header")
+    version, header_len = struct.unpack("<HI", blob[4:10])
+    if version != _VERSION:
+        raise ConfigurationError(
+            "unsupported store container version %d" % version)
+    header_end = 10 + header_len
+    header_bytes = blob[10:header_end]
+    digest = blob[header_end : header_end + 16]
+    payload = blob[header_end + 16 :]
+    expected = hashlib.blake2b(
+        header_bytes + payload, digest_size=16).digest()
+    if digest != expected:
+        raise ConfigurationError(
+            "store container integrity check failed")
+    header = json.loads(header_bytes)
+    if header.get("type") != "sharded_store":
+        raise ConfigurationError(
+            "unknown container type %r" % header.get("type"))
+    blob_bytes = header["blob_bytes"]
+    if len(blob_bytes) != header["n_shards"]:
+        raise ConfigurationError(
+            "container lists %d blobs for %d shards"
+            % (len(blob_bytes), header["n_shards"])
+        )
+    if sum(blob_bytes) != len(payload):
+        raise ConfigurationError(
+            "container payload is %d bytes, header promises %d"
+            % (len(payload), sum(blob_bytes))
+        )
+    shards = []
+    cursor = 0
+    for size in blob_bytes:
+        shards.append(loads(payload[cursor : cursor + size]))
+        cursor += size
+    router = ShardRouter(header["n_shards"], seed=header["router_seed"])
+    return ShardedFilterStore._from_shards(shards, router)

@@ -1,0 +1,28 @@
+"""Fleet-scale filter serving: sharded stores with batch routing.
+
+One filter object is a data structure; production set-query serving is
+a *fleet* of them.  This subpackage turns the library's filters into a
+horizontally partitioned store:
+
+* :class:`~repro.store.router.ShardRouter` — deterministic, seeded
+  element → shard hashing, vectorised for whole batches;
+* :class:`~repro.store.sharded.ShardedFilterStore` — N shard filters
+  behind one router, with batch-routed inserts/queries, aggregated
+  access accounting, shard rotation for capacity growth, shard-wise
+  union merges, and whole-store snapshot/restore through
+  :mod:`repro.persistence`'s container format.
+"""
+
+from repro.store.router import ShardRouter
+from repro.store.sharded import (
+    ShardAccessReport,
+    ShardedFilterStore,
+    StoreAccessReport,
+)
+
+__all__ = [
+    "ShardAccessReport",
+    "ShardRouter",
+    "ShardedFilterStore",
+    "StoreAccessReport",
+]

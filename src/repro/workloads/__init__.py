@@ -28,6 +28,7 @@ from repro.workloads.multiplicity import (
     MultiplicityWorkload,
     build_multiplicity_workload,
 )
+from repro.workloads.sharded import partition_by_shard, shard_load_factors
 
 __all__ = [
     "AssociationWorkload",
@@ -36,5 +37,7 @@ __all__ = [
     "build_association_workload",
     "build_membership_workload",
     "build_multiplicity_workload",
+    "partition_by_shard",
     "run_membership_queries",
+    "shard_load_factors",
 ]

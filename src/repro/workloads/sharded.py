@@ -1,0 +1,51 @@
+"""Workload routing helpers for the sharded filter store.
+
+A sharded deployment needs the *catalog side* of routing as much as the
+query side: shard rebuilds (:meth:`~repro.store.ShardedFilterStore.
+rotate_shard`) are fed from the authoritative element catalog, sliced
+by the store's router, and capacity planning wants the per-shard load
+histogram before any filter is built.  Both are one vectorised routing
+pass over the catalog.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro._util import ElementLike
+
+__all__ = ["partition_by_shard", "shard_load_factors"]
+
+
+def partition_by_shard(
+    elements: Sequence[ElementLike], router
+) -> List[List[ElementLike]]:
+    """Split *elements* into per-shard lists under *router*.
+
+    Returns ``router.n_shards`` lists (possibly empty), preserving the
+    input order inside each shard — the exact slices
+    ``ShardedFilterStore.rotate_shard`` expects as rebuild input.
+    """
+    elements = list(elements)
+    parts: List[List[ElementLike]] = [
+        [] for _ in range(router.n_shards)
+    ]
+    for shard_id, idx in router.group(elements):
+        parts[shard_id] = [elements[i] for i in idx]
+    return parts
+
+
+def shard_load_factors(
+    elements: Sequence[ElementLike], router, capacity_per_shard: int
+) -> np.ndarray:
+    """Per-shard fill fraction ``load / capacity`` for a catalog.
+
+    The planning companion to
+    :attr:`~repro.store.StoreAccessReport.imbalance`: run it over the
+    catalog *before* sizing shard filters to check that the target
+    per-shard capacity absorbs the hash-routing skew.
+    """
+    histogram = router.histogram(elements)
+    return histogram / float(capacity_per_shard)

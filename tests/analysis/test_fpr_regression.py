@@ -1,0 +1,134 @@
+"""Statistical regression tests: observed error rates vs closed forms.
+
+Each test builds a filter from a seeded deterministic workload, measures
+the empirical false-positive (or clear-answer) rate over a large probe
+set, and pins it to the corresponding closed-form prediction from
+:mod:`repro.analysis` within a tolerance band.  Every input is seeded,
+so the observed rates are *fixed numbers* — the bands only need to
+absorb model error plus one realisation's sampling noise, and a
+regression in hashing, probing or the analysis formulas moves the
+observed or predicted side and trips the band.
+
+Band sizing: with ``N = 20000`` probes and rates around 1–3%, one
+standard deviation of the binomial estimate is 5–7% relative; the bands
+allow ±20–25% relative (≈ 3–4 sigma) plus a small absolute floor for
+the near-zero regimes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.association import (
+    association_false_region_probability,
+    shbf_a_clear_answer_probability,
+)
+from repro.analysis.membership import bf_fpr, shbf_m_fpr
+from repro.analysis.one_mem import one_mem_bf_fpr
+from repro.baselines import BloomFilter, OneMemoryBloomFilter
+from repro.core import ShiftingAssociationFilter, ShiftingBloomFilter
+from repro.hashing import Blake2Family
+from repro.store import ShardedFilterStore
+from tests.conftest import make_elements
+
+N_MEMBERS = 2000
+N_PROBES = 20000
+SEED = 42
+
+MEMBERS = make_elements(N_MEMBERS, "fpr-member")
+NEGATIVES = make_elements(N_PROBES, "fpr-absent")
+
+
+def observed_fpr(filt) -> float:
+    filt.add_batch(MEMBERS)
+    return float(filt.query_batch(NEGATIVES).mean())
+
+
+def check(observed: float, predicted: float,
+          rel: float = 0.2, abs_floor: float = 0.002) -> None:
+    assert observed == pytest.approx(
+        predicted, rel=rel, abs=abs_floor), \
+        "observed %.5f vs predicted %.5f" % (observed, predicted)
+
+
+class TestMembershipFPR:
+    def test_bf_matches_eq8(self):
+        filt = BloomFilter(m=16384, k=6, family=Blake2Family(seed=SEED))
+        check(observed_fpr(filt), bf_fpr(m=16384, n=N_MEMBERS, k=6))
+
+    def test_bf_sparse_regime(self):
+        filt = BloomFilter(m=65536, k=6, family=Blake2Family(seed=SEED))
+        check(observed_fpr(filt), bf_fpr(m=65536, n=N_MEMBERS, k=6))
+
+    def test_shbf_m_matches_theorem1(self):
+        filt = ShiftingBloomFilter(
+            m=16384, k=8, family=Blake2Family(seed=SEED))
+        check(observed_fpr(filt),
+              shbf_m_fpr(m=16384, n=N_MEMBERS, k=8, w_bar=filt.w_bar))
+
+    def test_shbf_m_small_w_bar(self):
+        """Fig. 3's sensitivity regime: a tight offset range raises the
+        FPR exactly as the ``p^2 / (w_bar - 1)`` excess predicts."""
+        filt = ShiftingBloomFilter(
+            m=16384, k=8, w_bar=20, family=Blake2Family(seed=SEED))
+        check(observed_fpr(filt),
+              shbf_m_fpr(m=16384, n=N_MEMBERS, k=8, w_bar=20))
+
+    def test_one_mem_bf_matches_poisson_model(self):
+        """The Poisson occupancy model treats a query's ``k`` in-word
+        probes as distinct, but 8 draws from 64 positions collide often
+        (birthday: ~40% of queries), and a repeated probe is checked
+        once — which lifts the true FPR above the model.  The band is
+        correspondingly wider; the model still pins the scale and any
+        hashing regression by an integer factor."""
+        filt = OneMemoryBloomFilter(
+            m=16384, k=8, family=Blake2Family(seed=SEED))
+        check(observed_fpr(filt),
+              one_mem_bf_fpr(m=16384, n=N_MEMBERS, k=8, word_bits=64),
+              rel=0.35)
+
+    def test_sharded_store_matches_per_shard_closed_form(self):
+        """A 4-shard ShBF_M store's FPR follows Theorem 1 with each
+        shard's own load ``n_s`` — sharding changes the operating point,
+        not the model."""
+        store = ShardedFilterStore(
+            lambda s: ShiftingBloomFilter(
+                m=8192, k=8, family=Blake2Family(seed=SEED)),
+            n_shards=4)
+        store.add_batch(MEMBERS)
+        observed = float(store.query_batch(NEGATIVES).mean())
+        hist = store.router.histogram(NEGATIVES)
+        shard = next(iter(store.shards))
+        predicted = sum(
+            weight * shbf_m_fpr(m=8192, n=s.n_items, k=8,
+                                w_bar=shard.w_bar)
+            for weight, s in zip(hist / hist.sum(), store.shards)
+        )
+        check(observed, predicted)
+
+
+class TestAssociationClearRate:
+    def test_clear_answer_rate_matches_table2(self):
+        """Fraction of clear answers over S1-only members equals
+        ``(1 - f)^2`` with ``f`` from Eq. (24)."""
+        s1 = MEMBERS[:1200]
+        s2 = MEMBERS[1200:2000]
+        filt = ShiftingAssociationFilter(
+            m=16384, k=8, family=Blake2Family(seed=SEED))
+        filt.build(s1, s2)
+        answers = filt.query_batch(list(s1))
+        observed = sum(1 for a in answers if a.clear) / len(answers)
+        f = association_false_region_probability(
+            m=16384, n_distinct=N_MEMBERS, k=8)
+        predicted = shbf_a_clear_answer_probability(
+            k=8, false_region_probability=f)
+        assert observed == pytest.approx(predicted, rel=0.05, abs=0.02), \
+            "observed %.4f vs predicted %.4f" % (observed, predicted)
+
+
+def test_runs_are_deterministic():
+    """The whole module's statistics rest on this: same seed, same
+    workload, same observed rate."""
+    a = BloomFilter(m=16384, k=6, family=Blake2Family(seed=SEED))
+    b = BloomFilter(m=16384, k=6, family=Blake2Family(seed=SEED))
+    assert observed_fpr(a) == observed_fpr(b)

@@ -1,0 +1,101 @@
+"""Tests for the hash-based shard router."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.store import ShardRouter
+from tests.conftest import make_elements
+
+ELEMENTS = make_elements(2000, "route")
+
+
+class TestRouting:
+    def test_route_is_deterministic(self):
+        router = ShardRouter(n_shards=8)
+        again = ShardRouter(n_shards=8)
+        assert [router.route(e) for e in ELEMENTS[:100]] \
+            == [again.route(e) for e in ELEMENTS[:100]]
+
+    def test_route_in_range(self):
+        router = ShardRouter(n_shards=5)
+        assert all(0 <= router.route(e) < 5 for e in ELEMENTS[:200])
+
+    def test_batch_equals_scalar(self):
+        router = ShardRouter(n_shards=7)
+        assert router.route_batch(ELEMENTS).tolist() \
+            == [router.route(e) for e in ELEMENTS]
+
+    def test_empty_batch(self):
+        router = ShardRouter(n_shards=3)
+        assert router.route_batch([]).shape == (0,)
+        assert list(router.group([])) == []
+
+    def test_seed_changes_routing(self):
+        a = ShardRouter(n_shards=8, seed=1)
+        b = ShardRouter(n_shards=8, seed=2)
+        assert a.route_batch(ELEMENTS).tolist() \
+            != b.route_batch(ELEMENTS).tolist()
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardRouter(n_shards=0)
+        with pytest.raises(ConfigurationError):
+            ShardRouter(n_shards=4, seed=-1)
+
+
+class TestGrouping:
+    def test_groups_partition_preserving_order(self):
+        router = ShardRouter(n_shards=6)
+        groups = list(router.group(ELEMENTS))
+        seen = np.concatenate([idx for _, idx in groups])
+        assert sorted(seen.tolist()) == list(range(len(ELEMENTS)))
+        shard_ids = router.route_batch(ELEMENTS)
+        for shard_id, idx in groups:
+            assert (shard_ids[idx] == shard_id).all()
+            # order inside a bucket is input order (stable sort)
+            assert (np.diff(idx) > 0).all()
+
+    def test_histogram_matches_groups(self):
+        router = ShardRouter(n_shards=4)
+        hist = router.histogram(ELEMENTS)
+        assert hist.sum() == len(ELEMENTS)
+        by_group = dict(
+            (sid, len(idx)) for sid, idx in router.group(ELEMENTS))
+        assert hist.tolist() == [by_group.get(s, 0) for s in range(4)]
+
+    def test_load_is_roughly_balanced(self):
+        router = ShardRouter(n_shards=4)
+        hist = router.histogram(ELEMENTS)
+        mean = len(ELEMENTS) / 4
+        assert hist.max() < 1.25 * mean
+        assert hist.min() > 0.75 * mean
+
+
+class TestCompatibility:
+    def test_compatible_iff_seed_and_count_match(self):
+        base = ShardRouter(n_shards=4, seed=9)
+        assert base.is_compatible(ShardRouter(n_shards=4, seed=9))
+        assert not base.is_compatible(ShardRouter(n_shards=5, seed=9))
+        assert not base.is_compatible(ShardRouter(n_shards=4, seed=8))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    elements=st.lists(st.binary(min_size=0, max_size=16), min_size=1,
+                      max_size=50),
+    n_shards=st.integers(min_value=1, max_value=9),
+    seed=st.integers(min_value=0, max_value=10),
+)
+def test_property_batch_routing_matches_scalar(elements, n_shards, seed):
+    """Scalar and vectorised routing agree on arbitrary byte elements
+    (duplicates included), for any shard count and seed."""
+    router = ShardRouter(n_shards=n_shards, seed=seed)
+    assert router.route_batch(elements).tolist() \
+        == [router.route(e) for e in elements]
+    scattered = np.empty(len(elements), dtype=np.int64)
+    for shard_id, idx in router.group(elements):
+        scattered[idx] = shard_id
+    assert scattered.tolist() == [router.route(e) for e in elements]

@@ -1,0 +1,149 @@
+"""Round-trip and rejection tests for the store container format."""
+
+import json
+import struct
+
+import pytest
+
+from repro import persistence
+from repro.baselines import BloomFilter, OneMemoryBloomFilter
+from repro.core import CountingShiftingBloomFilter, ShiftingBloomFilter
+from repro.errors import ConfigurationError, UnsupportedSnapshotError
+from repro.store import ShardedFilterStore, ShardRouter
+from tests.conftest import make_elements
+
+MEMBERS = make_elements(800, "member")
+PROBES = MEMBERS + make_elements(800, "absent")
+
+
+def build_store(factory=lambda s: ShiftingBloomFilter(m=8192, k=8),
+                n_shards=4, **kwargs):
+    store = ShardedFilterStore(factory, n_shards=n_shards, **kwargs)
+    store.add_batch(MEMBERS)
+    return store
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("factory", [
+        pytest.param(lambda s: BloomFilter(m=8192, k=6), id="bf"),
+        pytest.param(lambda s: ShiftingBloomFilter(m=8192, k=8),
+                     id="shbf_m"),
+        pytest.param(lambda s: OneMemoryBloomFilter(m=8192, k=8),
+                     id="one_mem_bf"),
+    ])
+    def test_restore_is_bit_identical_across_all_shards(self, factory):
+        original = build_store(factory=factory)
+        clone = ShardedFilterStore.restore(original.snapshot())
+        assert clone.n_shards == original.n_shards
+        assert clone.router.is_compatible(original.router)
+        for ours, theirs in zip(clone.shards, original.shards):
+            assert type(ours) is type(theirs)
+            assert ours.bits.to_bytes() == theirs.bits.to_bytes()
+            assert ours.n_items == theirs.n_items
+        # the acceptance bar: restored verdicts are bit-identical
+        assert clone.query_batch(PROBES).tolist() \
+            == original.query_batch(PROBES).tolist()
+
+    def test_router_seed_round_trips(self):
+        original = build_store(router=ShardRouter(4, seed=123))
+        clone = ShardedFilterStore.restore(original.snapshot())
+        assert clone.router.seed == 123
+
+    def test_module_level_functions_match_methods(self):
+        store = build_store()
+        assert persistence.loads_store(
+            persistence.dumps_store(store)).query_batch(PROBES).tolist() \
+            == store.query_batch(PROBES).tolist()
+
+
+class TestRejection:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ConfigurationError, match="magic"):
+            persistence.loads_store(b"NOPE" + b"\x00" * 64)
+
+    def test_single_filter_blob_is_not_a_container(self):
+        blob = persistence.dumps(ShiftingBloomFilter(m=512, k=4))
+        with pytest.raises(ConfigurationError, match="magic"):
+            persistence.loads_store(blob)
+
+    def test_unsupported_version_rejected(self):
+        blob = bytearray(build_store().snapshot())
+        blob[4:6] = struct.pack("<H", 99)
+        with pytest.raises(ConfigurationError, match="version"):
+            persistence.loads_store(bytes(blob))
+
+    def test_corrupted_digest_rejected(self):
+        blob = bytearray(build_store().snapshot())
+        _, header_len = struct.unpack("<HI", blob[4:10])
+        blob[10 + header_len] ^= 0xFF  # first digest byte
+        with pytest.raises(ConfigurationError, match="integrity"):
+            persistence.loads_store(bytes(blob))
+
+    def test_corrupted_payload_rejected(self):
+        blob = bytearray(build_store().snapshot())
+        blob[-1] ^= 0xFF
+        with pytest.raises(ConfigurationError, match="integrity"):
+            persistence.loads_store(bytes(blob))
+
+    def test_truncated_blob_rejected(self):
+        blob = build_store().snapshot()
+        # cuts inside the payload, the header, and the fixed 10-byte
+        # prefix (the last would reach struct.unpack unguarded)
+        for cut in (len(blob) - 1, len(blob) // 2, 30, 8, 5):
+            with pytest.raises(ConfigurationError):
+                persistence.loads_store(blob[:cut])
+
+    def test_truncated_single_filter_blob_rejected(self):
+        blob = persistence.dumps(ShiftingBloomFilter(m=512, k=4))
+        for cut in (len(blob) - 1, 20, 8, 5):
+            with pytest.raises(ConfigurationError):
+                persistence.loads(blob[:cut])
+
+    def test_tampered_header_rejected(self):
+        """Rewriting the header (e.g. lying about blob sizes) breaks the
+        digest even when the payload is untouched."""
+        blob = build_store().snapshot()
+        _, header_len = struct.unpack("<HI", blob[4:10])
+        header = json.loads(blob[10 : 10 + header_len])
+        header["blob_bytes"][0] -= 1
+        new_header = json.dumps(header, sort_keys=True).encode()
+        forged = (blob[:4] + struct.pack("<HI", 1, len(new_header))
+                  + new_header + blob[10 + header_len :])
+        with pytest.raises(ConfigurationError):
+            persistence.loads_store(forged)
+
+    def test_non_store_input_to_dumps_store(self):
+        with pytest.raises(ConfigurationError, match="ShardedFilterStore"):
+            persistence.dumps_store(ShiftingBloomFilter(m=512, k=4))
+
+
+class TestCountingVariantsTypedError:
+    """Satellite fix: counting variants now fail with a dedicated error
+    type and an actionable message instead of the generic catch-all."""
+
+    def test_counting_filter_raises_typed_error(self):
+        filt = CountingShiftingBloomFilter(m=1024, k=8)
+        with pytest.raises(UnsupportedSnapshotError,
+                           match="counter array is DRAM-tier"):
+            persistence.dumps(filt)
+
+    def test_counting_baseline_raises_typed_error(self):
+        from repro.baselines import CountingBloomFilter
+
+        with pytest.raises(UnsupportedSnapshotError):
+            persistence.dumps(CountingBloomFilter(m=1024, k=4))
+
+    def test_typed_error_is_still_a_configuration_error(self):
+        """Existing ``except ConfigurationError`` callers keep working."""
+        assert issubclass(UnsupportedSnapshotError, ConfigurationError)
+
+    def test_store_of_counting_shards_raises_typed_error(self):
+        store = ShardedFilterStore(
+            lambda s: CountingShiftingBloomFilter(m=1024, k=8), n_shards=2)
+        with pytest.raises(UnsupportedSnapshotError):
+            store.snapshot()
+
+    def test_unknown_type_keeps_generic_error(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            persistence.dumps(object())
+        assert not isinstance(excinfo.value, UnsupportedSnapshotError)

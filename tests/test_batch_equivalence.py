@@ -130,6 +130,114 @@ def test_shbf_m_batch_property(elements, k, word_bits, seed):
     assert batch.memory.stats == scalar.memory.stats
 
 
+# ----------------------------------------------------------------------
+# Property-based geometry sweep (all membership filters)
+# ----------------------------------------------------------------------
+# A 16-element alphabet makes generated batches adversarially
+# duplicate-heavy: the same element is inserted and queried many times
+# inside one batch, exercising the batch kernels' read-modify-write
+# aggregation (np.bitwise_or.at) and the early-exit billing under
+# repeated probes — exactly where a naive vectorisation would diverge
+# from the scalar loops.
+DUP_ELEMENTS = st.integers(min_value=0, max_value=15).map(
+    lambda i: ("dup-%02d" % i).encode())
+
+GEOMETRY_KINDS = {
+    "bf": lambda m, k, w, fam: BloomFilter(m=m, k=k, family=fam),
+    "shbf_m": lambda m, k, w, fam: ShiftingBloomFilter(
+        m=m, k=k, word_bits=w, family=fam),
+    "cshbf_m": lambda m, k, w, fam: CountingShiftingBloomFilter(
+        m=m, k=k, word_bits=w, family=fam),
+    "one_mem_bf": lambda m, k, w, fam: OneMemoryBloomFilter(
+        m=m, k=k, word_bits=w, family=fam),
+    # t=2 shifts need k divisible by t + 1
+    "generalized": lambda m, k, w, fam: GeneralizedShiftingBloomFilter(
+        m=m, k=6 if k <= 6 else 12, t=2, word_bits=w, family=fam),
+}
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    kind=st.sampled_from(sorted(GEOMETRY_KINDS)),
+    m=st.integers(min_value=128, max_value=4096),
+    k=st.sampled_from([2, 4, 6, 8]),
+    word_bits=st.sampled_from([32, 64]),
+    seed=st.integers(min_value=0, max_value=7),
+    members=st.lists(DUP_ELEMENTS, min_size=1, max_size=40),
+    probes=st.lists(DUP_ELEMENTS, min_size=1, max_size=60),
+)
+def test_property_geometry_sweep_batch_equivalence(
+        kind, m, k, word_bits, seed, members, probes):
+    """Property: for every filter kind, generated ``(m, k, n, w)``
+    geometry and duplicate-heavy batches, the batch pipeline leaves
+    bit-identical state, returns scalar verdicts and bills scalar
+    access totals."""
+    from repro.hashing import Blake2Family
+
+    make = GEOMETRY_KINDS[kind]
+    batch = make(m, k, word_bits, Blake2Family(seed=seed))
+    scalar = make(m, k, word_bits, Blake2Family(seed=seed))
+    batch.add_batch(members)
+    for element in members:
+        scalar.add(element)
+    assert batch.bits.to_bytes() == scalar.bits.to_bytes()
+    assert batch.n_items == scalar.n_items
+    assert_same_stats(batch, scalar)
+    if hasattr(batch, "counters"):
+        assert batch.counters.to_list() == scalar.counters.to_list()
+    assert batch.query_batch(probes).tolist() \
+        == [scalar.query(p) for p in probes]
+    assert_same_stats(batch, scalar)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(min_value=512, max_value=4096),
+    k=st.sampled_from([2, 4]),
+    c_max=st.integers(min_value=2, max_value=20),
+    seed=st.integers(min_value=0, max_value=5),
+    probes=st.lists(DUP_ELEMENTS, min_size=1, max_size=50),
+)
+def test_property_multiplicity_duplicate_query_batches(
+        m, k, c_max, seed, probes):
+    """ShBF_x inserts must be unique, but *query* batches may repeat the
+    same element arbitrarily; batch answers and billing stay scalar."""
+    from repro.hashing import Blake2Family
+
+    members = [("dup-%02d" % i).encode() for i in range(0, 16, 2)]
+    counts = [(i % c_max) + 1 for i in range(len(members))]
+    batch = ShiftingMultiplicityFilter(
+        m=m, k=k, c_max=c_max, family=Blake2Family(seed=seed))
+    scalar = ShiftingMultiplicityFilter(
+        m=m, k=k, c_max=c_max, family=Blake2Family(seed=seed))
+    batch.add_batch(members, counts)
+    for element, count in zip(members, counts):
+        scalar.add(element, count)
+    assert batch.query_batch(probes).tolist() \
+        == [scalar.query(p).reported for p in probes]
+    assert batch.memory.stats == scalar.memory.stats
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    duplicates=st.lists(DUP_ELEMENTS, min_size=2, max_size=12),
+    k=st.sampled_from([2, 4, 8]),
+)
+def test_property_duplicate_heavy_adds_match_scalar_readds(duplicates, k):
+    """Re-inserting the same element within one batch is a no-op on bit
+    state but still bills one write per probe pair — like scalar
+    re-adds.  (ShBF_M is the representative; the geometry sweep above
+    covers the rest.)"""
+    batch = ShiftingBloomFilter(m=1024, k=k)
+    scalar = ShiftingBloomFilter(m=1024, k=k)
+    batch.add_batch(duplicates)
+    for element in duplicates:
+        scalar.add(element)
+    assert batch.bits.to_bytes() == scalar.bits.to_bytes()
+    assert batch.n_items == scalar.n_items
+    assert batch.memory.stats == scalar.memory.stats
+
+
 def test_counting_membership_batch_keeps_tiers_synchronised():
     batch = CountingShiftingBloomFilter(m=4096, k=8)
     batch.add_batch(MEMBERS[:150])
