@@ -1,0 +1,252 @@
+"""Service throughput benchmark: micro-batching vs per-request scalar.
+
+Runs the asyncio service and N concurrent pipelined clients **in one
+process** (loopback TCP, single event loop) and measures served
+query elements per second over a seeded member/absent mix, for every
+combination of:
+
+* client counts (default 8 and 32 concurrent connections),
+* coalescer windows (``max_batch`` × ``max_delay_us``),
+* the **uncoalesced baseline** — ``max_batch=1``, i.e. every request
+  executed through the scalar per-element path, the pre-batching
+  serving architecture.
+
+The interesting number is the last column: how much of PR 1's batch
+speedup survives the network layer.  Because both modes pay identical
+framing/event-loop costs, the ratio isolates what the coalescer buys.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke
+
+Writes ``BENCH_service.json`` (``.smoke.json`` for smoke runs) at the
+repo root.  ``--check`` enforces the service PR's acceptance bar: at
+every client count >= 32, the best coalesced configuration must serve
+at least 2x the uncoalesced throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+import time
+
+from repro.core.membership import ShiftingBloomFilter
+from repro.service.client import ServiceClient
+from repro.service.server import CoalescerConfig, FilterService
+from repro.store.sharded import ShardedFilterStore
+from repro.workloads.service import build_service_workload
+
+DEFAULT_N = 4000
+DEFAULT_SHARDS = 4
+DEFAULT_M_PER_SHARD = 65536
+DEFAULT_K = 8
+DEFAULT_CLIENTS = (8, 32)
+#: (max_batch, max_delay_us) coalescer windows to sweep.
+DEFAULT_WINDOWS = ((256, 200), (1024, 500))
+DEFAULT_PER_REQUEST = 32
+
+
+async def _run_load(port: int, requests, n_clients: int,
+                    pipeline: int) -> float:
+    """Drive the request stream through *n_clients* connections.
+
+    Each client works a round-robin slice of the stream and keeps up to
+    *pipeline* requests in flight on its connection (the request-id
+    correlation in the protocol exists exactly for this).  Returns
+    wall-clock seconds.
+    """
+    clients = await asyncio.gather(
+        *(ServiceClient.connect(port=port) for _ in range(n_clients)))
+
+    async def drive(client_id: int) -> None:
+        client = clients[client_id]
+        window = asyncio.Semaphore(pipeline)
+
+        async def one(batch) -> None:
+            try:
+                await client.query(batch)
+            finally:
+                window.release()
+
+        tasks = []
+        for i in range(client_id, len(requests), n_clients):
+            await window.acquire()
+            tasks.append(asyncio.ensure_future(one(requests[i])))
+        await asyncio.gather(*tasks)
+
+    start = time.perf_counter()
+    await asyncio.gather(*(drive(c) for c in range(n_clients)))
+    elapsed = time.perf_counter() - start
+    await asyncio.gather(*(c.close() for c in clients))
+    return elapsed
+
+
+async def _bench_config(args, workload, n_clients: int, max_batch: int,
+                        max_delay_us: int) -> dict:
+    """One (clients, window) cell: fresh server, best-of-N repeats."""
+    store = ShardedFilterStore(
+        lambda s: ShiftingBloomFilter(m=args.m_per_shard, k=args.k),
+        n_shards=args.shards)
+    store.add_batch(list(workload.members))
+    service = FilterService(store, CoalescerConfig(
+        max_batch=max_batch, max_delay_us=max_delay_us,
+        max_inflight=max(1024, 4 * n_clients)))
+    server = await service.start(port=0)
+    port = server.sockets[0].getsockname()[1]
+    requests = workload.request_stream(args.per_request)
+    n_queries = sum(len(r) for r in requests)
+
+    best = float("inf")
+    for _ in range(args.repeats):
+        best = min(best, await _run_load(
+            port, requests, n_clients, args.pipeline))
+    server.close()
+    await server.wait_closed()
+
+    counters = service.counters
+    return {
+        "clients": n_clients,
+        "max_batch": max_batch,
+        "max_delay_us": max_delay_us,
+        "mode": "uncoalesced" if max_batch == 1 else "coalesced",
+        "elements_per_s": round(n_queries / best) if best > 0 else 0,
+        "requests": len(requests) * args.repeats,
+        "batches_executed": counters.batches_executed,
+        "coalesced_requests": counters.coalesced_requests,
+        "mean_batch": round(
+            counters.elements_queried / counters.batches_executed, 1)
+            if counters.batches_executed else 0.0,
+    }
+
+
+async def bench(args) -> dict:
+    workload = build_service_workload(args.n, seed=args.seed)
+    rows = []
+    for n_clients in args.clients:
+        rows.append(await _bench_config(args, workload, n_clients, 1, 0))
+        for max_batch, max_delay_us in args.windows:
+            rows.append(await _bench_config(
+                args, workload, n_clients, max_batch, max_delay_us))
+    # Attach per-client-count speedups vs the uncoalesced baseline.
+    baselines = {
+        row["clients"]: row["elements_per_s"]
+        for row in rows if row["mode"] == "uncoalesced"
+    }
+    for row in rows:
+        base = baselines.get(row["clients"], 0)
+        row["speedup_vs_uncoalesced"] = (
+            round(row["elements_per_s"] / base, 2) if base else 0.0)
+    return {"rows": rows}
+
+
+def render_table(results: dict) -> str:
+    header = "%-8s %-12s %10s %13s %12s %11s %9s" % (
+        "clients", "mode", "max_batch", "delay_us", "elems/s",
+        "mean batch", "speedup")
+    lines = [header, "-" * len(header)]
+    for row in results["rows"]:
+        lines.append("%-8d %-12s %10d %13d %12d %11.1f %8.2fx" % (
+            row["clients"], row["mode"], row["max_batch"],
+            row["max_delay_us"], row["elements_per_s"],
+            row["mean_batch"], row["speedup_vs_uncoalesced"]))
+    return "\n".join(lines)
+
+
+def check(results: dict, min_clients: int = 32,
+          required_speedup: float = 2.0) -> bool:
+    """The acceptance bar: coalescing pays >= 2x at scale."""
+    ok = True
+    client_counts = {row["clients"] for row in results["rows"]
+                     if row["clients"] >= min_clients}
+    if not client_counts:
+        print("FAIL: no run with >= %d clients" % min_clients)
+        return False
+    for n_clients in sorted(client_counts):
+        best = max(
+            (row["speedup_vs_uncoalesced"] for row in results["rows"]
+             if row["clients"] == n_clients and row["mode"] == "coalesced"),
+            default=0.0)
+        verdict = "OK" if best >= required_speedup else "FAIL"
+        print("%s: %d clients, best coalesced speedup %.2fx "
+              "(bar: %.1fx)" % (verdict, n_clients, best, required_speedup))
+        ok = ok and best >= required_speedup
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=DEFAULT_N)
+    parser.add_argument("--shards", type=int, default=DEFAULT_SHARDS)
+    parser.add_argument("--m-per-shard", type=int,
+                        default=DEFAULT_M_PER_SHARD)
+    parser.add_argument("--k", type=int, default=DEFAULT_K)
+    parser.add_argument("--clients", type=int, nargs="+",
+                        default=list(DEFAULT_CLIENTS))
+    parser.add_argument(
+        "--windows", type=int, nargs="+", default=None, metavar="B D",
+        help="coalescer windows as max_batch/max_delay_us pairs, "
+             "flattened (e.g. --windows 256 200 1024 500)")
+    parser.add_argument("--per-request", type=int,
+                        default=DEFAULT_PER_REQUEST)
+    parser.add_argument("--pipeline", type=int, default=4,
+                        help="requests each client keeps in flight")
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload, single repeat (CI sanity run)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless coalesced serving is "
+                             ">= 2x uncoalesced at >= 32 clients")
+    parser.add_argument("--output", type=pathlib.Path, default=None)
+    args = parser.parse_args(argv)
+
+    if args.smoke and args.check:
+        parser.error(
+            "--check needs the full >=32-client run; drop --smoke "
+            "(the smoke config never reaches the acceptance scale)")
+    if args.windows is None:
+        args.windows = [list(w) for w in DEFAULT_WINDOWS]
+    else:
+        if len(args.windows) % 2:
+            parser.error("--windows takes max_batch/max_delay_us pairs")
+        args.windows = [args.windows[i : i + 2]
+                        for i in range(0, len(args.windows), 2)]
+    if args.smoke:
+        args.n = min(args.n, 400)
+        args.clients = [min(c, 8) for c in args.clients[:1]]
+        args.windows = args.windows[:1]
+        args.repeats = 1
+    if args.output is None:
+        name = ("BENCH_service.smoke.json" if args.smoke
+                else "BENCH_service.json")
+        args.output = pathlib.Path(__file__).resolve().parent.parent / name
+
+    results = asyncio.run(bench(args))
+    print(render_table(results))
+
+    payload = {
+        "config": {
+            "n": args.n, "shards": args.shards,
+            "m_per_shard": args.m_per_shard, "k": args.k,
+            "clients": args.clients, "windows": args.windows,
+            "per_request": args.per_request, "pipeline": args.pipeline,
+            "repeats": args.repeats,
+            "seed": args.seed, "smoke": args.smoke,
+        },
+        "results": results,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print("\nwrote %s" % args.output)
+
+    if args.check:
+        return 0 if check(results) else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

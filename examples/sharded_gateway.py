@@ -14,34 +14,64 @@ that make the fleet run like a service, not a data structure:
 * **merge** — two gateways' stores union shard-wise, the Summary-Cache
   exchange pattern of §2.2 at store scale.
 
-Run::
+Every stage is *checked*, and any failed check exits non-zero, so the
+script doubles as a manual smoke tool::
 
     python examples/sharded_gateway.py
+    python examples/sharded_gateway.py --shards 8 --batch-size 512 --seed 42
 """
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
 
 from repro import ShardedFilterStore
 from repro.core import ShiftingBloomFilter
 from repro.traces import FlowTraceGenerator
-from repro.workloads import partition_by_shard
-
-N_SHARDS = 4
-M_PER_SHARD = 65_536
-K = 8
-CATALOG_SIZE = 20_000
+from repro.workloads import partition_by_shard, run_membership_queries
 
 
-def shard_filter(shard_id: int) -> ShiftingBloomFilter:
-    """Per-shard geometry; every shard is an independent ShBF_M."""
-    return ShiftingBloomFilter(m=M_PER_SHARD, k=K)
+def query_in_batches(store, elements, batch_size: int) -> np.ndarray:
+    """Drive queries through the store in service-sized chunks."""
+    return np.asarray(
+        run_membership_queries(store, elements, batch_size=batch_size),
+        dtype=bool)
 
 
-def main() -> None:
-    generator = FlowTraceGenerator(seed=7)
-    catalog = generator.distinct_flows(CATALOG_SIZE + 5_000)
-    members, absent = catalog[:CATALOG_SIZE], catalog[CATALOG_SIZE:]
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shards", type=int, default=4,
+                        help="fleet size (shard count)")
+    parser.add_argument("--batch-size", type=int, default=2048,
+                        help="query elements per batch call")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="trace generator seed")
+    parser.add_argument("--m-per-shard", type=int, default=65_536)
+    parser.add_argument("--k", type=int, default=8)
+    parser.add_argument("--catalog-size", type=int, default=20_000)
+    args = parser.parse_args(argv)
+
+    def shard_filter(shard_id: int) -> ShiftingBloomFilter:
+        return ShiftingBloomFilter(m=args.m_per_shard, k=args.k)
+
+    failures = []
+
+    def check(name: str, ok: bool) -> bool:
+        if not ok:
+            failures.append(name)
+        return ok
+
+    generator = FlowTraceGenerator(seed=args.seed)
+    catalog = generator.distinct_flows(args.catalog_size + 5_000)
+    members, absent = catalog[: args.catalog_size], catalog[
+        args.catalog_size :]
+    probe = members[: min(5_000, len(members))]
 
     # --- build: one batch call routes the whole catalog ---------------
-    store = ShardedFilterStore(shard_filter, n_shards=N_SHARDS)
+    store = ShardedFilterStore(shard_filter, n_shards=args.shards)
     store.add_batch(members)
     report = store.report()
     print("fleet: %d shards, %d items, imbalance %.3f"
@@ -52,31 +82,35 @@ def main() -> None:
                  shard.stats.write_words))
 
     # --- serve: batch queries scatter back in input order -------------
-    verdicts = store.query_batch(members[:5_000] + absent)
-    fpr = verdicts[5_000:].mean()
+    verdicts = query_in_batches(store, probe + absent, args.batch_size)
+    fpr = verdicts[len(probe):].mean()
+    members_found = check("members served", bool(verdicts[: len(probe)].all()))
     print("\nserved %d queries: all members found=%s, fpr=%.4f"
-          % (len(verdicts), bool(verdicts[:5_000].all()), fpr))
+          % (len(verdicts), members_found, fpr))
 
     # --- ship: one container blob for a standby gateway ----------------
     blob = store.snapshot()
     standby = ShardedFilterStore.restore(blob)
-    same = (standby.query_batch(members[:100])
-            == store.query_batch(members[:100])).all()
+    same = check("standby verdicts", bool(
+        (query_in_batches(standby, probe, args.batch_size)
+         == query_in_batches(store, probe, args.batch_size)).all()))
     print("\nsnapshot: %.1f KiB container, standby verdicts identical: %s"
-          % (len(blob) / 1024, bool(same)))
+          % (len(blob) / 1024, same))
 
     # --- grow: rotate one hot shard into a larger geometry -------------
     hot = int(store.router.histogram(members).argmax())
     slices = partition_by_shard(members, store.router)
     store.rotate_shard(
         hot, slices[hot],
-        factory=lambda s: ShiftingBloomFilter(m=2 * M_PER_SHARD, k=K))
+        factory=lambda s: ShiftingBloomFilter(
+            m=2 * args.m_per_shard, k=args.k))
+    still_served = check("post-rotation serving", bool(
+        query_in_batches(store, members, args.batch_size).all()))
     print("\nrotated shard %d to m=%d; members still served: %s"
-          % (hot, store.shards[hot].m,
-             bool(store.query_batch(members).all())))
+          % (hot, store.shards[hot].m, still_served))
 
     # --- federate: merge a peer gateway's store ------------------------
-    peer = ShardedFilterStore(shard_filter, n_shards=N_SHARDS)
+    peer = ShardedFilterStore(shard_filter, n_shards=args.shards)
     peer_only = absent[:2_000]
     peer.add_batch(peer_only)
     try:
@@ -87,10 +121,17 @@ def main() -> None:
         # rebuild the rotated shard back to fleet geometry, then merge
         store.rotate_shard(hot, slices[hot], factory=shard_filter)
         merged = store.merge(peer)
+    peer_served = check("merged peer catalog", bool(
+        query_in_batches(merged, peer_only, args.batch_size).all()))
     print("merged fleet: %d items, peer catalog served: %s"
-          % (merged.n_items,
-             bool(merged.query_batch(peer_only).all())))
+          % (merged.n_items, peer_served))
+
+    if failures:
+        print("\nFAIL: %s" % ", ".join(failures), file=sys.stderr)
+        return 1
+    print("\nOK: all gateway checks passed")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

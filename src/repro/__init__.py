@@ -63,6 +63,11 @@ _EXPORTS = {
     "ShardedFilterStore": "repro.store.sharded",
     "ShardRouter": "repro.store.router",
     "StoreAccessReport": "repro.store.sharded",
+    # Network service (asyncio serving layer)
+    "CoalescerConfig": "repro.service.server",
+    "FilterService": "repro.service.server",
+    "ServiceClient": "repro.service.client",
+    "SyncServiceClient": "repro.service.client",
     # Hashing
     "HashFamily": "repro.hashing.family",
     "default_family": "repro.hashing.family",
@@ -77,6 +82,8 @@ _EXPORTS = {
     "CapacityError": "repro.errors",
     "CounterOverflowError": "repro.errors",
     "CounterUnderflowError": "repro.errors",
+    "ProtocolError": "repro.errors",
+    "ServiceOverloadedError": "repro.errors",
     "UnsupportedOperationError": "repro.errors",
     "UnsupportedSnapshotError": "repro.errors",
 }
@@ -134,11 +141,15 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         ConfigurationError,
         CounterOverflowError,
         CounterUnderflowError,
+        ProtocolError,
         ReproError,
+        ServiceOverloadedError,
         UnsupportedOperationError,
         UnsupportedSnapshotError,
     )
     from repro.hashing.blake import Blake2Family
     from repro.hashing.family import HashFamily, default_family
+    from repro.service.client import ServiceClient, SyncServiceClient
+    from repro.service.server import CoalescerConfig, FilterService
     from repro.store.router import ShardRouter
     from repro.store.sharded import ShardedFilterStore, StoreAccessReport

@@ -64,3 +64,41 @@ class UnsupportedOperationError(ReproError, RuntimeError):
     updating a minimum-increase Spectral Bloom filter, which the paper
     notes trades away update support for accuracy.
     """
+
+
+class ProtocolError(ReproError, ValueError):
+    """A service wire frame or payload could not be understood.
+
+    Raised by :mod:`repro.service.protocol` on bad magic, truncated or
+    oversized frames, unknown opcodes, and payloads whose declared
+    lengths disagree with the bytes on the wire — a damaged request
+    never reaches a filter, and a damaged response never yields a
+    silently-wrong verdict.
+    """
+
+
+class ServiceOverloadedError(ReproError, RuntimeError):
+    """The service shed a request because its in-flight bound was hit.
+
+    The server admits at most ``max_inflight`` concurrent requests
+    (queued coalescer work included); beyond that it fails fast rather
+    than queueing unboundedly, so clients see explicit backpressure they
+    can retry against instead of silently growing latency.
+    """
+
+
+def remote_error(name: str, message: str) -> ReproError:
+    """Materialise a server-reported error as a local exception.
+
+    The service protocol ships errors as ``(type name, message)`` pairs.
+    Known :class:`ReproError` subclasses defined in this module are
+    re-raised as themselves so callers can ``except ConfigurationError``
+    across the wire exactly as they would locally; anything else —
+    including a malicious name like ``SystemExit`` — degrades to a
+    :class:`ProtocolError` carrying the original text.
+    """
+    cls = globals().get(name)
+    if (isinstance(cls, type) and issubclass(cls, ReproError)
+            and cls is not ReproError):
+        return cls(message)
+    return ProtocolError("server error %s: %s" % (name, message))

@@ -21,11 +21,27 @@ from repro._util import ElementLike, require_positive
 from repro.bitarray.memory import AccessStats
 
 __all__ = [
+    "access_stats_dict",
     "aggregate_access_stats",
     "measure_accesses_per_query",
     "measure_fpr",
     "measure_throughput",
 ]
+
+
+def access_stats_dict(stats: AccessStats) -> dict:
+    """Plain-dict form of an :class:`AccessStats` tally.
+
+    The JSON-facing twin of the dataclass: the service's STATS response
+    and benchmark result files both ship access accounting over
+    process boundaries, where the consumer wants keys, not attributes.
+    """
+    return {
+        "read_words": stats.read_words,
+        "write_words": stats.write_words,
+        "read_ops": stats.read_ops,
+        "write_ops": stats.write_ops,
+    }
 
 
 def aggregate_access_stats(stats: Iterable[AccessStats]) -> AccessStats:

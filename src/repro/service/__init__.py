@@ -1,0 +1,34 @@
+"""Network serving layer: filters and stores behind a TCP protocol.
+
+The third layer of the architecture — ``core`` filters → ``store``
+fleets → **``service``** network serving — and the one that makes the
+paper's constant-factor wins (k/2 memory accesses, batch vectorisation)
+reachable from other processes:
+
+* :mod:`repro.service.protocol` — a small length-prefixed binary wire
+  format (ADD / QUERY / QUERY_MULTI / SNAPSHOT / RESTORE / STATS /
+  PING);
+* :mod:`repro.service.server` — an asyncio server whose
+  **micro-batching coalescer** gathers concurrent requests for a
+  bounded window and executes them through one vectorised
+  ``query_batch``/``add_batch`` call, with explicit overload
+  backpressure;
+* :mod:`repro.service.client` — a pipelined asyncio client plus a
+  blocking wrapper for scripts;
+* ``python -m repro.service`` — ``serve`` / ``ping`` / ``bench``.
+"""
+
+from repro.service.client import ServiceClient, SyncServiceClient
+from repro.service.server import (
+    CoalescerConfig,
+    FilterService,
+    ServiceCounters,
+)
+
+__all__ = [
+    "CoalescerConfig",
+    "FilterService",
+    "ServiceClient",
+    "ServiceCounters",
+    "SyncServiceClient",
+]

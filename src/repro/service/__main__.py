@@ -1,0 +1,189 @@
+"""Command-line entry points for the set-query service.
+
+Three subcommands::
+
+    python -m repro.service serve --port 4000 --shards 4 --preload 20000
+    python -m repro.service ping  --port 4000 --retries 20
+    python -m repro.service bench --port 4000 --clients 32
+
+``serve`` hosts a ShBF_M-backed :class:`~repro.store.ShardedFilterStore`
+(or a single filter with ``--shards 0``) behind the micro-batching
+coalescer and prints one readiness line; ``ping`` retries until the
+server answers (its exit code is the CI liveness gate); ``bench`` drives
+a seeded member/absent mix through N concurrent pipelined clients,
+**verifies every member verdict**, and exits non-zero on any mismatch
+or transport failure — a smoke test that happens to print throughput,
+not just a stopwatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+
+from repro.core.membership import ShiftingBloomFilter
+from repro.errors import ReproError
+from repro.service.client import ServiceClient
+from repro.service.server import CoalescerConfig, FilterService
+from repro.store.sharded import ShardedFilterStore
+from repro.workloads.service import build_service_workload
+
+
+def _add_endpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=4000)
+
+
+def _build_target(shards: int, m: int, k: int):
+    """The hosted structure: an N-shard ShBF_M store, or one filter."""
+    if shards <= 0:
+        return ShiftingBloomFilter(m=m, k=k)
+    return ShardedFilterStore(
+        lambda shard: ShiftingBloomFilter(m=m, k=k), n_shards=shards)
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    target = _build_target(args.shards, args.m, args.k)
+    if args.preload > 0:
+        workload = build_service_workload(args.preload, seed=args.seed)
+        target.add_batch(list(workload.members))
+    service = FilterService(target, CoalescerConfig(
+        max_batch=args.max_batch,
+        max_delay_us=args.max_delay_us,
+        max_inflight=args.max_inflight,
+    ))
+    server = await service.start(args.host, args.port)
+    port = server.sockets[0].getsockname()[1]
+    print("repro.service listening on %s:%d (%s, n_items=%d, "
+          "max_batch=%d, max_delay_us=%d)"
+          % (args.host, port, type(target).__name__, target.n_items,
+             args.max_batch, args.max_delay_us), flush=True)
+    async with server:
+        await server.serve_forever()
+    return 0
+
+
+async def _ping(args: argparse.Namespace) -> int:
+    last_error: Exception = ConnectionError("no attempt made")
+    for attempt in range(args.retries):
+        try:
+            start = time.perf_counter()
+            client = await ServiceClient.connect(args.host, args.port)
+            try:
+                banner = await client.ping()
+            finally:
+                await client.close()
+            rtt_ms = (time.perf_counter() - start) * 1e3
+            print("PONG in %.2f ms: %s" % (rtt_ms, banner))
+            return 0
+        except (ConnectionError, OSError, ReproError) as exc:
+            last_error = exc
+            if attempt + 1 < args.retries:
+                await asyncio.sleep(args.retry_delay)
+    print("ping failed after %d attempts: %s" % (args.retries, last_error),
+          file=sys.stderr)
+    return 1
+
+
+async def _bench(args: argparse.Namespace) -> int:
+    workload = build_service_workload(args.n, seed=args.seed)
+    loader = await ServiceClient.connect(args.host, args.port)
+    try:
+        await loader.add(list(workload.members))
+        requests = workload.request_stream(args.elements_per_request)
+
+        async def run_client(client_id: int) -> int:
+            """Each client owns its slice of the request stream."""
+            mismatches = 0
+            client = await ServiceClient.connect(args.host, args.port)
+            try:
+                for i in range(client_id, len(requests), args.clients):
+                    batch = requests[i]
+                    verdicts = await client.query(batch)
+                    # The mixed stream interleaves member/absent, so an
+                    # element is a member iff its *global* stream index
+                    # is even; request i starts at i * per_request.
+                    start = i * args.elements_per_request
+                    for j in range(len(batch)):
+                        if (start + j) % 2 == 0 and not verdicts[j]:
+                            mismatches += 1
+            finally:
+                await client.close()
+            return mismatches
+
+        start = time.perf_counter()
+        mismatch_counts = await asyncio.gather(
+            *(run_client(c) for c in range(args.clients)))
+        elapsed = time.perf_counter() - start
+        stats = await loader.stats()
+    finally:
+        await loader.close()
+
+    n_queries = sum(len(batch) for batch in requests)
+    print("bench: %d clients, %d queries in %.3f s -> %d elements/s"
+          % (args.clients, n_queries, elapsed,
+             round(n_queries / elapsed) if elapsed > 0 else 0))
+    print("server: batches_executed=%d coalesced_requests=%d "
+          "queue peak=%d overloads=%d"
+          % (stats["counters"]["batches_executed"],
+             stats["counters"]["coalesced_requests"],
+             stats["counters"]["peak_queue_depth"],
+             stats["counters"]["overload_rejections"]))
+    mismatches = sum(mismatch_counts)
+    if mismatches:
+        print("FAIL: %d member queries answered False" % mismatches,
+              file=sys.stderr)
+        return 1
+    print("OK: every member verdict True")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="host a filter store")
+    _add_endpoint_args(serve)
+    serve.add_argument("--shards", type=int, default=4,
+                       help="shard count; 0 hosts a single filter")
+    serve.add_argument("--m", type=int, default=262144,
+                       help="bits per shard filter")
+    serve.add_argument("--k", type=int, default=8)
+    serve.add_argument("--max-batch", type=int, default=512,
+                       help="coalescer flush threshold; 1 = uncoalesced")
+    serve.add_argument("--max-delay-us", type=int, default=200)
+    serve.add_argument("--max-inflight", type=int, default=1024)
+    serve.add_argument("--preload", type=int, default=0,
+                       help="insert this many seeded catalog items")
+    serve.add_argument("--seed", type=int, default=0)
+
+    ping = sub.add_parser("ping", help="liveness probe with retries")
+    _add_endpoint_args(ping)
+    ping.add_argument("--retries", type=int, default=1)
+    ping.add_argument("--retry-delay", type=float, default=0.25)
+
+    bench = sub.add_parser(
+        "bench", help="drive a verified query mix through N clients")
+    _add_endpoint_args(bench)
+    bench.add_argument("--clients", type=int, default=8)
+    bench.add_argument("--n", type=int, default=2000,
+                       help="member count (query mix is 2n)")
+    bench.add_argument("--elements-per-request", type=int, default=16)
+    bench.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    runner = {"serve": _serve, "ping": _ping, "bench": _bench}[args.command]
+    try:
+        return asyncio.run(runner(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

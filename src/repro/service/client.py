@@ -1,0 +1,234 @@
+"""Clients for the set-query service.
+
+:class:`ServiceClient` is the asyncio client: one TCP connection, fully
+**pipelined** — each request gets a fresh id and a future, a background
+reader task resolves futures as response frames arrive, so any number of
+requests may be in flight concurrently.  That concurrency is exactly
+what feeds the server's micro-batching coalescer: N awaiting callers on
+one or many connections coalesce into one vectorised batch server-side.
+
+:class:`SyncServiceClient` wraps the async client for scripts and REPLs:
+it runs a private event loop on a daemon thread and exposes blocking
+methods with the same signatures.
+
+Server-side failures surface as the *server's own exception types*:
+error responses carry ``(type name, message)`` and
+:func:`repro.errors.remote_error` maps known
+:class:`~repro.errors.ReproError` subclasses back to themselves, so
+``except ServiceOverloadedError`` works across the wire with the
+original message intact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro._util import ElementLike
+from repro.core.association_types import AssociationAnswer
+from repro.errors import ProtocolError, remote_error
+from repro.service import protocol
+
+__all__ = ["ServiceClient", "SyncServiceClient"]
+
+
+class ServiceClient:
+    """Pipelined asyncio client for one service connection.
+
+    Build with :meth:`connect`; every public method is a coroutine and
+    may be awaited concurrently from many tasks.
+
+    Example::
+
+        client = await ServiceClient.connect(port=4000)
+        await client.add([b"a", b"b"])
+        verdicts = await client.query([b"a", b"nope"])
+        await client.close()
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._pending: dict = {}
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1",
+                      port: int = 4000) -> "ServiceClient":
+        """Open a connection and start the response reader."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        """Resolve in-flight futures as response frames arrive."""
+        error: Optional[BaseException] = None
+        try:
+            while True:
+                frame = await protocol.read_frame(self._reader)
+                if frame is None:
+                    break
+                request_id, status, payload = frame
+                future = self._pending.pop(request_id, None)
+                if future is None or future.done():
+                    continue  # cancelled caller; drop the late response
+                if status == protocol.STATUS_OK:
+                    future.set_result(payload)
+                else:
+                    name, message = protocol.decode_error(payload)
+                    future.set_exception(remote_error(name, message))
+        except Exception as exc:  # noqa: BLE001 - fan out to callers
+            error = exc
+        finally:
+            if error is None:
+                error = ProtocolError("connection closed by server")
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._pending.clear()
+
+    async def _request(self, op: int, payload: bytes = b"") -> bytes:
+        if self._closed:
+            raise ProtocolError("client is closed")
+        request_id = self._next_id
+        self._next_id = (self._next_id + 1) & 0xFFFFFFFF
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(protocol.encode_frame(request_id, op, payload))
+        await self._writer.drain()
+        return await future
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    async def ping(self) -> str:
+        """Round-trip liveness probe; returns the server banner."""
+        return (await self._request(protocol.OP_PING)).decode("utf-8")
+
+    async def add(self, elements: Sequence[ElementLike],
+                  counts: Optional[Sequence[int]] = None) -> int:
+        """Insert a batch (with optional multiplicities); returns count."""
+        payload = await self._request(
+            protocol.OP_ADD, protocol.encode_elements(elements, counts))
+        return int.from_bytes(payload, "big")
+
+    async def query(self, elements: Sequence[ElementLike]) -> np.ndarray:
+        """Batch verdicts: bool array (membership) or int64 (counts)."""
+        payload = await self._request(
+            protocol.OP_QUERY, protocol.encode_elements(elements))
+        return protocol.decode_verdicts(payload)
+
+    async def query_multi(
+        self, elements: Sequence[ElementLike],
+    ) -> List[AssociationAnswer]:
+        """ShBF_A association answers, one per element."""
+        payload = await self._request(
+            protocol.OP_QUERY_MULTI, protocol.encode_elements(elements))
+        return protocol.decode_association_answers(payload)
+
+    async def snapshot(self) -> bytes:
+        """The hosted structure as a persistence blob."""
+        return await self._request(protocol.OP_SNAPSHOT)
+
+    async def restore(self, blob: bytes) -> int:
+        """Replace the hosted structure; returns its item count."""
+        payload = await self._request(protocol.OP_RESTORE, blob)
+        return int.from_bytes(payload, "big")
+
+    async def stats(self) -> dict:
+        """Server-side queue, coalescer and access accounting."""
+        payload = await self._request(protocol.OP_STATS)
+        return json.loads(payload.decode("utf-8"))
+
+    async def close(self) -> None:
+        """Close the connection and stop the reader task."""
+        if self._closed:
+            return
+        self._closed = True
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+        await asyncio.gather(self._reader_task, return_exceptions=True)
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+class SyncServiceClient:
+    """Blocking wrapper over :class:`ServiceClient` for scripts.
+
+    Runs a private event loop on a daemon thread; every method submits
+    the matching coroutine and blocks on its result.  Usable as a
+    context manager::
+
+        with SyncServiceClient(port=4000) as client:
+            client.add(["a", "b"])
+            client.query(["a", "nope"])   # -> array([ True, False])
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 4000,
+                 timeout: float = 30.0):
+        self._timeout = timeout
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-service-client", daemon=True)
+        self._thread.start()
+        self._client: ServiceClient = self._call(
+            ServiceClient.connect(host, port))
+
+    def _call(self, coroutine):
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        return future.result(self._timeout)
+
+    def ping(self) -> str:
+        return self._call(self._client.ping())
+
+    def add(self, elements: Sequence[ElementLike],
+            counts: Optional[Sequence[int]] = None) -> int:
+        return self._call(self._client.add(elements, counts))
+
+    def query(self, elements: Sequence[ElementLike]) -> np.ndarray:
+        return self._call(self._client.query(elements))
+
+    def query_multi(
+        self, elements: Sequence[ElementLike],
+    ) -> List[AssociationAnswer]:
+        return self._call(self._client.query_multi(elements))
+
+    def snapshot(self) -> bytes:
+        return self._call(self._client.snapshot())
+
+    def restore(self, blob: bytes) -> int:
+        return self._call(self._client.restore(blob))
+
+    def stats(self) -> dict:
+        return self._call(self._client.stats())
+
+    def close(self) -> None:
+        """Close the connection and stop the private loop thread."""
+        if self._loop.is_closed():
+            return
+        try:
+            self._call(self._client.close())
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(self._timeout)
+            self._loop.close()
+
+    def __enter__(self) -> "SyncServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,413 @@
+"""Wire protocol for the set-query service.
+
+A deliberately small length-prefixed binary protocol: every message —
+request or response — is one *frame*
+
+.. code-block:: text
+
+    +----------+------------+--------+-----------------+
+    | len: u32 | req id: u32| code:u8| payload (len-5) |
+    +----------+------------+--------+-----------------+
+
+with all integers big-endian.  ``len`` counts everything after itself,
+so a reader needs exactly two reads per frame.  The request id is chosen
+by the client and echoed verbatim in the response, which is what makes
+**pipelining** work: a client may have many requests in flight on one
+connection and match responses out of order.
+
+Request opcodes and response payloads:
+
+========== ===== ================================= =========================
+op         code  request payload                   OK response payload
+========== ===== ================================= =========================
+PING       1     empty                             server banner (utf-8)
+ADD        2     elements [+ counts]               u32 number added
+QUERY      3     elements                          verdicts (bool/int64)
+QUERY_MULTI 4    elements                          1 byte/element (ShBF_A)
+SNAPSHOT   5     empty                             persistence blob
+RESTORE    6     persistence blob                  u32 restored item count
+STATS      7     empty                             JSON object (utf-8)
+========== ===== ================================= =========================
+
+A response's code is a status: ``OK`` (0) or ``ERR`` (1); error payloads
+carry ``(exception type name, message)`` so the client can re-raise the
+server's own error class (see :func:`repro.errors.remote_error`).
+
+Element batches are the protocol's workhorse:
+``u32 count`` followed by ``count`` × (``u32 length`` + raw bytes); every
+element is canonicalised with :func:`repro._util.to_bytes` *before*
+encoding, so a string sent by the client hashes identically server-side.
+QUERY verdicts come back either as a bit-packed boolean array (kind 0,
+membership filters) or as an int64 array (kind 1, multiplicity filters).
+QUERY_MULTI encodes one :class:`~repro.core.association_types.
+AssociationAnswer` per element in a single byte: the low three bits are
+the surviving-region mask (S1_ONLY=1, BOTH=2, S2_ONLY=4) and bit 3 is
+the *clear* flag — the full seven-outcome answer of §4.2 in 8 bits.
+
+Decoding is strict: declared lengths must match the bytes present, and
+frames above :data:`MAX_FRAME_BYTES` are rejected before allocation, so
+a corrupt or hostile peer produces a :class:`~repro.errors.ProtocolError`
+rather than a silently-wrong verdict or an OOM.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util import ElementLike, to_bytes
+from repro.core.association_types import Association, AssociationAnswer
+from repro.errors import ProtocolError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "OP_ADD",
+    "OP_PING",
+    "OP_QUERY",
+    "OP_QUERY_MULTI",
+    "OP_RESTORE",
+    "OP_SNAPSHOT",
+    "OP_STATS",
+    "STATUS_ERR",
+    "STATUS_OK",
+    "decode_association_answers",
+    "decode_counts",
+    "decode_elements",
+    "decode_error",
+    "decode_frame",
+    "decode_verdicts",
+    "encode_association_answers",
+    "encode_elements",
+    "encode_error",
+    "encode_frame",
+    "encode_verdicts",
+    "read_frame",
+]
+
+# --- opcodes (requests) and statuses (responses) ----------------------
+OP_PING = 1
+OP_ADD = 2
+OP_QUERY = 3
+OP_QUERY_MULTI = 4
+OP_SNAPSHOT = 5
+OP_RESTORE = 6
+OP_STATS = 7
+
+STATUS_OK = 0
+STATUS_ERR = 1
+
+_KNOWN_OPS = frozenset((
+    OP_PING, OP_ADD, OP_QUERY, OP_QUERY_MULTI,
+    OP_SNAPSHOT, OP_RESTORE, OP_STATS,
+))
+
+#: Hard ceiling on one frame.  Large enough for a multi-MiB store
+#: snapshot, small enough that a corrupted length prefix cannot make a
+#: reader allocate gigabytes.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_HEADER = struct.Struct("!I")          # frame length (rest of frame)
+_FRAME_META = struct.Struct("!IB")     # request id + code
+_U32 = struct.Struct("!I")
+
+#: Region → bitmask for the one-byte association answer encoding.
+_REGION_BITS = {
+    Association.S1_ONLY: 1,
+    Association.BOTH: 2,
+    Association.S2_ONLY: 4,
+}
+_CLEAR_BIT = 8
+
+# --- verdict container kinds (first byte of a QUERY response) ---------
+_VERDICT_BOOL = 0
+_VERDICT_INT64 = 1
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(request_id: int, code: int, payload: bytes = b"") -> bytes:
+    """One wire frame: length prefix, request id, code, payload."""
+    body = _FRAME_META.pack(request_id, code) + payload
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "frame payload of %d bytes exceeds the %d-byte frame limit"
+            % (len(payload), MAX_FRAME_BYTES)
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_frame(frame: bytes) -> Tuple[int, int, bytes]:
+    """Invert :func:`encode_frame`: ``(request_id, code, payload)``.
+
+    Used by tests and by any non-asyncio transport; the server and
+    client read frames incrementally via :func:`read_frame` instead.
+    """
+    if len(frame) < _HEADER.size + _FRAME_META.size:
+        raise ProtocolError(
+            "frame truncated: %d bytes is shorter than the %d-byte "
+            "minimum" % (len(frame), _HEADER.size + _FRAME_META.size)
+        )
+    (length,) = _HEADER.unpack_from(frame)
+    body = frame[_HEADER.size:]
+    if length != len(body):
+        raise ProtocolError(
+            "frame declares %d body bytes but carries %d"
+            % (length, len(body))
+        )
+    request_id, code = _FRAME_META.unpack_from(body)
+    return request_id, code, body[_FRAME_META.size:]
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[int, int, bytes]]:
+    """Read one frame from *reader*; ``None`` on clean EOF.
+
+    Raises :class:`~repro.errors.ProtocolError` on a truncated frame or
+    a length prefix beyond :data:`MAX_FRAME_BYTES` — the connection is
+    unrecoverable after either, since framing sync is lost.
+    """
+    prefix = await reader.read(_HEADER.size)
+    if not prefix:
+        return None
+    try:
+        if len(prefix) < _HEADER.size:
+            prefix += await reader.readexactly(_HEADER.size - len(prefix))
+        (length,) = _HEADER.unpack(prefix)
+        if length < _FRAME_META.size:
+            raise ProtocolError(
+                "frame body of %d bytes cannot hold id and code" % length)
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                "frame of %d bytes exceeds the %d-byte frame limit"
+                % (length, MAX_FRAME_BYTES)
+            )
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            "connection closed mid-frame (%d of %d bytes)"
+            % (len(exc.partial), exc.expected)
+        ) from exc
+    request_id, code = _FRAME_META.unpack_from(body)
+    return request_id, code, body[_FRAME_META.size:]
+
+
+def require_known_op(code: int) -> int:
+    """Validate a request opcode, returning it unchanged."""
+    if code not in _KNOWN_OPS:
+        raise ProtocolError("unknown opcode %d" % code)
+    return code
+
+
+# ----------------------------------------------------------------------
+# Element batches
+# ----------------------------------------------------------------------
+def encode_elements(
+    elements: Sequence[ElementLike],
+    counts: Optional[Sequence[int]] = None,
+) -> bytes:
+    """Encode an element batch (optionally with per-element counts).
+
+    Layout: ``u8 has_counts``, ``u32 count``, then per element
+    ``u32 length`` + bytes, then — iff ``has_counts`` — ``count`` × i64.
+    Elements pass through :func:`~repro._util.to_bytes` here, so both
+    peers hash the identical canonical byte string.
+    """
+    data = [to_bytes(e) for e in elements]
+    if counts is not None and len(counts) != len(data):
+        raise ProtocolError(
+            "counts length %d != elements length %d"
+            % (len(counts), len(data))
+        )
+    parts = [
+        struct.pack("!BI", 0 if counts is None else 1, len(data))
+    ]
+    for blob in data:
+        parts.append(_U32.pack(len(blob)))
+        parts.append(blob)
+    if counts is not None:
+        parts.append(
+            np.asarray(counts, dtype=">i8").tobytes())
+    return b"".join(parts)
+
+
+def decode_elements(
+    payload: bytes,
+) -> Tuple[List[bytes], Optional[List[int]]]:
+    """Invert :func:`encode_elements`: ``(elements, counts-or-None)``."""
+    if len(payload) < 5:
+        raise ProtocolError("element batch truncated inside its header")
+    has_counts, count = struct.unpack_from("!BI", payload)
+    if has_counts not in (0, 1):
+        raise ProtocolError(
+            "element batch has_counts flag must be 0 or 1, got %d"
+            % has_counts)
+    cursor = 5
+    elements: List[bytes] = []
+    for _ in range(count):
+        if cursor + 4 > len(payload):
+            raise ProtocolError(
+                "element batch truncated: %d elements promised, ran out "
+                "at element %d" % (count, len(elements))
+            )
+        (size,) = _U32.unpack_from(payload, cursor)
+        cursor += 4
+        if cursor + size > len(payload):
+            raise ProtocolError(
+                "element %d declares %d bytes but only %d remain"
+                % (len(elements), size, len(payload) - cursor)
+            )
+        elements.append(payload[cursor : cursor + size])
+        cursor += size
+    counts: Optional[List[int]] = None
+    if has_counts:
+        expected = count * 8
+        if len(payload) - cursor != expected:
+            raise ProtocolError(
+                "count vector should be %d bytes, found %d"
+                % (expected, len(payload) - cursor)
+            )
+        counts = [
+            int(v) for v in
+            np.frombuffer(payload, dtype=">i8", count=count, offset=cursor)
+        ]
+    elif cursor != len(payload):
+        raise ProtocolError(
+            "%d trailing bytes after element batch" % (len(payload) - cursor))
+    return elements, counts
+
+
+def decode_counts(payload: bytes) -> List[int]:
+    """Decode an i64 count vector prefixed with its u32 length."""
+    if len(payload) < 4:
+        raise ProtocolError("count vector truncated inside its header")
+    (count,) = _U32.unpack_from(payload)
+    if len(payload) - 4 != count * 8:
+        raise ProtocolError(
+            "count vector should be %d bytes, found %d"
+            % (count * 8, len(payload) - 4)
+        )
+    return [int(v) for v in
+            np.frombuffer(payload, dtype=">i8", count=count, offset=4)]
+
+
+# ----------------------------------------------------------------------
+# Verdicts
+# ----------------------------------------------------------------------
+def encode_verdicts(verdicts: np.ndarray) -> bytes:
+    """Encode a QUERY result array: bit-packed bools or raw int64.
+
+    Booleans dominate the serving path, so they ship at one *bit* per
+    verdict (``np.packbits``); multiplicity estimates ship as big-endian
+    int64.
+    """
+    verdicts = np.asarray(verdicts)
+    if verdicts.dtype == np.bool_:
+        return b"".join((
+            struct.pack("!BI", _VERDICT_BOOL, verdicts.size),
+            np.packbits(verdicts).tobytes(),
+        ))
+    if np.issubdtype(verdicts.dtype, np.integer):
+        return b"".join((
+            struct.pack("!BI", _VERDICT_INT64, verdicts.size),
+            verdicts.astype(">i8").tobytes(),
+        ))
+    raise ProtocolError(
+        "cannot encode verdict dtype %s; QUERY serves bool or integer "
+        "answers (association stores use QUERY_MULTI)" % verdicts.dtype
+    )
+
+
+def decode_verdicts(payload: bytes) -> np.ndarray:
+    """Invert :func:`encode_verdicts`."""
+    if len(payload) < 5:
+        raise ProtocolError("verdict payload truncated inside its header")
+    kind, count = struct.unpack_from("!BI", payload)
+    body = payload[5:]
+    if kind == _VERDICT_BOOL:
+        expected = (count + 7) // 8
+        if len(body) != expected:
+            raise ProtocolError(
+                "bool verdicts for %d queries need %d bytes, found %d"
+                % (count, expected, len(body))
+            )
+        return np.unpackbits(
+            np.frombuffer(body, dtype=np.uint8), count=count
+        ).astype(bool)
+    if kind == _VERDICT_INT64:
+        if len(body) != count * 8:
+            raise ProtocolError(
+                "int64 verdicts for %d queries need %d bytes, found %d"
+                % (count, count * 8, len(body))
+            )
+        return np.frombuffer(body, dtype=">i8", count=count).astype(
+            np.int64)
+    raise ProtocolError("unknown verdict container kind %d" % kind)
+
+
+def encode_association_answers(
+    answers: Sequence[AssociationAnswer],
+) -> bytes:
+    """Encode ShBF_A answers, one byte each (region mask + clear bit)."""
+    out = bytearray(_U32.pack(len(answers)))
+    for answer in answers:
+        mask = 0
+        for region in answer.candidates:
+            mask |= _REGION_BITS[region]
+        if answer.clear:
+            mask |= _CLEAR_BIT
+        out.append(mask)
+    return bytes(out)
+
+
+def decode_association_answers(payload: bytes) -> List[AssociationAnswer]:
+    """Invert :func:`encode_association_answers`."""
+    if len(payload) < 4:
+        raise ProtocolError(
+            "association payload truncated inside its header")
+    (count,) = _U32.unpack_from(payload)
+    body = payload[4:]
+    if len(body) != count:
+        raise ProtocolError(
+            "association answers for %d queries need %d bytes, found %d"
+            % (count, count, len(body))
+        )
+    answers = []
+    for mask in body:
+        if mask & ~(_CLEAR_BIT | 7):
+            raise ProtocolError(
+                "association answer byte %#x has unknown bits set" % mask)
+        candidates = frozenset(
+            region for region, bit in _REGION_BITS.items() if mask & bit)
+        answers.append(AssociationAnswer(
+            candidates=candidates, clear=bool(mask & _CLEAR_BIT)))
+    return answers
+
+
+# ----------------------------------------------------------------------
+# Errors
+# ----------------------------------------------------------------------
+def encode_error(exc: BaseException) -> bytes:
+    """Encode an exception as ``(type name, message)`` for an ERR frame."""
+    name = type(exc).__name__.encode("utf-8")
+    message = str(exc).encode("utf-8")
+    return struct.pack("!H", len(name)) + name + message
+
+
+def decode_error(payload: bytes) -> Tuple[str, str]:
+    """Invert :func:`encode_error`: ``(type name, message)``."""
+    if len(payload) < 2:
+        raise ProtocolError("error payload truncated inside its header")
+    (name_len,) = struct.unpack_from("!H", payload)
+    if 2 + name_len > len(payload):
+        raise ProtocolError(
+            "error payload declares a %d-byte type name but only %d "
+            "bytes remain" % (name_len, len(payload) - 2)
+        )
+    name = payload[2 : 2 + name_len].decode("utf-8", "replace")
+    message = payload[2 + name_len :].decode("utf-8", "replace")
+    return name, message

@@ -1,0 +1,463 @@
+"""Asyncio set-query server with a micro-batching coalescer.
+
+The batch fast path (PR 1) and the sharded store (PR 2) only pay off if
+whole batches reach them — yet a network server naturally receives one
+small request per client per round trip.  :class:`FilterService` closes
+that gap with **micro-batching**: concurrent in-flight requests are
+gathered for a bounded window and executed through *one* vectorised
+``query_batch``/``add_batch`` call, so 64 clients asking one question
+each cost roughly one 64-element batch, not 64 scalar probes.
+
+The coalescer window is bounded two ways (whichever trips first flushes):
+
+* ``max_batch`` — once the queued elements reach this many, flush now;
+* ``max_delay_us`` — a request never waits longer than this for company.
+
+Requests are atomic: a request's elements are never split across two
+executed batches, so a flush may overshoot ``max_batch`` by at most one
+request.  Setting ``max_batch=1`` disables coalescing entirely and
+executes each request through the **scalar** per-element path — the
+pre-batching serving architecture, kept as a live baseline so the
+benchmark's coalesced-vs-uncoalesced comparison is a one-flag switch.
+
+Backpressure is explicit: at most ``max_inflight`` requests may be
+admitted concurrently (requests parked in the coalescer included);
+beyond that the
+server answers :class:`~repro.errors.ServiceOverloadedError` instead of
+queueing unboundedly.  STATS exposes the live queue depth, the coalescer
+counters and the hosted structure's
+:class:`~repro.bitarray.memory.AccessStats` — the paper's
+memory-access accounting, served over the wire.
+
+The server hosts either a :class:`~repro.store.ShardedFilterStore` or
+any single filter speaking the batch contract; SNAPSHOT/RESTORE
+delegate to :mod:`repro.persistence` (container or single-filter format,
+auto-detected by magic).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro import persistence
+from repro.core.association_types import AssociationAnswer
+from repro.errors import (
+    ProtocolError,
+    ServiceOverloadedError,
+    UnsupportedOperationError,
+)
+from repro.harness.metrics import access_stats_dict
+from repro.service import protocol
+from repro.store.sharded import ShardedFilterStore
+
+__all__ = ["CoalescerConfig", "FilterService", "ServiceCounters"]
+
+#: Magic prefixes of the two persistence formats RESTORE accepts.
+_STORE_MAGIC = b"SHBS"
+_FILTER_MAGIC = b"SHBF"
+
+
+@dataclass(frozen=True)
+class CoalescerConfig:
+    """Micro-batching window bounds.
+
+    Attributes:
+        max_batch: flush once this many elements are queued; ``1``
+            disables coalescing (per-request scalar execution).
+        max_delay_us: longest time a request waits for batch company,
+            in microseconds.
+        max_inflight: admission bound on concurrently admitted
+            requests; excess requests are refused with
+            :class:`~repro.errors.ServiceOverloadedError`.
+    """
+
+    max_batch: int = 512
+    max_delay_us: int = 200
+    max_inflight: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ProtocolError(
+                "max_batch must be >= 1, got %d" % self.max_batch)
+        if self.max_delay_us < 0:
+            raise ProtocolError(
+                "max_delay_us must be >= 0, got %d" % self.max_delay_us)
+        if self.max_inflight < 1:
+            raise ProtocolError(
+                "max_inflight must be >= 1, got %d" % self.max_inflight)
+
+
+@dataclass
+class ServiceCounters:
+    """Monotonic service-side tallies, exposed verbatim by STATS."""
+
+    requests_total: int = 0
+    batches_executed: int = 0
+    coalesced_requests: int = 0
+    elements_queried: int = 0
+    elements_added: int = 0
+    overload_rejections: int = 0
+    protocol_errors: int = 0
+    peak_queue_depth: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class _Coalescer:
+    """Gathers concurrent requests into one batch call.
+
+    One instance per operation kind (query / query_multi / add): the
+    element payloads of queued requests are concatenated, executed with
+    a single batch call against the hosted structure, and the result is
+    sliced back per request — verdict order inside a request is
+    untouched, so coalescing is invisible to clients.
+    """
+
+    def __init__(self, service: "FilterService", run_batch):
+        self._service = service
+        self._run_batch = run_batch
+        self._pending: List[tuple] = []  # (elements, counts, future)
+        self._n_queued = 0
+        self._timer: Optional[asyncio.TimerHandle] = None
+
+    @property
+    def queued_elements(self) -> int:
+        """Elements currently waiting for a flush."""
+        return self._n_queued
+
+    def submit(self, elements: Sequence[bytes],
+               counts: Optional[Sequence[int]]) -> "asyncio.Future":
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        if len(self._pending) > 0:
+            self._service.counters.coalesced_requests += 1
+        self._pending.append((elements, counts, future))
+        self._n_queued += len(elements)
+        config = self._service.config
+        if self._n_queued >= config.max_batch:
+            self._flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(
+                config.max_delay_us / 1e6, self._flush)
+        return future
+
+    def _flush(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        pending, self._pending = self._pending, []
+        self._n_queued = 0
+        if not pending:
+            return
+        # Countless and counts-carrying requests execute as separate
+        # batches: merging them would force everyone through the counts
+        # signature, so one client's malformed counts request (or a
+        # counts request against a membership filter) would fail other
+        # clients' well-formed ADDs.
+        groups = [
+            [entry for entry in pending if (entry[1] is None) == countless]
+            for countless in (True, False)
+        ]
+        for group in groups:
+            if not group:
+                continue
+            elements: List[bytes] = []
+            counts: List[int] = []
+            with_counts = group[0][1] is not None
+            for chunk, chunk_counts, _ in group:
+                elements.extend(chunk)
+                if with_counts:
+                    counts.extend(chunk_counts)
+            try:
+                results = self._run_batch(
+                    elements, counts if with_counts else None)
+            except Exception as exc:  # delivered per request
+                for _, _, future in group:
+                    if not future.done():
+                        future.set_exception(exc)
+                continue
+            self._service.counters.batches_executed += 1
+            cursor = 0
+            for chunk, _, future in group:
+                if not future.done():
+                    future.set_result(
+                        results[cursor : cursor + len(chunk)])
+                cursor += len(chunk)
+
+
+class FilterService:
+    """One hosted filter structure behind the wire protocol.
+
+    Args:
+        target: a :class:`~repro.store.ShardedFilterStore` or any single
+            filter exposing ``add``/``query`` plus the batch twins.
+        config: coalescer window and admission bounds.
+        banner: PING response text (defaults to a structure summary).
+    """
+
+    def __init__(
+        self,
+        target,
+        config: Optional[CoalescerConfig] = None,
+        banner: Optional[str] = None,
+    ):
+        self._target = target
+        self.config = config if config is not None else CoalescerConfig()
+        self._banner = banner
+        self.counters = ServiceCounters()
+        self._inflight = 0
+        self._query = _Coalescer(self, self._run_query_batch)
+        self._query_multi = _Coalescer(self, self._run_query_multi_batch)
+        self._add = _Coalescer(self, self._run_add_batch)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def target(self):
+        """The hosted structure (swapped atomically by RESTORE)."""
+        return self._target
+
+    @property
+    def queue_depth(self) -> int:
+        """Admitted-but-unanswered *requests* (those parked in the
+        coalescer included); STATS reports queued batch elements
+        separately as ``queued_elements``."""
+        return self._inflight
+
+    def stats(self) -> dict:
+        """The STATS payload: structure, queue and access accounting."""
+        target = self._target
+        return {
+            "structure": type(target).__name__,
+            "n_items": int(getattr(target, "n_items", 0)),
+            "size_bits": int(getattr(target, "size_bits", 0)),
+            "n_shards": (target.n_shards
+                         if isinstance(target, ShardedFilterStore) else None),
+            "queue_depth": self.queue_depth,
+            "queued_elements": (self._query.queued_elements
+                                + self._query_multi.queued_elements
+                                + self._add.queued_elements),
+            "coalescer": {
+                "max_batch": self.config.max_batch,
+                "max_delay_us": self.config.max_delay_us,
+                "max_inflight": self.config.max_inflight,
+            },
+            "counters": self.counters.as_dict(),
+            "access": access_stats_dict(target.memory.stats),
+        }
+
+    # ------------------------------------------------------------------
+    # Batch executors (called by the coalescers)
+    # ------------------------------------------------------------------
+    def _run_query_batch(self, elements, counts):
+        self.counters.elements_queried += len(elements)
+        return self._target.query_batch(elements)
+
+    def _run_query_multi_batch(self, elements, counts):
+        self.counters.elements_queried += len(elements)
+        results = self._target.query_batch(elements)
+        if isinstance(results, np.ndarray):
+            raise UnsupportedOperationError(
+                "QUERY_MULTI needs an association store (%s answers "
+                "scalar verdicts; use QUERY)" % type(self._target).__name__
+            )
+        return results
+
+    def _run_add_batch(self, elements, counts):
+        self.counters.elements_added += len(elements)
+        if counts is None:
+            self._target.add_batch(elements)
+        else:
+            self._target.add_batch(elements, counts)
+        return [None] * len(elements)
+
+    # --- scalar fallbacks (max_batch=1: the uncoalesced baseline) -----
+    def _scalar_query(self, elements):
+        verdicts = [self._target.query(e) for e in elements]
+        self.counters.elements_queried += len(elements)
+        self.counters.batches_executed += 1
+        if verdicts and not isinstance(verdicts[0], (bool, np.bool_)):
+            return verdicts
+        return np.asarray(verdicts, dtype=bool)
+
+    def _scalar_add(self, elements, counts):
+        for i, element in enumerate(elements):
+            if counts is None:
+                self._target.add(element)
+            else:
+                self._target.add(element, counts[i])
+        self.counters.elements_added += len(elements)
+        self.counters.batches_executed += 1
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, op: int, payload: bytes) -> bytes:
+        """Execute one request; returns the OK-response payload."""
+        if op == protocol.OP_PING:
+            banner = self._banner or (
+                "repro.service %s n_items=%d"
+                % (type(self._target).__name__,
+                   getattr(self._target, "n_items", 0))
+            )
+            return banner.encode("utf-8")
+
+        if op == protocol.OP_STATS:
+            return json.dumps(self.stats(), sort_keys=True).encode("utf-8")
+
+        if op == protocol.OP_SNAPSHOT:
+            if isinstance(self._target, ShardedFilterStore):
+                return persistence.dumps_store(self._target)
+            return persistence.dumps(self._target)
+
+        if op == protocol.OP_RESTORE:
+            if payload[:4] == _STORE_MAGIC:
+                self._target = persistence.loads_store(payload)
+            elif payload[:4] == _FILTER_MAGIC:
+                self._target = persistence.loads(payload)
+            else:
+                raise ProtocolError(
+                    "RESTORE payload is neither a store container nor a "
+                    "filter snapshot (bad magic)")
+            return protocol._U32.pack(self._target.n_items)
+
+        elements, counts = protocol.decode_elements(payload)
+
+        if op == protocol.OP_ADD:
+            if not elements:
+                return protocol._U32.pack(0)
+            if self.config.max_batch <= 1:
+                self._scalar_add(elements, counts)
+            else:
+                await self._add.submit(elements, counts)
+            return protocol._U32.pack(len(elements))
+
+        if op == protocol.OP_QUERY:
+            if not elements:
+                return protocol.encode_verdicts(
+                    np.zeros(0, dtype=bool))
+            if self.config.max_batch <= 1:
+                verdicts = self._scalar_query(elements)
+            else:
+                verdicts = await self._query.submit(elements, None)
+            verdicts = np.asarray(verdicts)
+            return protocol.encode_verdicts(verdicts)
+
+        if op == protocol.OP_QUERY_MULTI:
+            if not elements:
+                return protocol.encode_association_answers([])
+            if self.config.max_batch <= 1:
+                answers = [self._target.query(e) for e in elements]
+                if not isinstance(answers[0], AssociationAnswer):
+                    raise UnsupportedOperationError(
+                        "QUERY_MULTI needs an association store (%s "
+                        "answers scalar verdicts; use QUERY)"
+                        % type(self._target).__name__
+                    )
+                self.counters.elements_queried += len(elements)
+                self.counters.batches_executed += 1
+            else:
+                answers = await self._query_multi.submit(elements, None)
+            return protocol.encode_association_answers(list(answers))
+
+        raise ProtocolError("unknown opcode %d" % op)
+
+    async def _handle_request(
+        self,
+        writer: asyncio.StreamWriter,
+        request_id: int,
+        op: int,
+        payload: bytes,
+    ) -> None:
+        """Run one admitted request and write its response frame.
+
+        No write lock is needed: ``StreamWriter.write`` appends the whole
+        frame to the transport buffer synchronously on the single-threaded
+        loop, so concurrent request tasks cannot interleave frame bytes.
+        """
+        try:
+            body = await self._dispatch(op, payload)
+            frame = protocol.encode_frame(
+                request_id, protocol.STATUS_OK, body)
+        except Exception as exc:
+            if isinstance(exc, ProtocolError):
+                self.counters.protocol_errors += 1
+            frame = protocol.encode_frame(
+                request_id, protocol.STATUS_ERR, protocol.encode_error(exc))
+        finally:
+            self._inflight -= 1
+        writer.write(frame)
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):  # client went away mid-reply
+            pass
+
+    async def handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Serve one client connection until EOF.
+
+        Each frame becomes an independent task, so a connection can have
+        many requests in flight (pipelining) and responses may return
+        out of order — the request id is the correlation key.
+        """
+        tasks = set()
+        try:
+            while True:
+                try:
+                    frame = await protocol.read_frame(reader)
+                except ProtocolError:
+                    self.counters.protocol_errors += 1
+                    break  # framing sync is lost; drop the connection
+                if frame is None:
+                    break
+                request_id, op, payload = frame
+                self.counters.requests_total += 1
+                if self._inflight >= self.config.max_inflight:
+                    self.counters.overload_rejections += 1
+                    exc = ServiceOverloadedError(
+                        "server at max_inflight=%d admitted requests; "
+                        "retry after backoff" % self.config.max_inflight)
+                    writer.write(protocol.encode_frame(
+                        request_id, protocol.STATUS_ERR,
+                        protocol.encode_error(exc)))
+                    await writer.drain()
+                    continue
+                self._inflight += 1
+                self.counters.peak_queue_depth = max(
+                    self.counters.peak_queue_depth, self._inflight)
+                task = asyncio.ensure_future(self._handle_request(
+                    writer, request_id, op, payload))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> asyncio.AbstractServer:
+        """Bind and start serving; returns the listening server.
+
+        ``port=0`` binds an ephemeral port — read it back from
+        ``server.sockets[0].getsockname()[1]`` (tests and the in-process
+        benchmark rely on this).
+        """
+        return await asyncio.start_server(
+            self.handle_connection, host=host, port=port)

@@ -28,15 +28,23 @@ from repro.workloads.multiplicity import (
     MultiplicityWorkload,
     build_multiplicity_workload,
 )
+from repro.workloads.service import (
+    ServiceWorkload,
+    build_service_workload,
+    chop_requests,
+)
 from repro.workloads.sharded import partition_by_shard, shard_load_factors
 
 __all__ = [
     "AssociationWorkload",
     "MembershipWorkload",
     "MultiplicityWorkload",
+    "ServiceWorkload",
     "build_association_workload",
     "build_membership_workload",
     "build_multiplicity_workload",
+    "build_service_workload",
+    "chop_requests",
     "partition_by_shard",
     "run_membership_queries",
     "shard_load_factors",

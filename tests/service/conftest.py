@@ -1,0 +1,40 @@
+"""Shared plumbing for the service-layer tests.
+
+No pytest-asyncio in the toolchain, so each test drives one
+``asyncio.run`` via the :func:`service_run` fixture: it spins a
+:class:`~repro.service.FilterService` on an ephemeral loopback port,
+connects a pipelined client, hands both to the test's async scenario,
+and tears everything down — server, client, coalescer timers — inside
+the same event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.server import CoalescerConfig, FilterService
+
+
+@pytest.fixture
+def service_run():
+    """Run ``scenario(client, service, port)`` against a live service."""
+
+    def runner(target, scenario, config: CoalescerConfig = None):
+        async def main():
+            service = FilterService(target, config)
+            server = await service.start(port=0)
+            port = server.sockets[0].getsockname()[1]
+            client = await ServiceClient.connect(port=port)
+            try:
+                return await scenario(client, service, port)
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        return asyncio.run(main())
+
+    return runner

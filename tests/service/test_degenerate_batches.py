@@ -1,0 +1,155 @@
+"""Degenerate batches through the whole stack.
+
+Empty, single-element and duplicate-heavy batches must round-trip
+identically through direct :class:`~repro.store.ShardedFilterStore`
+calls and through the service client — including request sizes that
+straddle the coalescer's flush threshold at ``max_batch`` and
+``max_batch ± 1``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.membership import ShiftingBloomFilter
+from repro.service.server import CoalescerConfig
+from repro.store.sharded import ShardedFilterStore
+from repro.workloads.service import build_service_workload, chop_requests
+
+MAX_BATCH = 8
+
+
+def make_store() -> ShardedFilterStore:
+    return ShardedFilterStore(
+        lambda s: ShiftingBloomFilter(m=8192, k=6), n_shards=2)
+
+
+def coalescer_config() -> CoalescerConfig:
+    return CoalescerConfig(max_batch=MAX_BATCH, max_delay_us=500)
+
+
+@pytest.fixture
+def loaded_pair():
+    workload = build_service_workload(150, seed=31)
+    direct, served = make_store(), make_store()
+    direct.add_batch(list(workload.members))
+    served.add_batch(list(workload.members))
+    return workload, direct, served
+
+
+class TestDegenerateThroughStore:
+    """The direct-call half of the equivalence contract."""
+
+    def test_empty_batch_add_and_query(self):
+        store = make_store()
+        store.add_batch([])
+        verdicts = store.query_batch([])
+        assert isinstance(verdicts, np.ndarray)
+        assert verdicts.size == 0
+        assert store.n_items == 0
+
+    def test_single_element_batch(self):
+        store = make_store()
+        store.add_batch([b"only"])
+        assert store.query_batch([b"only"]).tolist() == [True]
+        assert store.n_items == 1
+
+    def test_duplicate_heavy_batch_matches_scalar(self):
+        heavy = [b"dup-%d" % (i % 3) for i in range(90)]
+        batch_store, scalar_store = make_store(), make_store()
+        batch_store.add_batch(heavy)
+        for element in heavy:
+            scalar_store.add(element)
+        probe = heavy + [b"absent-%d" % i for i in range(10)]
+        assert (batch_store.query_batch(probe)
+                == scalar_store.query_batch(probe)).all()
+        assert batch_store.snapshot() == scalar_store.snapshot()
+
+
+class TestDegenerateThroughService:
+    """The wire half: same inputs, same answers, coalescer in play."""
+
+    def test_empty_batch_round_trip(self, service_run, loaded_pair):
+        workload, direct, served = loaded_pair
+
+        async def scenario(client, service, port):
+            empty_verdicts = await client.query([])
+            assert await client.add([]) == 0
+            return empty_verdicts
+
+        verdicts = service_run(served, scenario, coalescer_config())
+        assert verdicts.dtype == np.bool_
+        assert verdicts.size == 0
+        direct_empty = direct.query_batch([])
+        assert verdicts.tolist() == direct_empty.tolist()
+
+    def test_single_element_requests(self, service_run, loaded_pair):
+        workload, direct, served = loaded_pair
+        probe = workload.mixed_stream()[:30]
+        expected = direct.query_batch(probe)
+
+        async def scenario(client, service, port):
+            verdicts = await asyncio.gather(
+                *(client.query([e]) for e in probe))
+            return np.concatenate(verdicts)
+
+        wire = service_run(served, scenario, coalescer_config())
+        assert (wire == expected).all()
+
+    def test_duplicate_heavy_requests(self, service_run, loaded_pair):
+        workload, direct, served = loaded_pair
+        # Three distinct members repeated 40x, shuffled deterministically.
+        base = list(workload.members[:3])
+        probe = [base[(i * 7) % 3] for i in range(120)]
+        expected = direct.query_batch(probe)
+
+        async def scenario(client, service, port):
+            chunks = chop_requests(probe, 11)
+            verdicts = await asyncio.gather(
+                *(client.query(chunk) for chunk in chunks))
+            return np.concatenate(verdicts)
+
+        wire = service_run(served, scenario, coalescer_config())
+        assert (wire == expected).all()
+        assert wire.all()  # every probe is a member
+
+    @pytest.mark.parametrize(
+        "request_size", [MAX_BATCH - 1, MAX_BATCH, MAX_BATCH + 1])
+    def test_coalescer_boundary_sizes(self, service_run, loaded_pair,
+                                      request_size):
+        workload, direct, served = loaded_pair
+        probe = workload.mixed_stream()
+        requests = chop_requests(probe, request_size)
+        expected = direct.query_batch(probe)
+
+        async def scenario(client, service, port):
+            verdicts = await asyncio.gather(
+                *(client.query(chunk) for chunk in requests))
+            stats = await client.stats()
+            return np.concatenate(verdicts), stats
+
+        wire, stats = service_run(served, scenario, coalescer_config())
+        assert (wire == expected).all()
+        # Every element went through an executed batch exactly once.
+        assert stats["counters"]["elements_queried"] == len(probe)
+        assert stats["counters"]["batches_executed"] >= 1
+
+    @pytest.mark.parametrize(
+        "request_size", [MAX_BATCH - 1, MAX_BATCH, MAX_BATCH + 1])
+    def test_add_boundary_sizes_build_identical_state(
+            self, service_run, request_size):
+        workload = build_service_workload(100, seed=77)
+        direct = make_store()
+        direct.add_batch(list(workload.members))
+        requests = chop_requests(list(workload.members), request_size)
+
+        async def scenario(client, service, port):
+            await asyncio.gather(
+                *(client.add(chunk) for chunk in requests))
+            return service.target.snapshot()
+
+        blob = service_run(make_store(), scenario, coalescer_config())
+        assert blob == direct.snapshot()
