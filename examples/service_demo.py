@@ -5,8 +5,15 @@ describes: host a 4-shard ShBF_M store behind the asyncio server, load
 a catalog **over the wire**, fan 32 concurrent clients at it so the
 micro-batching coalescer actually coalesces, read the STATS accounting
 (including the paper's memory-access tallies, served remotely), then
-ship a SNAPSHOT blob into a *second* server and show the standby
-answers bit-identically.
+seed a second server from a SNAPSHOT blob and show it answers
+bit-identically.
+
+That last step is a *one-shot manual copy*, shown here because it is
+the primitive everything else builds on.  For a live primary→standby
+pair — automatic delta shipping, bounded staleness, read failover and
+PROMOTE — use the replication subsystem instead:
+:mod:`repro.replication`, ``python -m repro.replication drill`` for
+the end-to-end exercise, and ``docs/OPERATIONS.md`` for the runbook.
 
 Run::
 
@@ -100,7 +107,11 @@ async def main() -> int:
     print("verdicts match direct store bit-for-bit (members all True, "
           "fpr on absent %.4f)" % fpr)
 
-    # --- snapshot into a standby server --------------------------------
+    # --- seed a second server from a snapshot --------------------------
+    # One manual SNAPSHOT→RESTORE copy: the primitive the replication
+    # subsystem automates (repro.replication keeps a standby current
+    # with SUBSCRIBE + shard deltas and handles failover; see
+    # docs/OPERATIONS.md for the drill).
     blob = await admin.snapshot()
     standby_service = FilterService(make_store())
     standby_server = await standby_service.start(port=0)
@@ -109,7 +120,7 @@ async def main() -> int:
     restored = await standby.restore(blob)
     standby_verdicts = await standby.query(flat[:2000])
     same = bool((standby_verdicts == wire_verdicts[:2000]).all())
-    print("snapshot: %.1f KiB shipped, standby restored %d items, "
+    print("snapshot: %.1f KiB shipped, second server restored %d items, "
           "verdicts identical: %s" % (len(blob) / 1024, restored, same))
 
     await standby.close()

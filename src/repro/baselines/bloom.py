@@ -220,6 +220,13 @@ class BloomFilter:
                 "%r vs %r" % (self, other)
             )
 
+    def empty_like(self) -> "BloomFilter":
+        """A fresh zero-bit filter with this filter's geometry and
+        family — :meth:`union`-compatible by construction, used to build
+        incremental replication deltas (see
+        :meth:`repro.core.membership.ShiftingBloomFilter.empty_like`)."""
+        return BloomFilter(m=self._m, k=self._k, family=self._family)
+
     def union(self, other: "BloomFilter") -> "BloomFilter":
         """Bitwise union: represents exactly ``S1 | S2``.
 

@@ -278,6 +278,22 @@ class ShiftingBloomFilter:
     # ------------------------------------------------------------------
     # Set algebra and estimation
     # ------------------------------------------------------------------
+    def empty_like(self) -> "ShiftingBloomFilter":
+        """A fresh zero-bit filter with this filter's exact geometry.
+
+        Same ``m``, ``k``, ``w_bar``, word size and hash family, so the
+        clone is :meth:`union`-compatible with the original by
+        construction.  This is the building block for incremental
+        replication deltas: new writes are applied to an empty clone,
+        the clone is shipped, and the receiver unions it in — bits and
+        ``n_items`` both land exactly as if the writes had been applied
+        remotely.
+        """
+        return ShiftingBloomFilter(
+            m=self._m, k=self._k, family=self._family,
+            word_bits=self._policy.word_bits, w_bar=self.w_bar,
+        )
+
     def union(self, other: "ShiftingBloomFilter") -> "ShiftingBloomFilter":
         """Bitwise union: represents exactly ``S1 | S2``.
 

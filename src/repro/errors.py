@@ -87,6 +87,37 @@ class ServiceOverloadedError(ReproError, RuntimeError):
     """
 
 
+class ReplicationError(ReproError, RuntimeError):
+    """The primary→standby replication pipeline hit an unrecoverable gap.
+
+    Raised when a standby receives a delta it cannot apply safely — an
+    epoch gap (deltas arrived out of sequence, so intermediate writes
+    are missing), a shard-level delta against a non-sharded target, or a
+    DELTA sent to a server that never subscribed.  The primary reacts by
+    falling back to a full snapshot resync rather than leaving the
+    standby silently divergent.
+    """
+
+
+class StandbyReadOnlyError(ReplicationError):
+    """A write operation (ADD/RESTORE) was sent to a following standby.
+
+    A standby's state is owned by its primary's replication stream;
+    accepting independent writes would make its verdicts diverge from
+    the primary's, defeating the bit-identical failover guarantee.
+    Promote the standby (PROMOTE) before writing to it.
+    """
+
+
+class FailoverExhaustedError(ReplicationError):
+    """Every configured endpoint failed the attempted operation.
+
+    Raised by :class:`repro.replication.FailoverClient` when a read
+    found no live endpoint, or a write found no endpoint in the primary
+    role (all standbys refuse writes; promote one first).
+    """
+
+
 def remote_error(name: str, message: str) -> ReproError:
     """Materialise a server-reported error as a local exception.
 
@@ -96,9 +127,17 @@ def remote_error(name: str, message: str) -> ReproError:
     across the wire exactly as they would locally; anything else —
     including a malicious name like ``SystemExit`` — degrades to a
     :class:`ProtocolError` carrying the original text.
+
+    Errors built here are stamped with ``remote = True`` so transport
+    machinery can tell "the peer answered with an error" (it is alive
+    and rejected the request deterministically) from "the transport
+    died" — the failover client only retries the latter elsewhere.
     """
     cls = globals().get(name)
     if (isinstance(cls, type) and issubclass(cls, ReproError)
             and cls is not ReproError):
-        return cls(message)
-    return ProtocolError("server error %s: %s" % (name, message))
+        error = cls(message)
+    else:
+        error = ProtocolError("server error %s: %s" % (name, message))
+    error.remote = True
+    return error

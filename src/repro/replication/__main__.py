@@ -1,0 +1,486 @@
+"""Command-line entry points for replication and failover drills.
+
+Five subcommands::
+
+    python -m repro.replication serve --port 4001 --role standby
+    python -m repro.replication serve --port 4000 --role primary \\
+        --standby 127.0.0.1:4001 --interval-ms 100
+    python -m repro.replication serve-pair --primary-port 4000 \\
+        --standby-port 4001 --kill-primary-after 30
+    python -m repro.replication probe --port 4000 --n 2000 --seed 11 \\
+        --write --sync 127.0.0.1:4001 --out primary_verdicts.json
+    python -m repro.replication verify \\
+        --endpoints 127.0.0.1:4000,127.0.0.1:4001 --n 2000 --seed 11 \\
+        --expected primary_verdicts.json --promote
+
+``serve`` hosts one node of a replicated pair (a primary that attaches
+and ships to its standbys, or a bare standby awaiting SUBSCRIBE);
+``serve-pair`` hosts both in one process for local experiments and can
+script the primary's death; ``probe`` writes the acknowledged half of a
+seeded :func:`~repro.workloads.replication.build_replication_workload`
+through the primary, waits until the standby has caught up, and records
+the primary's verdicts; ``verify`` replays the same seeded read mix
+through a :class:`~repro.replication.FailoverClient` — surviving a dead
+primary, optionally promoting a standby — and exits non-zero unless
+every verdict is bit-identical to the recorded ones; ``drill`` runs the
+whole kill-primary exercise end-to-end in one process and reports the
+measured failover latency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+from repro.core.membership import ShiftingBloomFilter
+from repro.errors import FailoverExhaustedError, ReproError
+from repro.replication.failover import FailoverClient, parse_endpoint
+from repro.replication.replicator import (
+    ReplicatedFilterService,
+    ReplicationConfig,
+)
+from repro.service.client import ServiceClient
+from repro.service.server import CoalescerConfig, FilterService
+from repro.store.sharded import ShardedFilterStore
+from repro.workloads.replication import build_replication_workload
+from repro.workloads.service import build_service_workload
+
+
+def _add_geometry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--shards", type=int, default=4,
+                        help="shard count; 0 hosts a single filter")
+    parser.add_argument("--m", type=int, default=262144,
+                        help="bits per shard filter")
+    parser.add_argument("--k", type=int, default=8)
+    parser.add_argument("--max-batch", type=int, default=512)
+    parser.add_argument("--max-delay-us", type=int, default=200)
+    parser.add_argument("--max-inflight", type=int, default=1024)
+
+
+def _add_replication_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--interval-ms", type=int, default=200,
+                        help="periodic delta ship cadence")
+    parser.add_argument("--max-staleness-batches", type=int, default=32,
+                        help="write batches that trigger an early ship")
+    parser.add_argument("--full-snapshot-every", type=int, default=0,
+                        help="every Nth ship resyncs with a full "
+                             "snapshot (0 = never force)")
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=2000,
+                        help="write-stream length")
+    parser.add_argument("--failover-at", type=int, default=-1,
+                        help="kill point in the write stream "
+                             "(default: 3/4 of --n)")
+    parser.add_argument("--per-batch", type=int, default=64,
+                        help="elements per write/read request")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _build_target(args: argparse.Namespace):
+    if args.shards <= 0:
+        return ShiftingBloomFilter(m=args.m, k=args.k)
+    return ShardedFilterStore(
+        lambda shard: ShiftingBloomFilter(m=args.m, k=args.k),
+        n_shards=args.shards)
+
+
+def _build_service(args: argparse.Namespace) -> FilterService:
+    return FilterService(_build_target(args), CoalescerConfig(
+        max_batch=args.max_batch,
+        max_delay_us=args.max_delay_us,
+        max_inflight=args.max_inflight,
+    ))
+
+
+def _replication_config(args: argparse.Namespace) -> ReplicationConfig:
+    return ReplicationConfig(
+        interval_ms=args.interval_ms,
+        max_staleness_batches=args.max_staleness_batches,
+        full_snapshot_every=args.full_snapshot_every,
+    )
+
+
+async def _attach_with_retries(repl: ReplicatedFilterService,
+                               host: str, port: int,
+                               retries: int, delay: float) -> None:
+    last: Exception = ConnectionError("no attempt made")
+    for attempt in range(retries):
+        try:
+            await repl.attach_standby(host, port)
+            return
+        except (ConnectionError, OSError, ReproError) as exc:
+            last = exc
+            if attempt + 1 < retries:
+                await asyncio.sleep(delay)
+    raise last
+
+
+# ----------------------------------------------------------------------
+# serve / serve-pair
+# ----------------------------------------------------------------------
+async def _serve(args: argparse.Namespace) -> int:
+    service = _build_service(args)
+    if args.role == "primary" and args.preload > 0:
+        workload = build_service_workload(args.preload, seed=args.seed)
+        service.target.add_batch(list(workload.members))
+    if args.role == "standby":
+        server = await service.start(args.host, args.port)
+        port = server.sockets[0].getsockname()[1]
+        print("repro.replication standby on %s:%d (awaiting SUBSCRIBE)"
+              % (args.host, port), flush=True)
+        async with server:
+            await server.serve_forever()
+        return 0
+    repl = ReplicatedFilterService(service, _replication_config(args))
+    server = await repl.start(args.host, args.port)
+    port = server.sockets[0].getsockname()[1]
+    for spec in args.standby:
+        host, standby_port = parse_endpoint(spec)
+        await _attach_with_retries(
+            repl, host, standby_port,
+            args.attach_retries, args.attach_delay)
+        print("attached standby %s:%d (full snapshot shipped)"
+              % (host, standby_port), flush=True)
+    print("repro.replication primary on %s:%d (n_items=%d, "
+          "interval_ms=%d, standbys=%d)"
+          % (args.host, port, service.target.n_items,
+             args.interval_ms, len(repl.standbys)), flush=True)
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        await repl.close()
+    return 0
+
+
+async def _serve_pair(args: argparse.Namespace) -> int:
+    standby_service = _build_service(args)
+    standby_server = await standby_service.start(
+        args.host, args.standby_port)
+    standby_port = standby_server.sockets[0].getsockname()[1]
+
+    primary_service = _build_service(args)
+    if args.preload > 0:
+        workload = build_service_workload(args.preload, seed=args.seed)
+        primary_service.target.add_batch(list(workload.members))
+    repl = ReplicatedFilterService(
+        primary_service, _replication_config(args))
+    primary_server = await repl.start(args.host, args.primary_port)
+    primary_port = primary_server.sockets[0].getsockname()[1]
+    await repl.attach_standby(args.host, standby_port)
+    print("repro.replication pair: primary %s:%d -> standby %s:%d "
+          "(n_items=%d, interval_ms=%d)"
+          % (args.host, primary_port, args.host, standby_port,
+             primary_service.target.n_items, args.interval_ms),
+          flush=True)
+
+    async def kill_primary_later() -> None:
+        await asyncio.sleep(args.kill_primary_after)
+        await repl.ship()  # last delta: everything acknowledged so far
+        await repl.close()
+        primary_server.close()
+        await primary_server.wait_closed()
+        primary_service.abort_connections()
+        print("primary killed after %.1f s; standby %s:%d still "
+              "serving (PROMOTE it to accept writes)"
+              % (args.kill_primary_after, args.host, standby_port),
+              flush=True)
+
+    killer = None
+    if args.kill_primary_after > 0:
+        killer = asyncio.ensure_future(kill_primary_later())
+    try:
+        async with standby_server:
+            await standby_server.serve_forever()
+    finally:
+        if killer is not None:
+            killer.cancel()
+        await repl.close()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# probe / verify
+# ----------------------------------------------------------------------
+async def _wait_synced(primary: ServiceClient, standby_spec: str,
+                       timeout: float) -> None:
+    """Poll until the standby's epoch and item count match the primary."""
+    host, port = parse_endpoint(standby_spec)
+    standby = await ServiceClient.connect(host, port)
+    try:
+        deadline = time.perf_counter() + timeout
+        while True:
+            p = await primary.stats()
+            s = await standby.stats()
+            if (s["n_items"] == p["n_items"]
+                    and s["replication"]["epoch"]
+                    >= p["replication"]["epoch"]):
+                return
+            if time.perf_counter() > deadline:
+                raise TimeoutError(
+                    "standby %s not synced after %.0f s (items %d/%d, "
+                    "epoch %d/%d)" % (
+                        standby_spec, timeout, s["n_items"],
+                        p["n_items"], s["replication"]["epoch"],
+                        p["replication"]["epoch"]))
+            await asyncio.sleep(0.05)
+    finally:
+        await standby.close()
+
+
+async def _probe(args: argparse.Namespace) -> int:
+    workload = build_replication_workload(
+        args.n, failover_at=args.failover_at, seed=args.seed)
+    client = await ServiceClient.connect(args.host, args.port)
+    try:
+        if args.write:
+            pre, _ = workload.write_batches(args.per_batch)
+            for batch in pre:
+                await client.add(batch)
+            print("wrote %d acknowledged elements in %d batches"
+                  % (len(workload.acknowledged), len(pre)))
+        if args.sync:
+            await _wait_synced(client, args.sync, args.sync_timeout)
+            print("standby %s synced" % args.sync)
+        mix = workload.read_mix()
+        verdicts = []
+        for i in range(0, len(mix), args.per_batch):
+            chunk = await client.query(mix[i : i + args.per_batch])
+            verdicts.extend(int(v) for v in chunk)
+    finally:
+        await client.close()
+    record = {"n": args.n, "seed": args.seed,
+              "failover_at": workload.failover_at,
+              "verdicts": verdicts}
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(record, fh)
+        print("recorded %d verdicts to %s" % (len(verdicts), args.out))
+    return 0
+
+
+async def _verify(args: argparse.Namespace) -> int:
+    workload = build_replication_workload(
+        args.n, failover_at=args.failover_at, seed=args.seed)
+    endpoints = [spec for spec in args.endpoints.split(",") if spec]
+    client = FailoverClient(endpoints, op_timeout=args.op_timeout)
+    try:
+        health = await client.health()
+        for entry in health:
+            print("endpoint %s: %s" % (
+                entry["endpoint"],
+                "role=%s epoch=%d n_items=%d" % (
+                    entry["role"], entry["epoch"], entry["n_items"])
+                if entry["alive"] else "DOWN (%s)" % entry["error"]))
+        if args.promote and not any(
+                e["alive"] and e["role"] == "primary" for e in health):
+            banner = await client.promote()
+            print("promoted: %s" % banner)
+        mix = workload.read_mix()
+        verdicts = []
+        for i in range(0, len(mix), args.per_batch):
+            chunk = await client.query(mix[i : i + args.per_batch])
+            verdicts.extend(int(v) for v in chunk)
+        print("queried %d elements (%d failovers)"
+              % (len(verdicts), client.failovers))
+    finally:
+        await client.close()
+    false_negatives = sum(
+        1 for i in range(0, len(verdicts), 2) if not verdicts[i])
+    if false_negatives:
+        print("FAIL: %d acknowledged members answered False"
+              % false_negatives, file=sys.stderr)
+        return 1
+    if args.expected:
+        with open(args.expected) as fh:
+            recorded = json.load(fh)
+        if recorded["seed"] != args.seed or recorded["n"] != args.n:
+            print("FAIL: %s records seed=%d n=%d, drill uses seed=%d "
+                  "n=%d" % (args.expected, recorded["seed"],
+                            recorded["n"], args.seed, args.n),
+                  file=sys.stderr)
+            return 1
+        mismatches = sum(
+            1 for mine, theirs in zip(verdicts, recorded["verdicts"])
+            if mine != theirs)
+        if mismatches or len(verdicts) != len(recorded["verdicts"]):
+            print("FAIL: %d verdicts diverge from %s"
+                  % (mismatches, args.expected), file=sys.stderr)
+            return 1
+        print("OK: all %d verdicts bit-identical to %s"
+              % (len(verdicts), args.expected))
+        return 0
+    print("OK: every acknowledged member answered True")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# drill: the whole exercise in one process
+# ----------------------------------------------------------------------
+async def _drill(args: argparse.Namespace) -> int:
+    workload = build_replication_workload(
+        args.n, failover_at=args.failover_at, seed=args.seed)
+
+    standby_service = _build_service(args)
+    standby_server = await standby_service.start(args.host, port=0)
+    standby_port = standby_server.sockets[0].getsockname()[1]
+    primary_service = _build_service(args)
+    repl = ReplicatedFilterService(
+        primary_service, _replication_config(args))
+    primary_server = await repl.start(args.host, port=0)
+    primary_port = primary_server.sockets[0].getsockname()[1]
+    await repl.attach_standby(args.host, standby_port)
+    print("pair up: primary :%d -> standby :%d"
+          % (primary_port, standby_port))
+
+    client = FailoverClient([(args.host, primary_port),
+                             (args.host, standby_port)])
+    mix = workload.read_mix()
+    try:
+        # --- acknowledged phase: write, replicate, record verdicts ----
+        pre, post = workload.write_batches(args.per_batch)
+        for batch in pre:
+            await client.add(batch)
+        await repl.ship()
+        primary_verdicts = await client.query(mix)
+        print("acknowledged %d writes; primary verdicts recorded "
+              "(epoch %d)" % (len(workload.acknowledged), repl.epoch))
+
+        # --- kill the primary -----------------------------------------
+        await repl.close()
+        primary_server.close()
+        await primary_server.wait_closed()
+        primary_service.abort_connections()
+        killed_at = time.perf_counter()
+        print("primary killed")
+
+        # --- failover reads: must be bit-identical ---------------------
+        standby_verdicts = await client.query(mix)
+        failover_ms = (time.perf_counter() - killed_at) * 1e3
+        identical = bool(
+            (standby_verdicts == primary_verdicts).all())
+        print("standby answered %d queries %.1f ms after the kill "
+              "(%d failovers); bit-identical: %s"
+              % (len(mix), failover_ms, client.failovers, identical))
+
+        # --- writes must be refused until a PROMOTE --------------------
+        try:
+            await client.add(list(workload.in_flight[:1]))
+            print("FAIL: un-promoted standby accepted a write",
+                  file=sys.stderr)
+            return 1
+        except FailoverExhaustedError:
+            pass
+        banner = await client.promote()
+        print("promoted: %s" % banner)
+        for batch in post:
+            await client.add(batch)
+        late = await client.query(list(workload.in_flight))
+        all_late = bool(late.all()) if len(late) else True
+        print("replayed %d in-flight writes on the new primary; all "
+              "queryable: %s" % (len(workload.in_flight), all_late))
+    finally:
+        await client.close()
+        standby_server.close()
+        await standby_server.wait_closed()
+    if not identical or not all_late:
+        return 1
+    print("DRILL OK (failover read latency %.1f ms)" % failover_ms)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser and entry point
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.replication", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="host one node of a pair")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=4000)
+    serve.add_argument("--role", choices=("primary", "standby"),
+                       default="primary")
+    serve.add_argument("--standby", action="append", default=[],
+                       metavar="HOST:PORT",
+                       help="standby endpoint to attach (repeatable)")
+    serve.add_argument("--preload", type=int, default=0,
+                       help="insert this many seeded catalog items")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--attach-retries", type=int, default=20)
+    serve.add_argument("--attach-delay", type=float, default=0.25)
+    _add_geometry_args(serve)
+    _add_replication_args(serve)
+
+    pair = sub.add_parser(
+        "serve-pair", help="host primary and standby in one process")
+    pair.add_argument("--host", default="127.0.0.1")
+    pair.add_argument("--primary-port", type=int, default=4000)
+    pair.add_argument("--standby-port", type=int, default=4001)
+    pair.add_argument("--preload", type=int, default=0)
+    pair.add_argument("--seed", type=int, default=0)
+    pair.add_argument("--kill-primary-after", type=float, default=0,
+                      help="seconds until the primary is killed "
+                           "(0 = never); the standby keeps serving")
+    _add_geometry_args(pair)
+    _add_replication_args(pair)
+
+    probe = sub.add_parser(
+        "probe", help="write the acknowledged stream, record verdicts")
+    probe.add_argument("--host", default="127.0.0.1")
+    probe.add_argument("--port", type=int, default=4000)
+    probe.add_argument("--write", action="store_true",
+                       help="write the pre-failover stream first")
+    probe.add_argument("--sync", metavar="HOST:PORT", default=None,
+                       help="wait until this standby matches the "
+                            "primary's epoch and item count")
+    probe.add_argument("--sync-timeout", type=float, default=30.0)
+    probe.add_argument("--out", default=None,
+                       help="write the verdict record to this JSON file")
+    _add_workload_args(probe)
+
+    verify = sub.add_parser(
+        "verify", help="replay the read mix through a failover client")
+    verify.add_argument("--endpoints", required=True,
+                        help="comma-separated host:port list, primary "
+                             "first")
+    verify.add_argument("--expected", default=None,
+                        help="probe's verdict record to compare "
+                             "bit-for-bit")
+    verify.add_argument("--promote", action="store_true",
+                        help="promote a standby if no primary is alive")
+    verify.add_argument("--op-timeout", type=float, default=5.0)
+    _add_workload_args(verify)
+
+    drill = sub.add_parser(
+        "drill", help="full kill-primary failover drill in one process")
+    drill.add_argument("--host", default="127.0.0.1")
+    _add_workload_args(drill)
+    _add_geometry_args(drill)
+    _add_replication_args(drill)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    runner = {
+        "serve": _serve,
+        "serve-pair": _serve_pair,
+        "probe": _probe,
+        "verify": _verify,
+        "drill": _drill,
+    }[args.command]
+    try:
+        return asyncio.run(runner(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

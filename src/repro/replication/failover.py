@@ -1,0 +1,311 @@
+"""Client-side failover across a primary and its warm standbys.
+
+:class:`FailoverClient` presents the :class:`~repro.service.
+ServiceClient` surface over an *ordered endpoint list* instead of one
+connection:
+
+* **reads** (``ping``/``query``/``query_multi``/``stats``/
+  ``snapshot``) try the currently preferred endpoint first and fail
+  over to the next on any transport death, malformed stream or —
+  because a shedding primary is exactly when a warm standby should
+  absorb reads — :class:`~repro.errors.ServiceOverloadedError`.
+  Errors a *live* server answered with (stamped ``remote`` by
+  :func:`repro.errors.remote_error`) re-raise instead of failing
+  over: the peer rejected the request deterministically, and the same
+  payload would fail identically everywhere;
+* **writes** (``add``/``restore``) walk the endpoints until one in the
+  *primary role* accepts; standbys refuse writes with
+  :class:`~repro.errors.StandbyReadOnlyError`, which is treated as
+  "keep looking", so a write can never land on a follower and fork
+  the replicated state.  With ``auto_promote=True`` a write that finds
+  no primary promotes the preferred surviving standby and retries
+  once — the one-line failover drill;
+* **health** (:meth:`FailoverClient.health`) probes every endpoint
+  with PING + STATS and reports role, epoch and round-trip time,
+  without disturbing the preferred-endpoint choice.
+
+Connections are opened lazily and dropped on first failure; a dead
+endpoint is retried from scratch on the next operation that reaches
+it, so a revived primary rejoins the rotation without client restarts.
+When every endpoint fails, :class:`~repro.errors.
+FailoverExhaustedError` carries the full per-endpoint error list.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Awaitable, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util import ElementLike
+from repro.errors import (
+    FailoverExhaustedError,
+    ProtocolError,
+    ServiceOverloadedError,
+    StandbyReadOnlyError,
+)
+from repro.service.client import ServiceClient
+
+__all__ = ["FailoverClient", "parse_endpoint"]
+
+
+def parse_endpoint(spec) -> Tuple[str, int]:
+    """``"host:port"`` or ``(host, port)`` → ``(host, port)``."""
+    if isinstance(spec, str):
+        host, sep, port = spec.rpartition(":")
+        try:
+            if not sep or not host:
+                raise ValueError
+            return host, int(port)
+        except ValueError:
+            raise ProtocolError(
+                "endpoint %r is not of the form host:port" % spec
+            ) from None
+    host, port = spec
+    return str(host), int(port)
+
+
+class FailoverClient:
+    """One logical client over ``[primary, standby, ...]`` endpoints.
+
+    Args:
+        endpoints: ordered endpoint list — ``"host:port"`` strings or
+            ``(host, port)`` pairs; the first is the presumed primary.
+        retry_overload: fail reads over to a standby when the preferred
+            endpoint sheds with ``ServiceOverloadedError`` (on by
+            default; writes never retry on overload — the primary's
+            backpressure must reach the writer).
+        auto_promote: when a write finds no endpoint in the primary
+            role, PROMOTE the preferred surviving standby and retry the
+            write once.
+        op_timeout: optional per-attempt timeout in seconds; a hung
+            endpoint then counts as failed instead of stalling the
+            caller.
+
+    Example::
+
+        client = FailoverClient(["10.0.0.1:4000", "10.0.0.2:4001"])
+        verdicts = await client.query([b"a", b"b"])  # survives a dead
+        await client.close()                         # primary
+    """
+
+    #: Errors that move a read to the next endpoint.
+    _TRANSPORT_ERRORS = (ConnectionError, OSError, ProtocolError,
+                         asyncio.TimeoutError)
+
+    def __init__(
+        self,
+        endpoints: Sequence,
+        retry_overload: bool = True,
+        auto_promote: bool = False,
+        op_timeout: Optional[float] = None,
+    ):
+        parsed = [parse_endpoint(spec) for spec in endpoints]
+        if not parsed:
+            raise ProtocolError("FailoverClient needs >= 1 endpoint")
+        self._endpoints = parsed
+        self._clients: List[Optional[ServiceClient]] = [None] * len(parsed)
+        self._preferred = 0
+        self._retry_overload = retry_overload
+        self._auto_promote = auto_promote
+        self._op_timeout = op_timeout
+        #: Times a read or write landed on a different endpoint than
+        #: the previously preferred one.
+        self.failovers = 0
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    @property
+    def endpoints(self) -> Tuple[Tuple[str, int], ...]:
+        """The configured ``(host, port)`` endpoints, in order."""
+        return tuple(self._endpoints)
+
+    @property
+    def preferred(self) -> int:
+        """Index of the endpoint reads currently go to first."""
+        return self._preferred
+
+    async def _ensure(self, index: int) -> ServiceClient:
+        client = self._clients[index]
+        if client is not None:
+            return client
+        host, port = self._endpoints[index]
+        connect = ServiceClient.connect(host, port)
+        if self._op_timeout is not None:
+            connect = asyncio.wait_for(connect, self._op_timeout)
+        client = await connect
+        self._clients[index] = client
+        return client
+
+    async def _drop(self, index: int) -> None:
+        client, self._clients[index] = self._clients[index], None
+        if client is not None:
+            try:
+                await client.close()
+            except Exception:  # pragma: no cover - best effort
+                pass
+
+    def _order(self) -> List[int]:
+        n = len(self._endpoints)
+        return [(self._preferred + i) % n for i in range(n)]
+
+    async def _attempt(self, index: int,
+                       op: Callable[[ServiceClient], Awaitable]):
+        client = await self._ensure(index)
+        call = op(client)
+        if self._op_timeout is not None:
+            call = asyncio.wait_for(call, self._op_timeout)
+        return await call
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    async def _read(self, op: Callable[[ServiceClient], Awaitable]):
+        errors: List[str] = []
+        for index in self._order():
+            try:
+                result = await self._attempt(index, op)
+            except self._TRANSPORT_ERRORS as exc:
+                if getattr(exc, "remote", False):
+                    # The endpoint is alive and *rejected* the request
+                    # (e.g. a server-side ProtocolError): retrying the
+                    # same payload elsewhere would fail the same way.
+                    raise
+                errors.append("%s:%d %s: %s" % (
+                    *self._endpoints[index], type(exc).__name__, exc))
+                await self._drop(index)
+                continue
+            except ServiceOverloadedError as exc:
+                if not self._retry_overload:
+                    raise
+                errors.append("%s:%d shed: %s" % (
+                    *self._endpoints[index], exc))
+                continue  # connection is healthy; just try a standby
+            if index != self._preferred:
+                self._preferred = index
+                self.failovers += 1
+            return result
+        raise FailoverExhaustedError(
+            "read failed on all %d endpoints: %s"
+            % (len(self._endpoints), "; ".join(errors)))
+
+    async def ping(self) -> str:
+        return await self._read(lambda c: c.ping())
+
+    async def query(self, elements: Sequence[ElementLike]) -> np.ndarray:
+        return await self._read(lambda c: c.query(elements))
+
+    async def query_multi(self, elements: Sequence[ElementLike]):
+        return await self._read(lambda c: c.query_multi(elements))
+
+    async def stats(self) -> dict:
+        return await self._read(lambda c: c.stats())
+
+    async def snapshot(self) -> bytes:
+        return await self._read(lambda c: c.snapshot())
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    async def _write(self, op: Callable[[ServiceClient], Awaitable],
+                     allow_promote: bool):
+        errors: List[str] = []
+        for index in self._order():
+            try:
+                result = await self._attempt(index, op)
+            except self._TRANSPORT_ERRORS as exc:
+                if getattr(exc, "remote", False):
+                    raise  # a live server's verdict, not a dead link
+                errors.append("%s:%d %s: %s" % (
+                    *self._endpoints[index], type(exc).__name__, exc))
+                await self._drop(index)
+                continue
+            except StandbyReadOnlyError as exc:
+                # Healthy, but a follower: never write here un-promoted.
+                errors.append("%s:%d standby: %s" % (
+                    *self._endpoints[index], exc))
+                continue
+            if index != self._preferred:
+                self._preferred = index
+                self.failovers += 1
+            return result
+        if allow_promote and self._auto_promote:
+            await self.promote()
+            return await self._write(op, allow_promote=False)
+        raise FailoverExhaustedError(
+            "write found no endpoint in the primary role (%d tried): "
+            "%s — promote a standby first"
+            % (len(self._endpoints), "; ".join(errors)))
+
+    async def add(self, elements: Sequence[ElementLike],
+                  counts: Optional[Sequence[int]] = None) -> int:
+        return await self._write(
+            lambda c: c.add(elements, counts), allow_promote=True)
+
+    async def restore(self, blob: bytes) -> int:
+        return await self._write(
+            lambda c: c.restore(blob), allow_promote=True)
+
+    # ------------------------------------------------------------------
+    # Promotion and health
+    # ------------------------------------------------------------------
+    async def promote(self, index: Optional[int] = None) -> str:
+        """PROMOTE an endpoint to primary; defaults to the first
+        reachable one in preference order.  The promoted endpoint
+        becomes the preferred target for subsequent writes and reads.
+        """
+        candidates = [index] if index is not None else self._order()
+        errors: List[str] = []
+        for i in candidates:
+            try:
+                banner = await self._attempt(i, lambda c: c.promote())
+            except self._TRANSPORT_ERRORS as exc:
+                errors.append("%s:%d %s: %s" % (
+                    *self._endpoints[i], type(exc).__name__, exc))
+                await self._drop(i)
+                continue
+            self._preferred = i
+            return banner
+        raise FailoverExhaustedError(
+            "no endpoint reachable for PROMOTE: %s" % "; ".join(errors))
+
+    async def health(self) -> List[dict]:
+        """Probe every endpoint; one dict per endpoint, dead or alive.
+
+        Keys: ``endpoint``, ``alive``, ``rtt_ms``, and — when alive —
+        ``role``, ``epoch`` and ``n_items`` from STATS.  Probing does
+        not change the preferred endpoint.
+        """
+        out = []
+        for index, (host, port) in enumerate(self._endpoints):
+            entry: dict = {"endpoint": "%s:%d" % (host, port),
+                           "alive": False, "rtt_ms": None}
+            start = time.perf_counter()
+            try:
+                stats = await self._attempt(index, lambda c: c.stats())
+            except self._TRANSPORT_ERRORS + (
+                    ServiceOverloadedError,) as exc:
+                entry["error"] = "%s: %s" % (type(exc).__name__, exc)
+                await self._drop(index)
+            else:
+                entry["alive"] = True
+                entry["rtt_ms"] = (time.perf_counter() - start) * 1e3
+                entry["role"] = stats["replication"]["role"]
+                entry["epoch"] = stats["replication"]["epoch"]
+                entry["n_items"] = stats["n_items"]
+            out.append(entry)
+        return out
+
+    async def close(self) -> None:
+        """Close every open endpoint connection."""
+        for index in range(len(self._endpoints)):
+            await self._drop(index)
+
+    async def __aenter__(self) -> "FailoverClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

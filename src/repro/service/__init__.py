@@ -16,18 +16,25 @@ reachable from other processes:
 * :mod:`repro.service.client` — a pipelined asyncio client plus a
   blocking wrapper for scripts;
 * ``python -m repro.service`` — ``serve`` / ``ping`` / ``bench``.
+
+Replication rides on this layer: the wire protocol's SUBSCRIBE / DELTA
+/ PROMOTE ops and the server's :class:`ReplicaState` role machinery are
+defined here, while the primary-side shipping loop and the failover
+client live one layer up in :mod:`repro.replication`.
 """
 
 from repro.service.client import ServiceClient, SyncServiceClient
 from repro.service.server import (
     CoalescerConfig,
     FilterService,
+    ReplicaState,
     ServiceCounters,
 )
 
 __all__ = [
     "CoalescerConfig",
     "FilterService",
+    "ReplicaState",
     "ServiceClient",
     "ServiceCounters",
     "SyncServiceClient",

@@ -146,6 +146,39 @@ class ServiceClient:
         payload = await self._request(protocol.OP_STATS)
         return json.loads(payload.decode("utf-8"))
 
+    # --- replication ops (primary-side replicator / operator tools) ---
+    async def subscribe(self, epoch: int, blob: bytes) -> int:
+        """Attach the peer as a standby: full snapshot + stream epoch.
+
+        The receiving server restores *blob*, enters the read-only
+        ``standby`` role and records *epoch* as its replication
+        position; returns its item count after the restore.
+        """
+        payload = await self._request(
+            protocol.OP_SUBSCRIBE, protocol.encode_subscribe(epoch, blob))
+        return int.from_bytes(payload, "big")
+
+    async def delta(
+        self,
+        epoch: int,
+        entries: Optional[List[tuple]] = None,
+        full_blob: Optional[bytes] = None,
+    ) -> int:
+        """Ship one replication delta (shard entries or a full blob).
+
+        Returns the standby's item count after application.  See
+        :func:`repro.service.protocol.encode_delta` for the two kinds.
+        """
+        payload = await self._request(
+            protocol.OP_DELTA,
+            protocol.encode_delta(epoch, entries, full_blob))
+        return int.from_bytes(payload, "big")
+
+    async def promote(self) -> str:
+        """Flip a standby back to the writable primary role."""
+        payload = await self._request(protocol.OP_PROMOTE)
+        return payload.decode("utf-8")
+
     async def close(self) -> None:
         """Close the connection and stop the reader task."""
         if self._closed:
@@ -215,6 +248,9 @@ class SyncServiceClient:
 
     def stats(self) -> dict:
         return self._call(self._client.stats())
+
+    def promote(self) -> str:
+        return self._call(self._client.promote())
 
     def close(self) -> None:
         """Close the connection and stop the private loop thread."""

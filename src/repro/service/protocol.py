@@ -27,6 +27,9 @@ QUERY_MULTI 4    elements                          1 byte/element (ShBF_A)
 SNAPSHOT   5     empty                             persistence blob
 RESTORE    6     persistence blob                  u32 restored item count
 STATS      7     empty                             JSON object (utf-8)
+SUBSCRIBE  8     u64 epoch + snapshot blob         u32 restored item count
+DELTA      9     replication delta (see below)     u32 item count after apply
+PROMOTE    10    empty                             server banner (utf-8)
 ========== ===== ================================= =========================
 
 A response's code is a status: ``OK`` (0) or ``ERR`` (1); error payloads
@@ -43,6 +46,16 @@ QUERY_MULTI encodes one :class:`~repro.core.association_types.
 AssociationAnswer` per element in a single byte: the low three bits are
 the surviving-region mask (S1_ONLY=1, BOTH=2, S2_ONLY=4) and bit 3 is
 the *clear* flag — the full seven-outcome answer of §4.2 in 8 bits.
+
+SUBSCRIBE, DELTA and PROMOTE are the replication ops
+(:mod:`repro.replication`).  SUBSCRIBE attaches a warm standby: the
+payload is the primary's replication epoch plus a full persistence
+snapshot, and the receiving server enters the read-only ``standby``
+role.  DELTA ships incremental state: ``u64 epoch``, ``u8 kind``, then
+either one whole-store blob (kind 1, *full*) or ``u32 n`` shard entries
+of ``u32 shard_id``, ``u8 mode`` (0 merge / 1 replace), ``u32 length``
+and a single-filter blob (kind 0, *shards*).  PROMOTE flips a standby
+back to the writable ``primary`` role after its primary dies.
 
 Decoding is strict: declared lengths must match the bytes present, and
 frames above :data:`MAX_FRAME_BYTES` are rejected before allocation, so
@@ -63,26 +76,37 @@ from repro.core.association_types import Association, AssociationAnswer
 from repro.errors import ProtocolError
 
 __all__ = [
+    "DELTA_FULL",
+    "DELTA_SHARDS",
     "MAX_FRAME_BYTES",
+    "MODE_MERGE",
+    "MODE_REPLACE",
     "OP_ADD",
+    "OP_DELTA",
     "OP_PING",
+    "OP_PROMOTE",
     "OP_QUERY",
     "OP_QUERY_MULTI",
     "OP_RESTORE",
     "OP_SNAPSHOT",
     "OP_STATS",
+    "OP_SUBSCRIBE",
     "STATUS_ERR",
     "STATUS_OK",
     "decode_association_answers",
     "decode_counts",
+    "decode_delta",
     "decode_elements",
     "decode_error",
     "decode_frame",
+    "decode_subscribe",
     "decode_verdicts",
     "encode_association_answers",
+    "encode_delta",
     "encode_elements",
     "encode_error",
     "encode_frame",
+    "encode_subscribe",
     "encode_verdicts",
     "read_frame",
 ]
@@ -95,6 +119,9 @@ OP_QUERY_MULTI = 4
 OP_SNAPSHOT = 5
 OP_RESTORE = 6
 OP_STATS = 7
+OP_SUBSCRIBE = 8
+OP_DELTA = 9
+OP_PROMOTE = 10
 
 STATUS_OK = 0
 STATUS_ERR = 1
@@ -102,7 +129,14 @@ STATUS_ERR = 1
 _KNOWN_OPS = frozenset((
     OP_PING, OP_ADD, OP_QUERY, OP_QUERY_MULTI,
     OP_SNAPSHOT, OP_RESTORE, OP_STATS,
+    OP_SUBSCRIBE, OP_DELTA, OP_PROMOTE,
 ))
+
+# --- replication delta kinds and shard-entry apply modes --------------
+DELTA_SHARDS = 0
+DELTA_FULL = 1
+MODE_MERGE = 0
+MODE_REPLACE = 1
 
 #: Hard ceiling on one frame.  Large enough for a multi-MiB store
 #: snapshot, small enough that a corrupted length prefix cannot make a
@@ -386,6 +420,99 @@ def decode_association_answers(payload: bytes) -> List[AssociationAnswer]:
         answers.append(AssociationAnswer(
             candidates=candidates, clear=bool(mask & _CLEAR_BIT)))
     return answers
+
+
+# ----------------------------------------------------------------------
+# Replication (SUBSCRIBE / DELTA)
+# ----------------------------------------------------------------------
+_U64 = struct.Struct("!Q")
+_DELTA_HEAD = struct.Struct("!QB")       # epoch + kind
+_DELTA_ENTRY = struct.Struct("!IBI")     # shard id + mode + blob length
+
+
+def encode_subscribe(epoch: int, blob: bytes) -> bytes:
+    """SUBSCRIBE payload: the primary's epoch plus a full snapshot."""
+    return _U64.pack(epoch) + blob
+
+
+def decode_subscribe(payload: bytes) -> Tuple[int, bytes]:
+    """Invert :func:`encode_subscribe`: ``(epoch, snapshot blob)``."""
+    if len(payload) < _U64.size:
+        raise ProtocolError("SUBSCRIBE payload truncated inside its epoch")
+    (epoch,) = _U64.unpack_from(payload)
+    return epoch, payload[_U64.size:]
+
+
+def encode_delta(
+    epoch: int,
+    entries: Optional[Sequence[Tuple[int, int, bytes]]] = None,
+    full_blob: Optional[bytes] = None,
+) -> bytes:
+    """Encode a replication delta frame payload.
+
+    Exactly one of *entries* (kind ``DELTA_SHARDS``: a sequence of
+    ``(shard_id, mode, blob)`` triples, possibly empty — an epoch
+    heartbeat) or *full_blob* (kind ``DELTA_FULL``: one whole-target
+    persistence blob) must be given.
+    """
+    if (entries is None) == (full_blob is None):
+        raise ProtocolError(
+            "a delta is either shard entries or one full blob, not both")
+    if full_blob is not None:
+        return _DELTA_HEAD.pack(epoch, DELTA_FULL) + full_blob
+    parts = [_DELTA_HEAD.pack(epoch, DELTA_SHARDS),
+             _U32.pack(len(entries))]
+    for shard_id, mode, blob in entries:
+        if mode not in (MODE_MERGE, MODE_REPLACE):
+            raise ProtocolError(
+                "delta entry mode must be MERGE (0) or REPLACE (1), "
+                "got %d" % mode)
+        parts.append(_DELTA_ENTRY.pack(shard_id, mode, len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def decode_delta(
+    payload: bytes,
+) -> Tuple[int, Optional[bytes], Optional[List[Tuple[int, int, bytes]]]]:
+    """Invert :func:`encode_delta`: ``(epoch, full_blob, entries)``.
+
+    Exactly one of ``full_blob`` / ``entries`` is non-``None``,
+    mirroring the two delta kinds.
+    """
+    if len(payload) < _DELTA_HEAD.size:
+        raise ProtocolError("delta payload truncated inside its header")
+    epoch, kind = _DELTA_HEAD.unpack_from(payload)
+    body = payload[_DELTA_HEAD.size:]
+    if kind == DELTA_FULL:
+        return epoch, body, None
+    if kind != DELTA_SHARDS:
+        raise ProtocolError("unknown delta kind %d" % kind)
+    if len(body) < 4:
+        raise ProtocolError("shard delta truncated inside its count")
+    (count,) = _U32.unpack_from(body)
+    cursor = 4
+    entries: List[Tuple[int, int, bytes]] = []
+    for _ in range(count):
+        if cursor + _DELTA_ENTRY.size > len(body):
+            raise ProtocolError(
+                "shard delta truncated: %d entries promised, ran out at "
+                "entry %d" % (count, len(entries)))
+        shard_id, mode, size = _DELTA_ENTRY.unpack_from(body, cursor)
+        if mode not in (MODE_MERGE, MODE_REPLACE):
+            raise ProtocolError(
+                "delta entry %d has unknown mode %d" % (len(entries), mode))
+        cursor += _DELTA_ENTRY.size
+        if cursor + size > len(body):
+            raise ProtocolError(
+                "delta entry %d declares %d blob bytes but only %d remain"
+                % (len(entries), size, len(body) - cursor))
+        entries.append((shard_id, mode, body[cursor : cursor + size]))
+        cursor += size
+    if cursor != len(body):
+        raise ProtocolError(
+            "%d trailing bytes after shard delta" % (len(body) - cursor))
+    return epoch, None, entries
 
 
 # ----------------------------------------------------------------------

@@ -33,6 +33,17 @@ The server hosts either a :class:`~repro.store.ShardedFilterStore` or
 any single filter speaking the batch contract; SNAPSHOT/RESTORE
 delegate to :mod:`repro.persistence` (container or single-filter format,
 auto-detected by magic).
+
+Every service also carries a replication **role**
+(:class:`ReplicaState`): servers start as writable primaries, a
+SUBSCRIBE frame turns one into a read-only *standby* that applies the
+subscribed primary's DELTA stream (shard-wise union merges, shard
+replacements after a rotation, or full-snapshot resyncs), and PROMOTE
+flips it back to primary after a failover.  While following, ADD and
+RESTORE are refused with
+:class:`~repro.errors.StandbyReadOnlyError` so standby state can never
+diverge from the stream.  The primary-side shipping logic lives in
+:mod:`repro.replication`.
 """
 
 from __future__ import annotations
@@ -40,22 +51,30 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro import persistence
 from repro.core.association_types import AssociationAnswer
 from repro.errors import (
+    ConfigurationError,
     ProtocolError,
+    ReplicationError,
     ServiceOverloadedError,
+    StandbyReadOnlyError,
     UnsupportedOperationError,
 )
 from repro.harness.metrics import access_stats_dict
 from repro.service import protocol
 from repro.store.sharded import ShardedFilterStore
 
-__all__ = ["CoalescerConfig", "FilterService", "ServiceCounters"]
+__all__ = [
+    "CoalescerConfig",
+    "FilterService",
+    "ReplicaState",
+    "ServiceCounters",
+]
 
 #: Magic prefixes of the two persistence formats RESTORE accepts.
 _STORE_MAGIC = b"SHBS"
@@ -104,6 +123,29 @@ class ServiceCounters:
     overload_rejections: int = 0
     protocol_errors: int = 0
     peak_queue_depth: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class ReplicaState:
+    """Replication-side state of one service, served under STATS.
+
+    ``role`` is ``"primary"`` (writable; the initial state) or
+    ``"standby"`` (read-only follower of a SUBSCRIBE'd primary).
+    ``epoch`` is the last replication epoch this server has applied —
+    comparing a standby's epoch against its primary's is the live
+    staleness probe the failover drill and the ``--sync`` CLI flag use.
+    """
+
+    role: str = "primary"
+    epoch: int = 0
+    deltas_applied: int = 0
+    full_snapshots_applied: int = 0
+    shards_merged: int = 0
+    shards_replaced: int = 0
+    bytes_received: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -211,7 +253,17 @@ class FilterService:
         self.config = config if config is not None else CoalescerConfig()
         self._banner = banner
         self.counters = ServiceCounters()
+        self.replica = ReplicaState()
+        #: Called with ``(elements, counts)`` after every successful
+        #: write batch; :class:`repro.replication.ReplicatedFilterService`
+        #: hooks this to journal writes for the next delta ship.
+        self.on_write: Optional[Callable[
+            [Sequence[bytes], Optional[Sequence[int]]], None]] = None
+        #: Extra dict merged into STATS' ``replication`` object; set by
+        #: the primary-side replicator to expose standby link state.
+        self.replication_extra: Optional[Callable[[], dict]] = None
         self._inflight = 0
+        self._connections: set = set()
         self._query = _Coalescer(self, self._run_query_batch)
         self._query_multi = _Coalescer(self, self._run_query_multi_batch)
         self._add = _Coalescer(self, self._run_add_batch)
@@ -250,8 +302,15 @@ class FilterService:
                 "max_inflight": self.config.max_inflight,
             },
             "counters": self.counters.as_dict(),
+            "replication": self._replication_stats(),
             "access": access_stats_dict(target.memory.stats),
         }
+
+    def _replication_stats(self) -> dict:
+        info = self.replica.as_dict()
+        if self.replication_extra is not None:
+            info.update(self.replication_extra())
+        return info
 
     # ------------------------------------------------------------------
     # Batch executors (called by the coalescers)
@@ -276,6 +335,8 @@ class FilterService:
             self._target.add_batch(elements)
         else:
             self._target.add_batch(elements, counts)
+        if self.on_write is not None:
+            self.on_write(elements, counts)
         return [None] * len(elements)
 
     # --- scalar fallbacks (max_batch=1: the uncoalesced baseline) -----
@@ -295,6 +356,92 @@ class FilterService:
                 self._target.add(element, counts[i])
         self.counters.elements_added += len(elements)
         self.counters.batches_executed += 1
+        if self.on_write is not None:
+            self.on_write(elements, counts)
+
+    # ------------------------------------------------------------------
+    # Replication apply path (standby side)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _load_snapshot(blob: bytes, op_name: str):
+        """Materialise a store container or single-filter blob by magic."""
+        if blob[:4] == _STORE_MAGIC:
+            return persistence.loads_store(blob)
+        if blob[:4] == _FILTER_MAGIC:
+            return persistence.loads(blob)
+        raise ProtocolError(
+            "%s payload is neither a store container nor a filter "
+            "snapshot (bad magic)" % op_name)
+
+    def _apply_delta(self, payload: bytes) -> bytes:
+        """Apply one DELTA frame; returns the OK payload (new n_items).
+
+        Application is synchronous on the event loop, so queries never
+        observe a torn store: each request sees the fleet either wholly
+        before or wholly after the delta.  Epoch discipline: stale
+        epochs are ignored (idempotent retries), a gap in the shard-
+        delta sequence is refused with
+        :class:`~repro.errors.ReplicationError` so the primary resyncs
+        with a full snapshot instead of leaving writes missing; full
+        deltas accept any forward jump since they carry complete state.
+        """
+        if self.replica.role != "standby":
+            raise ReplicationError(
+                "this server is not following a primary; SUBSCRIBE "
+                "must precede DELTA")
+        epoch, full_blob, entries = protocol.decode_delta(payload)
+        state = self.replica
+        if epoch <= state.epoch:
+            # A retry of a delta this standby already applied; re-applying
+            # a merge would inflate n_items, so acknowledge and move on.
+            return protocol._U32.pack(
+                getattr(self._target, "n_items", 0))
+        if full_blob is not None:
+            self._target = self._load_snapshot(full_blob, "DELTA")
+            state.full_snapshots_applied += 1
+            state.bytes_received += len(full_blob)
+        else:
+            if epoch != state.epoch + 1:
+                raise ReplicationError(
+                    "replication epoch gap: standby at %d received "
+                    "shard delta %d; a full resync is required"
+                    % (state.epoch, epoch))
+            if not isinstance(self._target, ShardedFilterStore):
+                raise ReplicationError(
+                    "shard-level delta against a non-sharded target "
+                    "(%s); only full deltas apply here"
+                    % type(self._target).__name__)
+            store = self._target
+            for shard_id, mode, blob in entries:
+                if not 0 <= shard_id < store.n_shards:
+                    raise ReplicationError(
+                        "delta names shard %d; standby store has %d "
+                        "shards" % (shard_id, store.n_shards))
+                incoming = persistence.loads(blob)
+                state.bytes_received += len(blob)
+                if mode == protocol.MODE_MERGE:
+                    try:
+                        store.merge_shard(shard_id, incoming)
+                        state.shards_merged += 1
+                    except (ConfigurationError,
+                            UnsupportedOperationError) as exc:
+                        # A merge blob holds only the writes since the
+                        # last ship — never authoritative state — so a
+                        # shard it cannot union into (the standby
+                        # missed a rotate_shard the epoch check did not
+                        # catch) must NOT be swapped in: that would
+                        # drop every earlier key in the shard.  Refuse,
+                        # so the primary resyncs with a full snapshot.
+                        raise ReplicationError(
+                            "merge delta incompatible with shard %d "
+                            "(%s); full resync required"
+                            % (shard_id, exc)) from exc
+                else:
+                    store.replace_shard(shard_id, incoming)
+                    state.shards_replaced += 1
+            state.deltas_applied += 1
+        state.epoch = epoch
+        return protocol._U32.pack(getattr(self._target, "n_items", 0))
 
     # ------------------------------------------------------------------
     # Request dispatch
@@ -318,19 +465,40 @@ class FilterService:
             return persistence.dumps(self._target)
 
         if op == protocol.OP_RESTORE:
-            if payload[:4] == _STORE_MAGIC:
-                self._target = persistence.loads_store(payload)
-            elif payload[:4] == _FILTER_MAGIC:
-                self._target = persistence.loads(payload)
-            else:
-                raise ProtocolError(
-                    "RESTORE payload is neither a store container nor a "
-                    "filter snapshot (bad magic)")
+            if self.replica.role == "standby":
+                raise StandbyReadOnlyError(
+                    "this server is a standby following a primary; "
+                    "RESTORE would diverge it from the replication "
+                    "stream (PROMOTE it first)")
+            self._target = self._load_snapshot(payload, "RESTORE")
             return protocol._U32.pack(self._target.n_items)
+
+        if op == protocol.OP_SUBSCRIBE:
+            epoch, blob = protocol.decode_subscribe(payload)
+            self._target = self._load_snapshot(blob, "SUBSCRIBE")
+            self.replica.role = "standby"
+            self.replica.epoch = epoch
+            self.replica.full_snapshots_applied += 1
+            self.replica.bytes_received += len(blob)
+            return protocol._U32.pack(self._target.n_items)
+
+        if op == protocol.OP_DELTA:
+            return self._apply_delta(payload)
+
+        if op == protocol.OP_PROMOTE:
+            self.replica.role = "primary"
+            return ("promoted to primary at epoch %d (n_items=%d)"
+                    % (self.replica.epoch,
+                       getattr(self._target, "n_items", 0))).encode("utf-8")
 
         elements, counts = protocol.decode_elements(payload)
 
         if op == protocol.OP_ADD:
+            if self.replica.role == "standby":
+                raise StandbyReadOnlyError(
+                    "this server is a standby following a primary; "
+                    "writes must go to the primary (or PROMOTE this "
+                    "standby after a failover)")
             if not elements:
                 return protocol._U32.pack(0)
             if self.config.max_batch <= 1:
@@ -411,6 +579,7 @@ class FilterService:
         out of order — the request id is the correlation key.
         """
         tasks = set()
+        self._connections.add(writer)
         try:
             while True:
                 try:
@@ -440,6 +609,7 @@ class FilterService:
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
         finally:
+            self._connections.discard(writer)
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
             writer.close()
@@ -461,3 +631,17 @@ class FilterService:
         """
         return await asyncio.start_server(
             self.handle_connection, host=host, port=port)
+
+    def abort_connections(self) -> None:
+        """Tear down every open client connection immediately.
+
+        Together with closing the listening server this simulates a
+        process death from the clients' point of view — in-flight
+        requests fail with a connection error rather than hanging —
+        which is what the in-process failover drill and benchmark use
+        to measure warm-client failover latency.
+        """
+        for writer in list(self._connections):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()

@@ -414,9 +414,58 @@ class ShardedFilterStore:
                 replacement.add_batch(elements)
             else:
                 replacement.add_batch(elements, counts)
+        return self.replace_shard(shard_id, replacement)
+
+    def replace_shard(self, shard_id: int, replacement):
+        """Swap *replacement* in for one shard; returns the retired
+        filter.
+
+        The atomic swap primitive under :meth:`rotate_shard` and the
+        replication layer's replace-mode delta application: the caller
+        supplies an authoritative filter for the shard's keyspace slice
+        (a rebuild, or the primary's shipped copy) and it takes over
+        serving instantly.
+        """
+        if not 0 <= shard_id < self.n_shards:
+            raise ConfigurationError(
+                "shard_id %d out of range for %d shards"
+                % (shard_id, self.n_shards)
+            )
         retired, self._shards[shard_id] = (
             self._shards[shard_id], replacement)
         return retired
+
+    def merge_shard(self, shard_id: int, incoming) -> None:
+        """Union *incoming* into one shard in place.
+
+        The shard-wise half of :meth:`merge`, exposed for replication:
+        a standby folds a primary's delta filter (an
+        ``empty_like`` clone holding only the writes since the last
+        ship) into its copy of the shard.  Geometry incompatibility
+        (e.g. the primary rotated the shard to a new ``m``) surfaces as
+        :class:`~repro.errors.ConfigurationError`, which callers treat
+        as the signal to fall back to :meth:`replace_shard`.
+        """
+        if not 0 <= shard_id < self.n_shards:
+            raise ConfigurationError(
+                "shard_id %d out of range for %d shards"
+                % (shard_id, self.n_shards)
+            )
+        shard = self._shards[shard_id]
+        union = getattr(shard, "union", None)
+        if union is None:
+            raise UnsupportedOperationError(
+                "shard %d (%s) does not support union"
+                % (shard_id, type(shard).__name__)
+            )
+        merged = union(incoming)
+        # A merge is an in-place state update of a *serving* shard, not
+        # a fresh deployment: carry the live access model across so the
+        # paper's first-class counters stay monotonic (union() builds
+        # its result with a brand-new MemoryModel).
+        if hasattr(shard, "bits") and hasattr(merged, "bits"):
+            merged.bits.memory = shard.bits.memory
+        self._shards[shard_id] = merged
 
     def merge(self, other: "ShardedFilterStore") -> "ShardedFilterStore":
         """Union-merge two stores with identical geometry, shard-wise.

@@ -28,6 +28,10 @@ from repro.workloads.multiplicity import (
     MultiplicityWorkload,
     build_multiplicity_workload,
 )
+from repro.workloads.replication import (
+    ReplicationWorkload,
+    build_replication_workload,
+)
 from repro.workloads.service import (
     ServiceWorkload,
     build_service_workload,
@@ -39,10 +43,12 @@ __all__ = [
     "AssociationWorkload",
     "MembershipWorkload",
     "MultiplicityWorkload",
+    "ReplicationWorkload",
     "ServiceWorkload",
     "build_association_workload",
     "build_membership_workload",
     "build_multiplicity_workload",
+    "build_replication_workload",
     "build_service_workload",
     "chop_requests",
     "partition_by_shard",

@@ -1,0 +1,114 @@
+"""Seeded workloads for replication and failover drills.
+
+A failover drill needs one more ingredient than a serving benchmark: a
+**scripted failover point** inside the write stream.  Writes before the
+point are acknowledged and shipped to the standby before the primary is
+killed; writes after it are the in-flight traffic the drill uses to
+prove the failover client's behaviour (reads keep answering, writes are
+refused until a PROMOTE).  Because everything is derived from one seed,
+the verifying side of a multi-process drill can regenerate the exact
+universe after the primary is dead — no state needs to survive the
+kill except the standby itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro._util import require_positive
+from repro.errors import ConfigurationError
+from repro.traces.flows import FlowTraceGenerator
+from repro.workloads.service import chop_requests
+
+__all__ = ["ReplicationWorkload", "build_replication_workload"]
+
+
+@dataclass(frozen=True)
+class ReplicationWorkload:
+    """A reproducible failover drill: writes, a kill point, and reads.
+
+    Attributes:
+        members: the full write stream, in write order.
+        absent: distinct elements disjoint from ``members``.
+        failover_at: index into ``members`` where the primary dies;
+            writes before it are acknowledged *and replicated* before
+            the kill.
+        seed: the seed that produced everything.
+    """
+
+    members: Tuple[bytes, ...]
+    absent: Tuple[bytes, ...]
+    failover_at: int
+    seed: int
+
+    @property
+    def acknowledged(self) -> Tuple[bytes, ...]:
+        """Writes the standby must answer ``True`` after the failover."""
+        return self.members[: self.failover_at]
+
+    @property
+    def in_flight(self) -> Tuple[bytes, ...]:
+        """Writes scripted to arrive after the primary's death."""
+        return self.members[self.failover_at :]
+
+    def write_batches(
+        self, per_batch: int,
+    ) -> Tuple[List[List[bytes]], List[List[bytes]]]:
+        """The write stream as request batches, split at the kill point.
+
+        Returns ``(pre_failover, post_failover)`` batch lists; the
+        split is exact — no batch straddles the failover point — so a
+        drill can replay "everything acknowledged before the kill" by
+        sending precisely the first list.
+        """
+        return (chop_requests(self.acknowledged, per_batch),
+                chop_requests(self.in_flight, per_batch))
+
+    def read_mix(self) -> List[bytes]:
+        """Acknowledged/absent interleave for verdict comparison.
+
+        Even indices are acknowledged members (must answer ``True`` on
+        primary and standby alike); odd indices are absent elements,
+        whose verdicts expose any bit-level divergence between the two
+        — a standby with different bits would show a different false-
+        positive pattern.
+        """
+        limit = min(self.failover_at, len(self.absent))
+        mixed: List[bytes] = []
+        for member, negative in zip(self.acknowledged[:limit],
+                                    self.absent[:limit]):
+            mixed.append(member)
+            mixed.append(negative)
+        return mixed
+
+
+def build_replication_workload(
+    n_members: int,
+    failover_at: int = -1,
+    n_absent: int = 0,
+    seed: int = 0,
+) -> ReplicationWorkload:
+    """Seeded drill workload over the 13-byte flow-ID universe.
+
+    *failover_at* defaults to three quarters of the write stream;
+    *n_absent* defaults to *n_members* so :meth:`ReplicationWorkload.
+    read_mix` covers every acknowledged write.
+    """
+    require_positive("n_members", n_members)
+    if failover_at < 0:
+        failover_at = (3 * n_members) // 4
+    if failover_at > n_members:
+        raise ConfigurationError(
+            "failover_at %d beyond the %d-element write stream"
+            % (failover_at, n_members))
+    if n_absent <= 0:
+        n_absent = n_members
+    flows = FlowTraceGenerator(seed=seed).distinct_flows(
+        n_members + n_absent)
+    return ReplicationWorkload(
+        members=tuple(flows[:n_members]),
+        absent=tuple(flows[n_members:]),
+        failover_at=failover_at,
+        seed=seed,
+    )

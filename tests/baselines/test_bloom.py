@@ -124,3 +124,16 @@ def test_property_no_false_negatives(members):
     for element in members:
         bf.add(element)
     assert all(bf.query(element) for element in members)
+
+
+class TestEmptyLike:
+    def test_clone_is_union_compatible_and_empty(self):
+        original = BloomFilter(m=4096, k=5)
+        original.add_batch(make_elements(100, "orig"))
+        clone = original.empty_like()
+        assert (clone.m, clone.k) == (4096, 5)
+        assert clone.n_items == 0
+        clone.add_batch(make_elements(50, "delta"))
+        merged = original.union(clone)
+        assert merged.n_items == 150
+        assert merged.query_batch(make_elements(50, "delta")).all()

@@ -163,3 +163,30 @@ def test_property_no_false_negatives_any_w_bar(w_bar, members):
     for element in members:
         shbf.add(element)
     assert all(shbf.query(element) for element in members)
+
+
+class TestEmptyLike:
+    def test_clone_geometry_and_union_compatibility(self):
+        original = ShiftingBloomFilter(m=8192, k=6, w_bar=25)
+        original.add_batch(make_elements(200, "orig"))
+        clone = original.empty_like()
+        assert (clone.m, clone.k, clone.w_bar) == (8192, 6, 25)
+        assert clone.n_items == 0
+        assert clone.fill_ratio() == 0.0
+        assert clone.family.name == original.family.name
+
+    def test_union_of_delta_clone_equals_direct_build(self):
+        """The replication delta identity: writing new elements into an
+        empty clone and unioning equals writing them directly —
+        bit-for-bit, n_items included."""
+        first = make_elements(300, "first")
+        second = make_elements(300, "second")
+        replica = ShiftingBloomFilter(m=16384, k=8)
+        replica.add_batch(first)
+        delta = replica.empty_like()
+        delta.add_batch(second)
+        merged = replica.union(delta)
+        direct = ShiftingBloomFilter(m=16384, k=8)
+        direct.add_batch(first + second)
+        assert merged.bits.to_bytes() == direct.bits.to_bytes()
+        assert merged.n_items == direct.n_items == 600

@@ -1,0 +1,125 @@
+"""Shared plumbing for the replication tests.
+
+Same single-``asyncio.run`` style as ``tests/service``: the
+:func:`pair_run` fixture stands up a full primary→standby pair — a
+standby :class:`~repro.service.FilterService`, a primary wrapped in a
+:class:`~repro.replication.ReplicatedFilterService`, both on ephemeral
+loopback ports, with the standby attached (full snapshot shipped) —
+hands a context object to the test's async scenario, and tears
+everything down inside the same event loop.
+
+The default :class:`~repro.replication.ReplicationConfig` uses a very
+long interval so the background loop never ships on its own: tests
+drive ``ctx.repl.ship()`` explicitly and assert exact epochs.  Tests
+of the cadence/staleness machinery pass their own config.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.membership import ShiftingBloomFilter
+from repro.replication.replicator import (
+    ReplicatedFilterService,
+    ReplicationConfig,
+)
+from repro.service.client import ServiceClient
+from repro.service.server import CoalescerConfig, FilterService
+from repro.store.sharded import ShardedFilterStore
+
+N_SHARDS = 4
+M_PER_SHARD = 16384
+K = 8
+
+#: Effectively "never ship on the timer" — tests ship explicitly.
+MANUAL = ReplicationConfig(interval_ms=3_600_000)
+
+
+def make_store(n_shards: int = N_SHARDS,
+               m: int = M_PER_SHARD) -> ShardedFilterStore:
+    return ShardedFilterStore(
+        lambda shard: ShiftingBloomFilter(m=m, k=K), n_shards=n_shards)
+
+
+@pytest.fixture
+def store_factory():
+    """The pair's store builder, for tests that need donors/clones.
+
+    ``store_factory(n_shards=..., m=...)`` mirrors the geometry the
+    :func:`pair_run` services host by default (test dirs are not
+    packages, so helpers travel as fixtures rather than imports).
+    """
+    return make_store
+
+
+@pytest.fixture
+def pair_run():
+    """Run ``scenario(ctx)`` against a live attached primary→standby
+    pair; returns the scenario's result."""
+
+    def runner(scenario, *, repl_config: ReplicationConfig = None,
+               primary_target=None, standby_target=None,
+               coalescer: CoalescerConfig = None, attach: bool = True):
+        async def main():
+            standby_service = FilterService(
+                standby_target if standby_target is not None
+                else make_store(), coalescer)
+            standby_server = await standby_service.start(port=0)
+            standby_port = standby_server.sockets[0].getsockname()[1]
+
+            primary_service = FilterService(
+                primary_target if primary_target is not None
+                else make_store(), coalescer)
+            repl = ReplicatedFilterService(
+                primary_service,
+                repl_config if repl_config is not None else MANUAL)
+            primary_server = await repl.start(port=0)
+            primary_port = primary_server.sockets[0].getsockname()[1]
+            if attach:
+                await repl.attach_standby("127.0.0.1", standby_port)
+
+            ctx = SimpleNamespace(
+                repl=repl,
+                primary_service=primary_service,
+                standby_service=standby_service,
+                primary_server=primary_server,
+                standby_server=standby_server,
+                primary_port=primary_port,
+                standby_port=standby_port,
+            )
+
+            async def connect_primary():
+                return await ServiceClient.connect(port=primary_port)
+
+            async def connect_standby():
+                return await ServiceClient.connect(port=standby_port)
+
+            async def kill_primary():
+                """Listener closed + connections aborted: process death
+                as seen from any client."""
+                await repl.close()
+                primary_server.close()
+                await primary_server.wait_closed()
+                primary_service.abort_connections()
+
+            ctx.connect_primary = connect_primary
+            ctx.connect_standby = connect_standby
+            ctx.kill_primary = kill_primary
+
+            try:
+                return await scenario(ctx)
+            finally:
+                await repl.close()
+                for server in (primary_server, standby_server):
+                    server.close()
+                    try:
+                        await server.wait_closed()
+                    except (ConnectionError, OSError):  # pragma: no cover
+                        pass
+
+        return asyncio.run(main())
+
+    return runner

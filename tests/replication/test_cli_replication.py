@@ -1,0 +1,254 @@
+"""The ``python -m repro.replication`` entry points.
+
+``drill`` is the acceptance test in CLI form, so it runs for real
+(in-process pair, killed primary, promoted standby).  ``probe`` and
+``verify`` are exercised against a live pair on a background thread —
+the same blocking-caller shape the CI job uses across processes —
+including the tampered-record failure path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.replication.__main__ import _drill, build_parser, main
+from repro.replication.replicator import (
+    ReplicatedFilterService,
+    ReplicationConfig,
+)
+from repro.service.server import FilterService
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv, command in [
+            (["serve", "--role", "standby"], "serve"),
+            (["serve-pair", "--kill-primary-after", "5"], "serve-pair"),
+            (["probe", "--write"], "probe"),
+            (["verify", "--endpoints", "a:1,b:2"], "verify"),
+            (["drill", "--n", "100"], "drill"),
+        ]:
+            assert parser.parse_args(argv).command == command
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["drill"])
+        assert args.failover_at == -1   # 3/4 of --n
+        assert args.interval_ms == 200
+        assert args.shards == 4
+
+    def test_role_is_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--role", "observer"])
+
+
+class TestDrill:
+    def test_drill_passes_end_to_end(self, capsys):
+        args = build_parser().parse_args(
+            ["drill", "--n", "400", "--seed", "3", "--m", "16384"])
+        assert asyncio.run(_drill(args)) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical: True" in out
+        assert "DRILL OK" in out
+
+    def test_drill_via_main(self):
+        assert main(["drill", "--n", "200", "--m", "16384"]) == 0
+
+
+def _start_pair_in_background():
+    """A live attached pair on a daemon-thread event loop.
+
+    Returns ``(primary_port, standby_port, kill_primary, stop)`` for
+    blocking callers — the shape probe/verify meet in the field.
+    """
+    started = threading.Event()
+    box = {}
+
+    async def pair():
+        from repro.core.membership import ShiftingBloomFilter
+        from repro.store.sharded import ShardedFilterStore
+
+        def store():
+            return ShardedFilterStore(
+                lambda s: ShiftingBloomFilter(m=16384, k=8), n_shards=4)
+
+        standby_service = FilterService(store())
+        standby_server = await standby_service.start(port=0)
+        primary_service = FilterService(store())
+        repl = ReplicatedFilterService(
+            primary_service, ReplicationConfig(interval_ms=50))
+        primary_server = await repl.start(port=0)
+        await repl.attach_standby(
+            "127.0.0.1", standby_server.sockets[0].getsockname()[1])
+        box["loop"] = asyncio.get_running_loop()
+        box["primary_port"] = primary_server.sockets[0].getsockname()[1]
+        box["standby_port"] = standby_server.sockets[0].getsockname()[1]
+        box["stopped"] = asyncio.Event()
+
+        async def kill_primary():
+            await repl.close()
+            primary_server.close()
+            await primary_server.wait_closed()
+            primary_service.abort_connections()
+
+        box["kill_primary"] = kill_primary
+        started.set()
+        await box["stopped"].wait()
+        standby_server.close()
+        await standby_server.wait_closed()
+
+    thread = threading.Thread(
+        target=lambda: asyncio.run(pair()), daemon=True)
+    thread.start()
+    assert started.wait(10)
+
+    def kill_primary():
+        asyncio.run_coroutine_threadsafe(
+            box["kill_primary"](), box["loop"]).result(10)
+
+    def stop():
+        box["loop"].call_soon_threadsafe(box["stopped"].set)
+        thread.join(10)
+
+    return box["primary_port"], box["standby_port"], kill_primary, stop
+
+
+class TestProbeVerify:
+    def test_probe_then_kill_then_verify(self, tmp_path):
+        primary_port, standby_port, kill_primary, stop = (
+            _start_pair_in_background())
+        record = tmp_path / "verdicts.json"
+        try:
+            endpoints = "127.0.0.1:%d,127.0.0.1:%d" % (
+                primary_port, standby_port)
+            workload_args = ["--n", "600", "--seed", "11"]
+            assert main(["probe", "--port", str(primary_port),
+                         "--write", "--sync",
+                         "127.0.0.1:%d" % standby_port,
+                         "--out", str(record)] + workload_args) == 0
+            kill_primary()
+            assert main(["verify", "--endpoints", endpoints,
+                         "--expected", str(record), "--promote"]
+                        + workload_args) == 0
+        finally:
+            stop()
+
+    def test_verify_catches_tampered_record(self, tmp_path):
+        primary_port, standby_port, kill_primary, stop = (
+            _start_pair_in_background())
+        record = tmp_path / "verdicts.json"
+        try:
+            endpoints = "127.0.0.1:%d,127.0.0.1:%d" % (
+                primary_port, standby_port)
+            workload_args = ["--n", "300", "--seed", "23"]
+            assert main(["probe", "--port", str(primary_port),
+                         "--write", "--sync",
+                         "127.0.0.1:%d" % standby_port,
+                         "--out", str(record)] + workload_args) == 0
+            data = json.loads(record.read_text())
+            data["verdicts"][0] ^= 1  # flip one recorded verdict
+            record.write_text(json.dumps(data))
+            assert main(["verify", "--endpoints", endpoints,
+                         "--expected", str(record)]
+                        + workload_args) == 1
+        finally:
+            stop()
+
+
+def _free_port() -> int:
+    import socket
+
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+class TestServeCommands:
+    def test_serve_standby_then_primary_attaches(self):
+        from repro.replication.__main__ import _serve
+        from repro.service.client import ServiceClient
+
+        async def scenario():
+            sport, pport = _free_port(), _free_port()
+            standby_task = asyncio.ensure_future(_serve(
+                build_parser().parse_args(
+                    ["serve", "--role", "standby", "--port", str(sport),
+                     "--m", "16384"])))
+            primary_task = asyncio.ensure_future(_serve(
+                build_parser().parse_args(
+                    ["serve", "--role", "primary", "--port", str(pport),
+                     "--standby", "127.0.0.1:%d" % sport,
+                     "--preload", "30", "--m", "16384",
+                     "--attach-delay", "0.05"])))
+            try:
+                for _ in range(200):
+                    try:
+                        standby = await ServiceClient.connect(port=sport)
+                    except OSError:
+                        await asyncio.sleep(0.05)
+                        continue
+                    stats = await standby.stats()
+                    await standby.close()
+                    if (stats["n_items"] == 30
+                            and stats["replication"]["role"] == "standby"):
+                        return True
+                    await asyncio.sleep(0.05)
+                return False
+            finally:
+                for task in (primary_task, standby_task):
+                    task.cancel()
+                await asyncio.gather(primary_task, standby_task,
+                                     return_exceptions=True)
+
+        assert asyncio.run(scenario())
+
+    def test_serve_pair_with_scripted_kill(self):
+        from repro.replication.__main__ import _serve_pair
+        from repro.service.client import ServiceClient
+
+        async def scenario():
+            pport, sport = _free_port(), _free_port()
+            task = asyncio.ensure_future(_serve_pair(
+                build_parser().parse_args(
+                    ["serve-pair", "--primary-port", str(pport),
+                     "--standby-port", str(sport), "--preload", "50",
+                     "--kill-primary-after", "0.3", "--m", "16384"])))
+            try:
+                client = None
+                for _ in range(200):
+                    try:
+                        client = await ServiceClient.connect(port=pport)
+                        break
+                    except OSError:
+                        await asyncio.sleep(0.05)
+                assert client is not None
+                assert (await client.stats())["n_items"] == 50
+                await client.close()
+                # The scripted kill must take the primary's listener
+                # down while the standby keeps serving, fully synced.
+                for _ in range(200):
+                    try:
+                        probe = await ServiceClient.connect(port=pport)
+                        await probe.close()
+                        await asyncio.sleep(0.05)
+                    except OSError:
+                        break
+                else:
+                    raise AssertionError("primary never died")
+                standby = await ServiceClient.connect(port=sport)
+                stats = await standby.stats()
+                await standby.close()
+                assert stats["n_items"] == 50
+                assert stats["replication"]["role"] == "standby"
+                return True
+            finally:
+                task.cancel()
+                await asyncio.gather(task, return_exceptions=True)
+
+        assert asyncio.run(scenario())

@@ -280,3 +280,45 @@ class TestWorkloadHelpers:
         loads = shard_load_factors(MEMBERS, router, capacity_per_shard=500)
         assert loads.shape == (4,)
         assert loads.sum() == pytest.approx(len(MEMBERS) / 500)
+
+
+class TestShardPrimitives:
+    """replace_shard / merge_shard: the replication layer's apply verbs."""
+
+    def test_replace_shard_swaps_and_returns_retired(self):
+        store = make_store()
+        store.add_batch(MEMBERS)
+        fresh = ShiftingBloomFilter(m=16384, k=8)
+        retired = store.replace_shard(1, fresh)
+        assert store.shards[1] is fresh
+        assert retired.n_items > 0
+        with pytest.raises(ConfigurationError, match="out of range"):
+            store.replace_shard(9, fresh)
+
+    def test_merge_shard_unions_in_place(self):
+        store, donor = make_store(), make_store()
+        store.add_batch(MEMBERS)
+        donor.add_batch(ABSENT)
+        for shard_id in range(store.n_shards):
+            store.merge_shard(shard_id, donor.shards[shard_id])
+        assert store.query_batch(MEMBERS + ABSENT).all()
+        direct = make_store()
+        direct.add_batch(MEMBERS)
+        direct.add_batch(ABSENT)
+        for ours, theirs in zip(store.shards, direct.shards):
+            assert ours.bits.to_bytes() == theirs.bits.to_bytes()
+
+    def test_merge_shard_geometry_mismatch_surfaces(self):
+        store = make_store()
+        bigger = ShiftingBloomFilter(m=32768, k=8)
+        with pytest.raises(ConfigurationError, match="incompatible"):
+            store.merge_shard(0, bigger)
+
+    def test_merge_shard_without_union_rejected(self):
+        store = make_store(factory=lambda s: ShiftingMultiplicityFilter(
+            m=16384, k=8, c_max=8))
+        with pytest.raises(UnsupportedOperationError, match="union"):
+            store.merge_shard(0, ShiftingMultiplicityFilter(
+                m=16384, k=8, c_max=8))
+        with pytest.raises(ConfigurationError, match="out of range"):
+            store.merge_shard(-1, None)

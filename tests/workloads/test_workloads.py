@@ -8,6 +8,7 @@ from repro.workloads import (
     build_association_workload,
     build_membership_workload,
     build_multiplicity_workload,
+    build_replication_workload,
     run_membership_queries,
 )
 
@@ -139,3 +140,38 @@ class TestMultiplicityWorkload:
     def test_unrealistic_c_max_rejected(self):
         with pytest.raises(ConfigurationError):
             build_multiplicity_workload(10, c_max=100000)
+
+
+class TestReplicationWorkload:
+    def test_failover_split_is_exact(self):
+        workload = build_replication_workload(1000, seed=1)
+        assert workload.failover_at == 750  # default: 3/4 of the stream
+        assert (workload.acknowledged + workload.in_flight
+                == workload.members)
+        assert len(workload.acknowledged) == 750
+
+    def test_write_batches_never_straddle_the_kill(self):
+        workload = build_replication_workload(
+            1000, failover_at=333, seed=2)
+        pre, post = workload.write_batches(64)
+        flat_pre = [e for batch in pre for e in batch]
+        flat_post = [e for batch in post for e in batch]
+        assert tuple(flat_pre) == workload.acknowledged
+        assert tuple(flat_post) == workload.in_flight
+
+    def test_read_mix_interleaves_acknowledged_and_absent(self):
+        workload = build_replication_workload(400, seed=3)
+        mix = workload.read_mix()
+        assert len(mix) == 2 * workload.failover_at
+        assert tuple(mix[0::2]) == workload.acknowledged
+        assert not set(mix[0::2]) & set(mix[1::2])
+
+    def test_deterministic_by_seed(self):
+        a = build_replication_workload(200, seed=7)
+        b = build_replication_workload(200, seed=7)
+        assert a == b
+        assert a != build_replication_workload(200, seed=8)
+
+    def test_failover_beyond_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_replication_workload(100, failover_at=101)

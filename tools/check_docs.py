@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Fail CI when docs reference CLI flags or protocol ops that don't exist.
+
+Documentation drifts: a renamed ``--flag`` or a retired wire op keeps
+living in prose long after the code moved on.  This checker greps the
+actual definitions out of the source — no imports, so it runs on a bare
+Python with no dependencies — and then sweeps the documentation for
+references to things that aren't defined:
+
+* **CLI flags**: every ``--long-flag`` token in the docs must appear in
+  some ``add_argument("--long-flag"...)`` across ``src/`` and
+  ``benchmarks/`` (a small allowlist covers external tools like
+  pytest/pip whose flags the docs legitimately mention);
+* **protocol ops**: every ``OP_NAME`` token, and every UPPERCASE first
+  cell of a wire-protocol markdown table row, must be a real opcode
+  constant in ``repro/service/protocol.py``.
+
+Checked files: ``docs/*.md`` and ``README.md``.  Exit status 0 when
+clean, 1 with a ``file:line`` listing otherwise::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: Flags of external tools the docs may reference without defining.
+EXTERNAL_FLAGS = {
+    "--cov", "--cov-report", "--cov-fail-under",  # pytest-cov
+    "--smoke-test",  # historical alias guard; harmless if unused
+    "--version",
+}
+
+_ADD_ARGUMENT = re.compile(r"""add_argument\(\s*["'](--[a-z0-9][a-z0-9-]*)["']""")
+_OP_CONSTANT = re.compile(r"^(OP_[A-Z_]+)\s*=\s*\d+", re.MULTILINE)
+_DOC_FLAG = re.compile(r"(?<![\w.\-])(--[a-z0-9][a-z0-9-]*)")
+_DOC_OP = re.compile(r"\b(OP_[A-Z_]+)\b")
+#: A wire-table row: first cell is the op name (UPPERCASE + underscore),
+#: second cell is its numeric code.
+_TABLE_OP_ROW = re.compile(r"^\|\s*`?([A-Z][A-Z_]+)`?\s*\|\s*(\d+)\s*\|")
+
+
+def known_flags() -> set:
+    flags = set(EXTERNAL_FLAGS)
+    for root in ("src", "benchmarks", "tools", "examples"):
+        base = REPO / root
+        if not base.is_dir():
+            continue
+        for path in base.rglob("*.py"):
+            flags.update(_ADD_ARGUMENT.findall(path.read_text()))
+    return flags
+
+
+def known_ops() -> set:
+    protocol = REPO / "src" / "repro" / "service" / "protocol.py"
+    names = _OP_CONSTANT.findall(protocol.read_text())
+    ops = set(names)
+    ops.update(name[len("OP_"):] for name in names)
+    return ops
+
+
+def doc_files() -> list:
+    docs = sorted((REPO / "docs").glob("*.md")) if (
+        REPO / "docs").is_dir() else []
+    readme = REPO / "README.md"
+    if readme.is_file():
+        docs.append(readme)
+    return docs
+
+
+def check() -> list:
+    flags = known_flags()
+    ops = known_ops()
+    problems = []
+    for path in doc_files():
+        rel = path.relative_to(REPO)
+        for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1):
+            for flag in _DOC_FLAG.findall(line):
+                if flag not in flags:
+                    problems.append(
+                        "%s:%d: unknown CLI flag %s" % (rel, lineno, flag))
+            for name in _DOC_OP.findall(line):
+                if name not in ops:
+                    problems.append(
+                        "%s:%d: unknown protocol op %s"
+                        % (rel, lineno, name))
+            row = _TABLE_OP_ROW.match(line.strip())
+            if row and row.group(1) not in ops:
+                problems.append(
+                    "%s:%d: wire table names unknown op %s"
+                    % (rel, lineno, row.group(1)))
+    return problems
+
+
+def main() -> int:
+    docs = doc_files()
+    problems = check()
+    if problems:
+        print("docs reference things the code does not define:",
+              file=sys.stderr)
+        for problem in problems:
+            print("  " + problem, file=sys.stderr)
+        return 1
+    print("docs consistent: %d file(s), %d known flags, %d known ops"
+          % (len(docs), len(known_flags()), len(known_ops())))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
