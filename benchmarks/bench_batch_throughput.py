@@ -7,6 +7,14 @@ recovers over per-element Python calls on identical workloads.  Both
 paths perform the same logical accesses (the equivalence tests assert
 it), so any speedup is pure interpreter-overhead removal.
 
+A second section compares **hash families** on the batch path: once
+the pipeline is vectorised, batch cost is dominated by digest time, so
+swapping BLAKE2b for the vectorised mixer family
+(:class:`repro.hashing.VectorizedFamily`) is the next constant-factor
+win.  The family rows land both in the main result file and in a
+standalone ``BENCH_hashing.json`` artifact (CI's ``hash-vetting`` job
+uploads the smoke variant).
+
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_batch_throughput.py
@@ -33,6 +41,9 @@ from repro.core import (
     ShiftingBloomFilter,
     ShiftingMultiplicityFilter,
 )
+from repro.hashing import make_family
+
+DEFAULT_FAMILIES = "blake2b,vector64,km-double"
 
 DEFAULT_M = 65536
 DEFAULT_K = 8
@@ -146,6 +157,78 @@ def bench_structures(m: int, k: int, n: int, batch_size: int,
     return rows
 
 
+def bench_families(m: int, k: int, n: int, batch_size: int, repeats: int,
+                   kinds: list) -> list:
+    """Per-family batch throughput on ShBF_M and BF, vs blake2b.
+
+    Each family runs the same seeded workload through the same filter
+    code; ``vs_blake2b`` is the batch-rate ratio against the BLAKE2b
+    baseline row of the same (structure, op) — the constant factor the
+    family swap buys.
+    """
+    members = _elements(n, "member")
+    absent = _elements(n, "absent")
+    mixed = [e for pair in zip(members, absent) for e in pair]
+    structures = [
+        ("shbf_m", lambda fam: ShiftingBloomFilter(m=m, k=k, family=fam)),
+        ("bf", lambda fam: BloomFilter(m=m, k=k, family=fam)),
+    ]
+    rows = []
+    for kind in kinds:
+        for label, make in structures:
+            def fresh():
+                return make(make_family(kind, seed=0))
+
+            insert_s = _time(lambda: fresh().add_batch(members), repeats)
+            filled = fresh()
+            filled.add_batch(members)
+
+            def batch_query_loop():
+                for i in range(0, len(mixed), batch_size):
+                    filled.query_batch(mixed[i : i + batch_size])
+
+            def scalar_query_loop():
+                for q in mixed:
+                    filled.query(q)
+
+            query_s = _time(batch_query_loop, repeats)
+            scalar_s = _time(scalar_query_loop, repeats)
+            rows.append({
+                "family": kind,
+                "structure": label,
+                "op": "insert",
+                "batch_ops_per_s": round(_rate(n, insert_s)),
+            })
+            rows.append({
+                "family": kind,
+                "structure": label,
+                "op": "query",
+                "scalar_ops_per_s": round(_rate(len(mixed), scalar_s)),
+                "batch_ops_per_s": round(_rate(len(mixed), query_s)),
+            })
+    baseline = {
+        (r["structure"], r["op"]): r["batch_ops_per_s"]
+        for r in rows if r["family"] == "blake2b"
+    }
+    for row in rows:
+        reference = baseline.get((row["structure"], row["op"]))
+        if reference:
+            row["vs_blake2b"] = round(
+                row["batch_ops_per_s"] / reference, 2)
+    return rows
+
+
+def render_family_table(rows: list) -> str:
+    header = "%-12s %-10s %-7s %14s %12s" % (
+        "family", "structure", "op", "batch ops/s", "vs blake2b")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append("%-12s %-10s %-7s %14d %11.2fx" % (
+            row["family"], row["structure"], row["op"],
+            row["batch_ops_per_s"], row.get("vs_blake2b", 1.0)))
+    return "\n".join(lines)
+
+
 def render_table(rows: list) -> str:
     header = "%-16s %-7s %14s %14s %9s" % (
         "structure", "op", "scalar ops/s", "batch ops/s", "speedup")
@@ -171,33 +254,64 @@ def main(argv=None) -> int:
         "--check-min-speedup", type=float, default=None, metavar="X",
         help="exit non-zero unless ShBF_M batch query speedup >= X")
     parser.add_argument(
+        "--families", default=DEFAULT_FAMILIES,
+        help="comma-separated family kinds for the family comparison "
+             "section; empty string skips it")
+    parser.add_argument(
+        "--check-family-speedup", type=float, default=None, metavar="X",
+        help="exit non-zero unless vector64's ShBF_M batch query rate "
+             "is >= X times blake2b's")
+    parser.add_argument(
         "--output", type=pathlib.Path, default=None,
         help="result JSON path (default: BENCH_batch_throughput.json at "
              "the repo root; smoke runs default to a .smoke.json sibling "
              "so they never clobber the committed full-config baseline)")
+    parser.add_argument(
+        "--hashing-output", type=pathlib.Path, default=None,
+        help="family-comparison artifact path (default: "
+             "BENCH_hashing.json, or BENCH_hashing.smoke.json for "
+             "smoke runs)")
     args = parser.parse_args(argv)
     if args.smoke:
         args.n = min(args.n, 500)
         args.repeats = 1
+    root = pathlib.Path(__file__).resolve().parent.parent
     if args.output is None:
         name = ("BENCH_batch_throughput.smoke.json" if args.smoke
                 else "BENCH_batch_throughput.json")
-        args.output = pathlib.Path(__file__).resolve().parent.parent / name
+        args.output = root / name
+    if args.hashing_output is None:
+        name = ("BENCH_hashing.smoke.json" if args.smoke
+                else "BENCH_hashing.json")
+        args.hashing_output = root / name
 
     rows = bench_structures(
         args.m, args.k, args.n, args.batch_size, args.repeats)
     print(render_table(rows))
 
-    payload = {
-        "config": {
-            "m": args.m, "k": args.k, "n": args.n,
-            "batch_size": args.batch_size, "repeats": args.repeats,
-            "smoke": args.smoke,
-        },
-        "results": rows,
+    config = {
+        "m": args.m, "k": args.k, "n": args.n,
+        "batch_size": args.batch_size, "repeats": args.repeats,
+        "smoke": args.smoke,
     }
+    payload = {"config": config, "results": rows}
+
+    kinds = [kind for kind in args.families.split(",") if kind]
+    family_rows = []
+    if kinds:
+        family_rows = bench_families(
+            args.m, args.k, args.n, args.batch_size, args.repeats, kinds)
+        print()
+        print(render_family_table(family_rows))
+        payload["families"] = family_rows
+        hashing_payload = {"config": config, "families": family_rows}
+        args.hashing_output.write_text(
+            json.dumps(hashing_payload, indent=2) + "\n")
+
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print("\nwrote %s" % args.output)
+    if kinds:
+        print("wrote %s" % args.hashing_output)
 
     if args.check_min_speedup is not None:
         shbf_m_query = next(
@@ -209,6 +323,22 @@ def main(argv=None) -> int:
             return 1
         print("OK: ShBF_M batch query speedup %.2fx >= %.2fx"
               % (shbf_m_query["speedup"], args.check_min_speedup))
+    if args.check_family_speedup is not None:
+        row = next(
+            (r for r in family_rows
+             if r["family"] == "vector64" and r["structure"] == "shbf_m"
+             and r["op"] == "query"), None)
+        if row is None or "vs_blake2b" not in row:
+            print("FAIL: no vector64-vs-blake2b shbf_m query comparison "
+                  "(--families must include both blake2b and vector64)")
+            return 1
+        if row["vs_blake2b"] < args.check_family_speedup:
+            print("FAIL: vector64 ShBF_M batch query %.2fx < %.2fx "
+                  "vs blake2b"
+                  % (row["vs_blake2b"], args.check_family_speedup))
+            return 1
+        print("OK: vector64 ShBF_M batch query %.2fx >= %.2fx vs blake2b"
+              % (row["vs_blake2b"], args.check_family_speedup))
     return 0
 
 

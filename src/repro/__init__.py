@@ -71,7 +71,11 @@ _EXPORTS = {
     # Hashing
     "HashFamily": "repro.hashing.family",
     "default_family": "repro.hashing.family",
+    "make_family": "repro.hashing.family",
+    "family_spec": "repro.hashing.family",
+    "FAMILY_KINDS": "repro.hashing.family",
     "Blake2Family": "repro.hashing.blake",
+    "VectorizedFamily": "repro.hashing.vectorized",
     # Substrate
     "BitArray": "repro.bitarray.bitarray",
     "CounterArray": "repro.bitarray.counters",
@@ -148,7 +152,14 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         UnsupportedSnapshotError,
     )
     from repro.hashing.blake import Blake2Family
-    from repro.hashing.family import HashFamily, default_family
+    from repro.hashing.family import (
+        FAMILY_KINDS,
+        HashFamily,
+        default_family,
+        family_spec,
+        make_family,
+    )
+    from repro.hashing.vectorized import VectorizedFamily
     from repro.service.client import ServiceClient, SyncServiceClient
     from repro.service.server import CoalescerConfig, FilterService
     from repro.store.router import ShardRouter

@@ -39,6 +39,7 @@ from repro.hashing import (
     DoubleHashingFamily,
     FNV1aFamily,
     Murmur3Family,
+    VectorizedFamily,
     XXHash64Family,
 )
 from repro.workloads.membership import build_membership_workload
@@ -157,6 +158,7 @@ def ablation_hash_families(scale: float = 1.0, seed: int = 0) -> Table:
     n = workload.n
     families = (
         ("blake2b", Blake2Family(seed=seed)),
+        ("vector64", VectorizedFamily(seed=seed)),
         ("murmur3-32", Murmur3Family(seed=seed)),
         ("fnv1a-64", FNV1aFamily(seed=seed)),
         ("xxh64", XXHash64Family(seed=seed)),

@@ -69,6 +69,11 @@ class Blake2Family(HashFamily):
         return self._seed
 
     @property
+    def batch_lanes(self) -> bool:
+        """Whether one digest serves eight indices (the fast mode)."""
+        return self._batch_lanes
+
+    @property
     def name(self) -> str:
         mode = "" if self._batch_lanes else ",per-index"
         return "blake2b[seed=%d%s]" % (self._seed, mode)

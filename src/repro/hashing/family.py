@@ -16,13 +16,21 @@ candidate hash functions and using the ones that pass a randomness test.
 from __future__ import annotations
 
 import abc
-from typing import List, Sequence
+import os
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro._util import ElementLike, require_non_negative, to_bytes
+from repro.errors import ConfigurationError
 
-__all__ = ["HashFamily", "default_family"]
+__all__ = [
+    "FAMILY_KINDS",
+    "HashFamily",
+    "default_family",
+    "family_spec",
+    "make_family",
+]
 
 
 class HashFamily(abc.ABC):
@@ -137,15 +145,130 @@ class HashFamily(abc.ABC):
         return "%s(name=%r)" % (type(self).__name__, self.name)
 
 
-def default_family(seed: int = 0) -> HashFamily:
-    """Return the library's default hash family (seeded BLAKE2b lanes).
+# ----------------------------------------------------------------------
+# The family registry: every seed-reconstructible family has a *kind*
+# ----------------------------------------------------------------------
+#: Registered family kinds, in registry order.  A ``(kind, seed)`` pair
+#: fully reconstructs a family, which is what snapshots persist and
+#: what ``--family`` CLI flags select.
+FAMILY_KINDS = (
+    "blake2b",
+    "blake2b-per-index",
+    "vector64",
+    "km-double",
+    "murmur3-32",
+    "fnv1a-64",
+    "xxh64",
+)
 
-    BLAKE2b is the default because (a) :mod:`hashlib` executes it in C, so
-    it is the fastest *trustworthy* option available without compiled
-    extensions, and (b) its output passes the paper's per-bit randomness
-    test by a wide margin for every index, so experiments measure filter
-    behaviour rather than hash artefacts.
+
+def _builders():
+    """kind -> constructor(seed); imported lazily to avoid cycles."""
+    from repro.hashing.blake import Blake2Family
+    from repro.hashing.double_hashing import DoubleHashingFamily
+    from repro.hashing.mixers import (
+        FNV1aFamily,
+        Murmur3Family,
+        XXHash64Family,
+    )
+    from repro.hashing.vectorized import VectorizedFamily
+
+    return {
+        "blake2b": lambda seed: Blake2Family(seed=seed),
+        "blake2b-per-index": lambda seed: Blake2Family(
+            seed=seed, batch_lanes=False),
+        "vector64": lambda seed: VectorizedFamily(seed=seed),
+        "km-double": lambda seed: DoubleHashingFamily(seed=seed),
+        "murmur3-32": lambda seed: Murmur3Family(seed=seed),
+        "fnv1a-64": lambda seed: FNV1aFamily(seed=seed),
+        "xxh64": lambda seed: XXHash64Family(seed=seed),
+    }
+
+
+def make_family(kind: str, seed: int = 0) -> HashFamily:
+    """Construct a registered family from its ``(kind, seed)`` spec.
+
+    This is the single choke point for family selection: snapshots,
+    the shard router, the service CLI and the benches all resolve their
+    family through it, so a deployment can swap the whole stack onto a
+    different (vetted) family with one knob.
+
+    Raises:
+        ConfigurationError: for an unregistered *kind* — restoring a
+            snapshot with the wrong family would silently mis-hash
+            every query, so unknown kinds fail loudly.
+    """
+    builders = _builders()
+    try:
+        builder = builders[kind]
+    except KeyError:
+        raise ConfigurationError(
+            "unknown hash family kind %r (registered kinds: %s)"
+            % (kind, ", ".join(FAMILY_KINDS))
+        ) from None
+    return builder(seed)
+
+
+def family_spec(family: HashFamily) -> Tuple[str, int]:
+    """Return the ``(kind, seed)`` spec that reconstructs *family*.
+
+    The inverse of :func:`make_family` for registry-built instances:
+    ``make_family(*family_spec(f))`` hashes identically to ``f``.
+
+    Raises:
+        ConfigurationError: if *family* is not seed-reconstructible
+            (an unregistered type, or a composite like
+            ``DoubleHashingFamily`` over a custom base family).
     """
     from repro.hashing.blake import Blake2Family
+    from repro.hashing.double_hashing import DoubleHashingFamily
+    from repro.hashing.mixers import (
+        FNV1aFamily,
+        Murmur3Family,
+        XXHash64Family,
+    )
+    from repro.hashing.vectorized import VectorizedFamily
 
-    return Blake2Family(seed=seed)
+    if type(family) is VectorizedFamily:
+        return "vector64", family.seed
+    if type(family) is DoubleHashingFamily:
+        base = family.base
+        if type(base) is Blake2Family and base.batch_lanes:
+            return "km-double", base.seed
+        raise ConfigurationError(
+            "DoubleHashingFamily over base %s is not seed-"
+            "reconstructible; only the default BLAKE2b-lane base is"
+            % getattr(base, "name", type(base).__name__)
+        )
+    if type(family) is Blake2Family:
+        kind = "blake2b" if family.batch_lanes else "blake2b-per-index"
+        return kind, family.seed
+    if type(family) is Murmur3Family:
+        return "murmur3-32", family.seed
+    if type(family) is FNV1aFamily:
+        return "fnv1a-64", family.seed
+    if type(family) is XXHash64Family:
+        return "xxh64", family.seed
+    raise ConfigurationError(
+        "hash family %s is not in the registry and cannot be "
+        "reconstructed from a seed"
+        % getattr(family, "name", type(family).__name__)
+    )
+
+
+def default_family(seed: int = 0, kind: Optional[str] = None) -> HashFamily:
+    """Return the library's default hash family.
+
+    The default *kind* is seeded BLAKE2b lanes because (a) :mod:`hashlib`
+    executes it in C, so it is the fastest *trustworthy* option available
+    without compiled extensions, and (b) its output passes the paper's
+    per-bit randomness test by a wide margin for every index, so
+    experiments measure filter behaviour rather than hash artefacts.
+    Deployments that have re-run the vetting harness can flip the whole
+    stack onto another registered family (e.g. the vectorised
+    ``"vector64"`` mixers) via the *kind* argument or the
+    ``REPRO_HASH_FAMILY`` environment variable.
+    """
+    if kind is None:
+        kind = os.environ.get("REPRO_HASH_FAMILY", "blake2b")
+    return make_family(kind, seed)

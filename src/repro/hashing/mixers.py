@@ -208,6 +208,11 @@ class Murmur3Family(HashFamily):
         self._seed = seed
 
     @property
+    def seed(self) -> int:
+        """The family seed."""
+        return self._seed
+
+    @property
     def name(self) -> str:
         return "murmur3-32[seed=%d]" % self._seed
 
@@ -226,6 +231,11 @@ class FNV1aFamily(HashFamily):
         self._seed = seed
 
     @property
+    def seed(self) -> int:
+        """The family seed."""
+        return self._seed
+
+    @property
     def name(self) -> str:
         return "fnv1a-64[seed=%d]" % self._seed
 
@@ -241,6 +251,11 @@ class XXHash64Family(HashFamily):
     def __init__(self, seed: int = 0):
         require_non_negative("seed", seed)
         self._seed = seed
+
+    @property
+    def seed(self) -> int:
+        """The family seed."""
+        return self._seed
 
     @property
     def name(self) -> str:

@@ -1,0 +1,252 @@
+"""NumPy-native vectorised hash family for the batch hot path.
+
+The batch pipeline removed the per-element Python overhead from every
+filter, leaving ~90 % of batch wall-clock inside BLAKE2b digests (see
+the README throughput table).  :class:`VectorizedFamily` removes that
+last constant factor: it is a splitmix64/xxhash-style avalanche mixer
+family whose ``values_batch``/``positions_batch`` run the *whole batch*
+through ``uint64`` NumPy kernels — zero per-element Python on the short
+-key fast path — while the scalar entry points execute the identical
+arithmetic on Python ints, so scalar and batch values are bit-identical
+by construction.
+
+Pipeline per element (both paths):
+
+1. **ingest** — canonical bytes fold into one 64-bit base value.  Short
+   keys (≤ 32 bytes, which covers 5-tuple flow IDs, ``host:port``
+   strings and integer keys) are zero-padded to four little-endian
+   ``uint64`` words and folded with one finaliser round per word, with
+   the byte length folded into the initial state so ``b"a"`` and
+   ``b"a\\x00"`` decorrelate.  Longer keys fall back to one seeded
+   BLAKE2b-64 digest (rare on filter workloads, and still only *one*
+   digest instead of one per lane group).
+2. **lane derivation** — member ``i`` of the family mixes the base with
+   a per-index seed drawn from a splitmix64 stream over the family
+   seed: ``h_i(x) = mix64(base(x) + lane(i))``.  Distinct seeds give
+   decorrelated families, matching the :class:`Blake2Family` contract.
+
+``mix64`` is the splitmix64 finaliser (Stafford's mix13 constants) — a
+well-studied full-avalanche bijection.  The family is *not*
+cryptographic; its fitness for the paper's experiments is established
+empirically by the §6.1 vetting harness
+(:mod:`repro.hashing.randomness`), which gates it with per-bit balance,
+chi-square position uniformity, pairwise independence and avalanche
+tests (``tests/hashing/test_vetting.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+import numpy as np
+
+from repro._util import ElementLike, require_non_negative, to_bytes
+from repro.hashing.family import HashFamily
+
+__all__ = ["VectorizedFamily"]
+
+_M64 = 0xFFFFFFFFFFFFFFFF
+#: Keys longer than this fold through one seeded BLAKE2b-64 digest.
+_SHORT_MAX = 32
+_WORDS = _SHORT_MAX // 8
+
+_GOLDEN = 0x9E3779B97F4A7C15
+_LEN_MULT = 0xFF51AFD7ED558CCD  # murmur3 fmix64 constant, odd
+_MIX_1 = 0xBF58476D1CE4E5B9
+_MIX_2 = 0x94D049BB133111EB
+
+_NP_GOLDEN = np.uint64(_GOLDEN)
+_NP_LEN_MULT = np.uint64(_LEN_MULT)
+_NP_MIX_1 = np.uint64(_MIX_1)
+_NP_MIX_2 = np.uint64(_MIX_2)
+_NP_30 = np.uint64(30)
+_NP_27 = np.uint64(27)
+_NP_31 = np.uint64(31)
+
+
+def _mix64(z: int) -> int:
+    """The splitmix64 finaliser on a Python int (64-bit wraparound)."""
+    z &= _M64
+    z = ((z ^ (z >> 30)) * _MIX_1) & _M64
+    z = ((z ^ (z >> 27)) * _MIX_2) & _M64
+    return z ^ (z >> 31)
+
+
+def _mix64_np(z: np.ndarray) -> np.ndarray:
+    """The same finaliser on a ``uint64`` ndarray (wraps like the ints)."""
+    z = z ^ (z >> _NP_30)
+    z = z * _NP_MIX_1
+    z ^= z >> _NP_27
+    z *= _NP_MIX_2
+    z ^= z >> _NP_31
+    return z
+
+
+class VectorizedFamily(HashFamily):
+    """Indexed 64-bit hashes from vectorised avalanche mixers.
+
+    Drop-in for :class:`~repro.hashing.blake.Blake2Family` anywhere the
+    :class:`~repro.hashing.family.HashFamily` interface is accepted —
+    filters, the sharded store, snapshots (kind ``"vector64"`` in the
+    family registry) — trading cryptographic mixing for a batch path
+    that runs entirely inside NumPy kernels.
+
+    Args:
+        seed: family seed; families with different seeds are
+            decorrelated through a splitmix64-scrambled lane stream.
+    """
+
+    output_bits = 64
+
+    def __init__(self, seed: int = 0):
+        require_non_negative("seed", seed)
+        self._seed = seed
+        # splitmix64(seed): every derived quantity hangs off this.
+        self._seed_mixed = _mix64((seed + _GOLDEN) & _M64)
+        self._long_key = seed.to_bytes(8, "little") + b"vector64-long"
+
+    @property
+    def seed(self) -> int:
+        """The family seed."""
+        return self._seed
+
+    @property
+    def name(self) -> str:
+        return "vector64[seed=%d]" % self._seed
+
+    # ------------------------------------------------------------------
+    # Scalar path (Python ints, bit-identical to the NumPy kernels)
+    # ------------------------------------------------------------------
+    def _lane(self, index: int) -> int:
+        """Per-index lane seed: a splitmix64 stream over the family seed."""
+        return _mix64((self._seed_mixed + (index + 1) * _GOLDEN) & _M64)
+
+    def _ingest(self, data: bytes) -> int:
+        """Fold canonical bytes into the element's 64-bit base value."""
+        length = len(data)
+        if length > _SHORT_MAX:
+            digest = hashlib.blake2b(
+                data, digest_size=8, key=self._long_key).digest()
+            return int.from_bytes(digest, "little")
+        h = (self._seed_mixed + length * _LEN_MULT) & _M64
+        padded = data.ljust(_SHORT_MAX, b"\x00")
+        for j in range(_WORDS):
+            word = int.from_bytes(padded[8 * j : 8 * j + 8], "little")
+            h = _mix64(h ^ word)
+        return h
+
+    def hash_bytes(self, index: int, data: bytes) -> int:
+        return _mix64((self._ingest(data) + self._lane(index)) & _M64)
+
+    def values(
+        self, element: ElementLike, count: int, start: int = 0
+    ) -> List[int]:
+        """Scalar batch: the ingest fold is paid once, one mix per lane."""
+        require_non_negative("count", count)
+        require_non_negative("start", start)
+        if count == 0:
+            return []
+        base = self._ingest(to_bytes(element))
+        return [
+            _mix64((base + self._lane(start + i)) & _M64)
+            for i in range(count)
+        ]
+
+    def iter_values(self, element: ElementLike, count: int, start: int = 0):
+        """Lazy hashes; the ingest fold is paid on the first value."""
+        require_non_negative("count", count)
+        require_non_negative("start", start)
+        if count == 0:
+            return
+        base = self._ingest(to_bytes(element))
+        for i in range(count):
+            yield _mix64((base + self._lane(start + i)) & _M64)
+
+    # ------------------------------------------------------------------
+    # Batch path (whole-batch NumPy kernels)
+    # ------------------------------------------------------------------
+    def _lane_array(self, start: int, count: int) -> np.ndarray:
+        indices = np.arange(start + 1, start + count + 1, dtype=np.uint64)
+        return _mix64_np(np.uint64(self._seed_mixed) + indices * _NP_GOLDEN)
+
+    def _ingest_batch(self, elements: Sequence[ElementLike]) -> np.ndarray:
+        """Vectorised ingest: one ``uint64`` base value per element.
+
+        All-bytes batches (the serving path after
+        :func:`repro._util.to_bytes` canonicalisation on the wire) are
+        joined into one buffer and scattered into a zero-padded
+        ``(n, 32)`` byte matrix with pure NumPy indexing — no
+        per-element Python.  Long keys (> 32 bytes) take the seeded
+        BLAKE2b fallback individually, exactly like the scalar path.
+        """
+        n = len(elements)
+        try:
+            # Fast path: all elements already bytes-like — one C-level
+            # join, no per-element Python.  The length cross-check
+            # catches bytes-likes whose len() is not their byte count
+            # (e.g. a cast memoryview), which must take the canonical
+            # slow path to match the scalar entry points.
+            blob = b"".join(elements)
+            lengths = np.fromiter(map(len, elements), dtype=np.int64,
+                                  count=n)
+            if len(blob) != int(lengths.sum()):
+                raise TypeError
+            datas = elements
+        except TypeError:
+            datas = [to_bytes(e) for e in elements]
+            blob = b"".join(datas)
+            lengths = np.fromiter(map(len, datas), dtype=np.int64,
+                                  count=n)
+        ends = np.cumsum(lengths)
+        starts = ends - lengths
+        short = lengths <= _SHORT_MAX
+
+        # Short keys: scatter into a (n, 32) zero-padded byte matrix,
+        # view as little-endian words, fold — all array ops.
+        short_lengths = np.where(short, lengths, 0)
+        buf = np.zeros((n, _SHORT_MAX), dtype=np.uint8)
+        total_short = int(short_lengths.sum())
+        if total_short:
+            flat = np.frombuffer(blob, dtype=np.uint8)
+            width = int(lengths[0])
+            if short_lengths[0] and (lengths == width).all():
+                # Uniform-width keys (flow IDs, fixed-format records):
+                # the join is already a dense (n, width) matrix.
+                buf[:, :width] = flat.reshape(n, width)
+            else:
+                row = np.repeat(np.arange(n), short_lengths)
+                cum = np.cumsum(short_lengths) - short_lengths
+                col = np.arange(total_short) - np.repeat(cum, short_lengths)
+                buf[row, col] = flat[np.repeat(starts, short_lengths) + col]
+        words = buf.view("<u8")
+        base = np.uint64(self._seed_mixed) \
+            + lengths.astype(np.uint64) * _NP_LEN_MULT
+        for j in range(_WORDS):
+            base = _mix64_np(base ^ words[:, j])
+
+        # Long keys: one seeded digest each (rare on filter workloads).
+        for i in np.nonzero(~short)[0]:
+            digest = hashlib.blake2b(
+                datas[i], digest_size=8, key=self._long_key).digest()
+            base[i] = int.from_bytes(digest, "little")
+        return base
+
+    def values_batch(
+        self, elements: Sequence[ElementLike], count: int, start: int = 0
+    ) -> np.ndarray:
+        """Whole-batch hashing as one ``(n, count)`` NumPy kernel.
+
+        Values are bit-identical to :meth:`values` row for row; the
+        only per-element Python on the fast path is the type check and
+        the C-level ``bytes.join``.
+        """
+        require_non_negative("count", count)
+        require_non_negative("start", start)
+        elements = list(elements)
+        n = len(elements)
+        if count == 0 or n == 0:
+            return np.empty((n, count), dtype=np.uint64)
+        base = self._ingest_batch(elements)
+        lanes = self._lane_array(start, count)
+        return _mix64_np(base[:, None] + lanes[None, :])

@@ -7,21 +7,27 @@ and raw bits into a self-describing binary blob so it can be shipped
 between processes or persisted across restarts — the Summary-Cache
 pattern of §2.2, where nodes exchange whole filters.
 
-Only deterministic, seed-reconstructible hash families can round-trip;
-the built-in :class:`~repro.hashing.blake.Blake2Family` qualifies.
-Counting variants are deliberately excluded: their DRAM-tier counter
-state belongs to the updater, not to query-side snapshots.
+Only deterministic, seed-reconstructible hash families can round-trip:
+every family in the :mod:`repro.hashing` registry qualifies
+(``family_spec`` maps the instance to a ``(kind, seed)`` pair, and
+``make_family`` rebuilds it on restore — BLAKE2b lanes, the vectorised
+mixers, Kirsch–Mitzenmacher double hashing and the reference mixers
+alike).  A blob declaring an unknown family is refused with a clear
+error rather than restored under the wrong hashes.  Counting variants
+are deliberately excluded: their DRAM-tier counter state belongs to
+the updater, not to query-side snapshots.
 
-Format: a JSON header (magic, version, type, parameters, family seed)
-followed by the raw bit buffer.  Integrity is guarded by a BLAKE2 digest
-over header and payload.
+Format: a JSON header (magic, version, type, parameters, family kind +
+seed) followed by the raw bit buffer.  Integrity is guarded by a BLAKE2
+digest over header and payload.
 
 Two container levels share the scheme:
 
 * :func:`dumps`/:func:`loads` — one filter per blob (magic ``SHBF``);
 * :func:`dumps_store`/:func:`loads_store` — a whole
   :class:`~repro.store.ShardedFilterStore` (magic ``SHBS``): a header
-  carrying the shard count, router seed and per-shard blob sizes,
+  carrying the shard count, router family + seed and per-shard blob
+  sizes,
   followed by the concatenated per-shard :func:`dumps` blobs, the lot
   guarded by one digest.  Restoring rebuilds every shard *and* the
   router, so restored stores route — and therefore answer —
@@ -46,7 +52,7 @@ from repro.core.membership import (
 )
 from repro.core.multiplicity import CountingShiftingMultiplicityFilter
 from repro.errors import ConfigurationError, UnsupportedSnapshotError
-from repro.hashing.blake import Blake2Family
+from repro.hashing.family import family_spec, make_family
 from repro.store.router import ShardRouter
 from repro.store.sharded import ShardedFilterStore
 
@@ -72,14 +78,39 @@ _COUNTING_TYPES = (
 )
 
 
-def _family_seed(filt: SnapshotFilter) -> int:
+def _family_header(filt: SnapshotFilter) -> dict:
+    """The filter's ``(family kind, seed)`` spec as header fields.
+
+    Any registry family round-trips (``family_spec`` ↔ ``make_family``);
+    composite or ad-hoc families raise — a snapshot that cannot
+    reconstruct its family exactly would silently mis-hash on restore.
+    """
     family = filt.family if hasattr(filt, "family") else filt._family
-    if not isinstance(family, Blake2Family):
+    try:
+        kind, seed = family_spec(family)
+    except ConfigurationError as exc:
         raise ConfigurationError(
-            "only Blake2Family-backed filters can be snapshotted "
-            "(got %s); reconstructable families need a seed" % family.name
-        )
-    return family.seed
+            "filter cannot be snapshotted: %s" % exc) from None
+    return {"family": kind, "seed": seed}
+
+
+def _family_from_header(header: dict):
+    """Rebuild the hashing family a snapshot header declares.
+
+    Pre-registry blobs carry only ``seed``; they were always BLAKE2b
+    lanes, so that is the default kind.  An unknown kind fails loudly:
+    restoring under a different family would not error at query time —
+    it would just answer wrongly.
+    """
+    kind = header.get("family", "blake2b")
+    try:
+        return make_family(kind, header["seed"])
+    except ConfigurationError as exc:
+        raise ConfigurationError(
+            "snapshot declares hash family %r which cannot be "
+            "reconstructed (%s); restoring under a different family "
+            "would silently mis-hash every query" % (kind, exc)
+        ) from None
 
 
 def dumps(filt: SnapshotFilter) -> bytes:
@@ -92,7 +123,7 @@ def dumps(filt: SnapshotFilter) -> bytes:
             "w_bar": filt.w_bar,
             "word_bits": filt.policy.word_bits,
             "n_items": filt.n_items,
-            "seed": _family_seed(filt),
+            **_family_header(filt),
         }
         payload = filt.bits.to_bytes()
     elif isinstance(filt, OneMemoryBloomFilter):
@@ -102,7 +133,7 @@ def dumps(filt: SnapshotFilter) -> bytes:
             "k": filt.k,
             "word_bits": filt.word_bits,
             "n_items": filt.n_items,
-            "seed": _family_seed(filt),
+            **_family_header(filt),
         }
         payload = filt.bits.to_bytes()
     elif isinstance(filt, BloomFilter):
@@ -111,7 +142,7 @@ def dumps(filt: SnapshotFilter) -> bytes:
             "m": filt.m,
             "k": filt.k,
             "n_items": filt.n_items,
-            "seed": _family_seed(filt),
+            **_family_header(filt),
         }
         payload = filt.bits.to_bytes()
     elif isinstance(filt, _COUNTING_TYPES):
@@ -164,7 +195,7 @@ def loads(blob: bytes) -> SnapshotFilter:
     if digest != expected:
         raise ConfigurationError("snapshot integrity check failed")
     header = json.loads(header_bytes)
-    family = Blake2Family(seed=header["seed"])
+    family = _family_from_header(header)
     if header["type"] == "shbf_m":
         filt = ShiftingBloomFilter(
             m=header["m"], k=header["k"], family=family,
@@ -194,7 +225,8 @@ def dumps_store(store: ShardedFilterStore) -> bytes:
     """Serialise a whole sharded store to one container byte string.
 
     Layout: ``SHBS`` magic, version, header length, JSON header
-    (``n_shards``, ``router_seed``, per-shard blob sizes), a 16-byte
+    (``n_shards``, ``router_seed``, ``router_family``, per-shard blob
+    sizes), a 16-byte
     BLAKE2 digest over header + payload, then the concatenated
     per-shard :func:`dumps` blobs.  Every shard must itself be
     snapshot-capable; counting shards raise
@@ -211,6 +243,7 @@ def dumps_store(store: ShardedFilterStore) -> bytes:
         "type": "sharded_store",
         "n_shards": store.n_shards,
         "router_seed": store.router.seed,
+        "router_family": store.router.family_kind,
         "blob_bytes": [len(blob) for blob in blobs],
     }
     header_bytes = json.dumps(header, sort_keys=True).encode()
@@ -274,5 +307,15 @@ def loads_store(blob: bytes) -> ShardedFilterStore:
     for size in blob_bytes:
         shards.append(loads(payload[cursor : cursor + size]))
         cursor += size
-    router = ShardRouter(header["n_shards"], seed=header["router_seed"])
+    router_kind = header.get("router_family", "blake2b")
+    try:
+        router = ShardRouter(
+            header["n_shards"], seed=header["router_seed"],
+            family_kind=router_kind)
+    except ConfigurationError as exc:
+        raise ConfigurationError(
+            "store container declares router family %r which cannot be "
+            "reconstructed (%s); a differently-routed restore would "
+            "send every element to the wrong shard" % (router_kind, exc)
+        ) from None
     return ShardedFilterStore._from_shards(shards, router)

@@ -42,6 +42,7 @@ from repro.replication.replicator import (
     ReplicatedFilterService,
     ReplicationConfig,
 )
+from repro.hashing.family import FAMILY_KINDS, make_family
 from repro.service.client import ServiceClient
 from repro.service.server import CoalescerConfig, FilterService
 from repro.store.sharded import ShardedFilterStore
@@ -55,6 +56,10 @@ def _add_geometry_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--m", type=int, default=262144,
                         help="bits per shard filter")
     parser.add_argument("--k", type=int, default=8)
+    parser.add_argument("--family", default="blake2b",
+                        choices=sorted(FAMILY_KINDS),
+                        help="probe-hash family kind; shipped snapshots "
+                             "carry it, so standbys hash identically")
     parser.add_argument("--max-batch", type=int, default=512)
     parser.add_argument("--max-delay-us", type=int, default=200)
     parser.add_argument("--max-inflight", type=int, default=1024)
@@ -82,10 +87,12 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _build_target(args: argparse.Namespace):
+    family = make_family(getattr(args, "family", "blake2b"), seed=0)
     if args.shards <= 0:
-        return ShiftingBloomFilter(m=args.m, k=args.k)
+        return ShiftingBloomFilter(m=args.m, k=args.k, family=family)
     return ShardedFilterStore(
-        lambda shard: ShiftingBloomFilter(m=args.m, k=args.k),
+        lambda shard: ShiftingBloomFilter(
+            m=args.m, k=args.k, family=family),
         n_shards=args.shards)
 
 

@@ -25,6 +25,7 @@ import time
 
 from repro.core.membership import ShiftingBloomFilter
 from repro.errors import ReproError
+from repro.hashing.family import FAMILY_KINDS, make_family
 from repro.service.client import ServiceClient
 from repro.service.server import CoalescerConfig, FilterService
 from repro.store.sharded import ShardedFilterStore
@@ -36,16 +37,23 @@ def _add_endpoint_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--port", type=int, default=4000)
 
 
-def _build_target(shards: int, m: int, k: int):
-    """The hosted structure: an N-shard ShBF_M store, or one filter."""
+def _build_target(shards: int, m: int, k: int, family_kind: str = "blake2b"):
+    """The hosted structure: an N-shard ShBF_M store, or one filter.
+
+    The probe-hash family is resolved from the registry once and shared
+    by every shard; snapshots persist its ``(kind, seed)`` so standbys
+    and restores hash identically.
+    """
+    family = make_family(family_kind, seed=0)
     if shards <= 0:
-        return ShiftingBloomFilter(m=m, k=k)
+        return ShiftingBloomFilter(m=m, k=k, family=family)
     return ShardedFilterStore(
-        lambda shard: ShiftingBloomFilter(m=m, k=k), n_shards=shards)
+        lambda shard: ShiftingBloomFilter(m=m, k=k, family=family),
+        n_shards=shards)
 
 
 async def _serve(args: argparse.Namespace) -> int:
-    target = _build_target(args.shards, args.m, args.k)
+    target = _build_target(args.shards, args.m, args.k, args.family)
     if args.preload > 0:
         workload = build_service_workload(args.preload, seed=args.seed)
         target.add_batch(list(workload.members))
@@ -159,6 +167,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--preload", type=int, default=0,
                        help="insert this many seeded catalog items")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--family", default="blake2b",
+                       choices=sorted(FAMILY_KINDS),
+                       help="probe-hash family kind for the hosted "
+                            "filters (vector64 = vectorised mixers)")
 
     ping = sub.add_parser("ping", help="liveness probe with retries")
     _add_endpoint_args(ping)

@@ -3,9 +3,10 @@
 A fleet of filters only behaves like one big filter if every element is
 routed to the *same* shard on insert and on query, on every node, for
 the lifetime of the deployment.  :class:`ShardRouter` pins that mapping
-to a seeded BLAKE2b hash: ``shard(e) = h_route(e) % n_shards``, with the
-routing hash drawn from its **own** family so routing decisions stay
-statistically independent of the probe positions inside each shard.
+to a seeded routing hash — any registered family kind, BLAKE2b lanes by
+default: ``shard(e) = h_route(e) % n_shards``, with the routing hash
+drawn from its **own** family so routing decisions stay statistically
+independent of the probe positions inside each shard.
 
 That independence matters: the default filter families also use seed 0,
 and if the router shared their seed *and* hash index, every element of
@@ -21,7 +22,7 @@ import numpy as np
 
 from repro._util import ElementLike, require_non_negative, require_positive
 from repro._vector import group_indices
-from repro.hashing.blake import Blake2Family
+from repro.hashing.family import make_family
 
 __all__ = ["ShardRouter"]
 
@@ -36,8 +37,13 @@ class ShardRouter:
     Args:
         n_shards: number of shards in the store.
         seed: routing-family seed.  Two routers with equal
-            ``(n_shards, seed)`` route identically — the compatibility
-            unit for store merges and snapshot restores.
+            ``(n_shards, family_kind, seed)`` route identically — the
+            compatibility unit for store merges and snapshot restores.
+        family_kind: registered hash-family kind for the routing hash
+            (:data:`repro.hashing.FAMILY_KINDS`); BLAKE2b lanes by
+            default, ``"vector64"`` for a fully vectorised routing
+            pass.  Persisted in ``SHBS`` containers so restored stores
+            route identically.
 
     Example:
         >>> router = ShardRouter(n_shards=4)
@@ -45,12 +51,14 @@ class ShardRouter:
         True
     """
 
-    def __init__(self, n_shards: int, seed: int = DEFAULT_ROUTER_SEED):
+    def __init__(self, n_shards: int, seed: int = DEFAULT_ROUTER_SEED,
+                 family_kind: str = "blake2b"):
         require_positive("n_shards", n_shards)
         require_non_negative("seed", seed)
         self._n_shards = n_shards
         self._seed = seed
-        self._family = Blake2Family(seed=seed)
+        self._family_kind = family_kind
+        self._family = make_family(family_kind, seed)
 
     @property
     def n_shards(self) -> int:
@@ -63,13 +71,23 @@ class ShardRouter:
         return self._seed
 
     @property
+    def family_kind(self) -> str:
+        """The routing-family kind (part of the compatibility key)."""
+        return self._family_kind
+
+    @property
     def name(self) -> str:
         """Compatibility label: routers with equal names route equally."""
-        return "blake2b[seed=%d]%%%d" % (self._seed, self._n_shards)
+        return "%s%%%d" % (self._family.name, self._n_shards)
 
     def route(self, element: ElementLike) -> int:
         """The shard index owning *element*."""
         return self._family.hash(0, element) % self._n_shards
+
+    @property
+    def family(self):
+        """The routing hash family instance."""
+        return self._family
 
     def route_batch(self, elements) -> np.ndarray:
         """Vectorised :meth:`route`: an ``(n,)`` int64 shard-id array."""
@@ -95,8 +113,9 @@ class ShardRouter:
     def is_compatible(self, other: "ShardRouter") -> bool:
         """Whether *other* routes every element identically."""
         return (self._n_shards == other._n_shards
-                and self._seed == other._seed)
+                and self._seed == other._seed
+                and self._family_kind == other._family_kind)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return "ShardRouter(n_shards=%d, seed=%d)" % (
-            self._n_shards, self._seed)
+        return "ShardRouter(n_shards=%d, seed=%d, family_kind=%r)" % (
+            self._n_shards, self._seed, self._family_kind)

@@ -505,8 +505,11 @@ class ShardedFilterStore:
         """Serialise the whole store to one container blob.
 
         Delegates to :func:`repro.persistence.dumps_store`: a header
-        (shard count, router seed, per-shard blob sizes), the per-shard
-        snapshots, and a BLAKE2 digest over everything.
+        (shard count, router family + seed, per-shard blob sizes), the
+        per-shard snapshots — each carrying its filter's hash-family
+        kind and seed — and a BLAKE2 digest over everything.  A restore
+        therefore hashes *and* routes bit-identically whatever family
+        the shards were wired with.
         """
         from repro import persistence
 

@@ -27,7 +27,7 @@ from repro.analysis.membership import bf_fpr, shbf_m_fpr
 from repro.analysis.one_mem import one_mem_bf_fpr
 from repro.baselines import BloomFilter, OneMemoryBloomFilter
 from repro.core import ShiftingAssociationFilter, ShiftingBloomFilter
-from repro.hashing import Blake2Family
+from repro.hashing import Blake2Family, VectorizedFamily
 from repro.store import ShardedFilterStore
 from tests.conftest import make_elements
 
@@ -105,6 +105,53 @@ class TestMembershipFPR:
             for weight, s in zip(hist / hist.sum(), store.shards)
         )
         check(observed, predicted)
+
+
+class TestVectorizedFamilyFPR:
+    """The vectorised mixer family must sit in the *same* closed-form
+    tolerance bands as BLAKE2b — the statistical proof (on top of the
+    vetting harness) that swapping the hot-path family trades zero
+    accuracy for its throughput win."""
+
+    def test_bf_matches_eq8(self):
+        filt = BloomFilter(m=16384, k=6, family=VectorizedFamily(seed=SEED))
+        check(observed_fpr(filt), bf_fpr(m=16384, n=N_MEMBERS, k=6))
+
+    def test_shbf_m_matches_theorem1(self):
+        filt = ShiftingBloomFilter(
+            m=16384, k=8, family=VectorizedFamily(seed=SEED))
+        check(observed_fpr(filt),
+              shbf_m_fpr(m=16384, n=N_MEMBERS, k=8, w_bar=filt.w_bar))
+
+    def test_shbf_m_small_w_bar(self):
+        filt = ShiftingBloomFilter(
+            m=16384, k=8, w_bar=20, family=VectorizedFamily(seed=SEED))
+        check(observed_fpr(filt),
+              shbf_m_fpr(m=16384, n=N_MEMBERS, k=8, w_bar=20))
+
+    def test_shbf_a_clear_rate_matches_table2(self):
+        s1 = MEMBERS[:1200]
+        s2 = MEMBERS[1200:2000]
+        filt = ShiftingAssociationFilter(
+            m=16384, k=8, family=VectorizedFamily(seed=SEED))
+        filt.build(s1, s2)
+        answers = filt.query_batch(list(s1))
+        observed = sum(1 for a in answers if a.clear) / len(answers)
+        f = association_false_region_probability(
+            m=16384, n_distinct=N_MEMBERS, k=8)
+        predicted = shbf_a_clear_answer_probability(
+            k=8, false_region_probability=f)
+        assert observed == pytest.approx(predicted, rel=0.05, abs=0.02), \
+            "observed %.4f vs predicted %.4f" % (observed, predicted)
+
+    def test_same_band_as_blake2b(self):
+        """Head-to-head at one operating point: both families' observed
+        ShBF_M FPRs land within the same ±20% band of Theorem 1, so
+        neither is statistically distinguishable from the model."""
+        predicted = shbf_m_fpr(m=16384, n=N_MEMBERS, k=8, w_bar=57)
+        for family in (Blake2Family(seed=SEED), VectorizedFamily(seed=SEED)):
+            filt = ShiftingBloomFilter(m=16384, k=8, family=family)
+            check(observed_fpr(filt), predicted)
 
 
 class TestAssociationClearRate:

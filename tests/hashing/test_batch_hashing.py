@@ -18,6 +18,7 @@ from repro.hashing import (
     DoubleHashingFamily,
     FNV1aFamily,
     Murmur3Family,
+    VectorizedFamily,
     XXHash64Family,
 )
 
@@ -29,9 +30,14 @@ FAMILIES = [
     Murmur3Family(seed=1),
     FNV1aFamily(seed=2),
     XXHash64Family(seed=4),
+    VectorizedFamily(seed=0),
+    VectorizedFamily(seed=7),
 ]
 
-ELEMENTS = [b"", b"a", "string-element", 1234567890123, b"x" * 200]
+# Crosses the VectorizedFamily short/long ingest boundary (32 bytes)
+# in both directions, plus mixed-type canonicalisation.
+ELEMENTS = [b"", b"a", "string-element", 1234567890123, b"x" * 200,
+            b"y" * 32, b"z" * 33]
 
 
 @pytest.mark.parametrize("family", FAMILIES, ids=lambda f: f.name)

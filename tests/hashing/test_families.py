@@ -1,13 +1,17 @@
-"""Tests for the BLAKE2 family, double hashing and randomness vetting."""
+"""Tests for the hash families, the family registry and basic vetting."""
 
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.hashing import (
+    FAMILY_KINDS,
     Blake2Family,
     DoubleHashingFamily,
+    VectorizedFamily,
     bit_balance_report,
     default_family,
+    family_spec,
+    make_family,
     vet_family,
 )
 
@@ -89,6 +93,102 @@ class TestDoubleHashingFamily:
         fam = DoubleHashingFamily(base=base)
         assert fam.base is base
         assert "blake2b" in fam.name
+
+
+class TestVectorizedFamily:
+    def test_deterministic(self):
+        a, b = VectorizedFamily(seed=1), VectorizedFamily(seed=1)
+        assert a.hash(5, "flow") == b.hash(5, "flow")
+
+    def test_indices_decorrelated(self):
+        fam = VectorizedFamily()
+        values = [fam.hash(i, b"x") for i in range(32)]
+        assert len(set(values)) == 32
+
+    def test_seeds_decorrelated(self):
+        assert VectorizedFamily(seed=0).hash(0, b"x") != VectorizedFamily(
+            seed=1).hash(0, b"x")
+
+    def test_short_long_boundary(self):
+        """32 bytes folds inline, 33 takes the digest fallback — both
+        must be stable and distinct from each other."""
+        fam = VectorizedFamily(seed=2)
+        at = fam.hash(0, b"q" * 32)
+        over = fam.hash(0, b"q" * 33)
+        assert at == fam.hash(0, b"q" * 32)
+        assert over == fam.hash(0, b"q" * 33)
+        assert at != over
+
+    def test_trailing_zero_bytes_distinct(self):
+        """Zero padding must not alias ``b"a"`` with ``b"a\\x00"``."""
+        fam = VectorizedFamily()
+        assert fam.hash(0, b"a") != fam.hash(0, b"a\x00")
+        assert fam.hash(0, b"") != fam.hash(0, b"\x00")
+
+    def test_mixed_element_types(self):
+        fam = VectorizedFamily()
+        assert fam.hash(0, "abc") == fam.hash(0, b"abc")
+        assert fam.hash(0, 12345) != fam.hash(0, 12346)
+        assert fam.hash(0, True) != fam.hash(0, 1)
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            VectorizedFamily().hash(0, 1.5)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VectorizedFamily(seed=-1)
+
+
+class TestFamilyRegistry:
+    @pytest.mark.parametrize("kind", FAMILY_KINDS)
+    def test_make_then_spec_round_trips(self, kind):
+        family = make_family(kind, seed=9)
+        assert family_spec(family) == (kind, 9)
+        rebuilt = make_family(*family_spec(family))
+        assert rebuilt.hash(3, b"probe") == family.hash(3, b"probe")
+
+    def test_kinds_tuple_matches_builder_table(self):
+        """FAMILY_KINDS, the builder table and family_spec must stay in
+        lockstep; the round-trip test above catches a missing spec
+        branch, this catches a missing/extra builder entry."""
+        from repro.hashing.family import _builders
+
+        assert set(FAMILY_KINDS) == set(_builders())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown hash family"):
+            make_family("sha0", seed=0)
+
+    def test_unregistered_instance_rejected(self):
+        class Anonymous(Blake2Family):
+            pass
+
+        with pytest.raises(ConfigurationError):
+            family_spec(Anonymous())
+
+    def test_composite_over_custom_base_rejected(self):
+        family = DoubleHashingFamily(
+            base=Blake2Family(seed=1, batch_lanes=False))
+        with pytest.raises(ConfigurationError, match="not seed-"):
+            family_spec(family)
+
+    def test_blake_modes_are_distinct_kinds(self):
+        """Lane and per-index modes hash differently, so the registry
+        must keep them apart or a snapshot restore would mis-hash."""
+        assert family_spec(Blake2Family(seed=4)) == ("blake2b", 4)
+        assert family_spec(Blake2Family(seed=4, batch_lanes=False)) \
+            == ("blake2b-per-index", 4)
+
+    def test_default_family_kind_argument(self):
+        assert isinstance(default_family(kind="vector64"),
+                          VectorizedFamily)
+
+    def test_default_family_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HASH_FAMILY", "vector64")
+        assert isinstance(default_family(), VectorizedFamily)
+        monkeypatch.delenv("REPRO_HASH_FAMILY")
+        assert isinstance(default_family(), Blake2Family)
 
 
 class TestRandomnessVetting:

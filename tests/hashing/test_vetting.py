@@ -1,0 +1,185 @@
+"""The full §6.1 vetting harness, as seeded tier-1 tests.
+
+The paper's authors only used hash functions that passed a randomness
+test over their 8M flow IDs.  The library's equivalent gate runs here:
+every family allowed to carry the hot path — the BLAKE2b default, the
+vectorised mixer family that replaces it on the batch path, and the
+Kirsch–Mitzenmacher construction — must clear per-bit balance,
+chi-square position uniformity, pairwise independence and avalanche on
+seeded flow-ID samples.
+
+The seed matrix is fixed (deterministic numbers, no flaky statistics);
+CI's ``hash-vetting`` job re-runs the module with additional seeds via
+``REPRO_VET_SEEDS``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.hashing import (
+    Blake2Family,
+    DoubleHashingFamily,
+    HashFamily,
+    VectorizedFamily,
+    avalanche_report,
+    independence_report,
+    position_uniformity_report,
+    vet_family,
+)
+from repro.hashing.randomness import _chi_square_critical
+from repro.traces import FlowTraceGenerator
+
+#: Family seeds the harness vets; ``REPRO_VET_SEEDS=3,11,42`` extends
+#: the matrix from CI without editing the test.
+VET_SEEDS = [
+    int(s) for s in os.environ.get("REPRO_VET_SEEDS", "0,7").split(",")
+]
+
+FAMILY_BUILDERS = [
+    pytest.param(lambda seed: VectorizedFamily(seed=seed), id="vector64"),
+    pytest.param(lambda seed: Blake2Family(seed=seed), id="blake2b"),
+    pytest.param(lambda seed: DoubleHashingFamily(seed=seed),
+                 id="km-double"),
+]
+
+
+@pytest.fixture(scope="module")
+def flow_sample():
+    """Distinct 13-byte flow IDs, the paper's element format."""
+    return FlowTraceGenerator(seed=61).distinct_flows(4000)
+
+
+@pytest.mark.parametrize("make", FAMILY_BUILDERS)
+@pytest.mark.parametrize("seed", VET_SEEDS)
+def test_full_harness_passes(make, seed, flow_sample):
+    """Balance + uniformity + independence + avalanche, all indices."""
+    report = vet_family(make(seed), flow_sample, indices=range(4))
+    assert report.passed, "\n".join(report.failures)
+    assert len(report.balance) == 4
+    assert len(report.uniformity) == 4
+    assert len(report.independence) == 6  # C(4, 2) index pairs
+    assert len(report.avalanche) == 4
+
+
+@pytest.mark.parametrize("seed", VET_SEEDS)
+def test_vectorized_long_key_path_passes(seed):
+    """Keys beyond the 32-byte fold boundary (BLAKE2b fallback) are as
+    uniform as short keys — the two ingest paths share the gate."""
+    long_keys = [b"prefix-%032d-suffix-padding" % i for i in range(3000)]
+    assert len(long_keys[0]) > 32
+    report = vet_family(
+        VectorizedFamily(seed=seed), long_keys, indices=range(3))
+    assert report.passed, "\n".join(report.failures)
+
+
+def test_harness_is_deterministic(flow_sample):
+    a = vet_family(VectorizedFamily(seed=1), flow_sample, indices=range(2))
+    b = vet_family(VectorizedFamily(seed=1), flow_sample, indices=range(2))
+    assert a == b
+
+
+def test_report_iterates_balance(flow_sample):
+    """The aggregate report keeps the historical list-of-balance shape."""
+    report = vet_family(
+        Blake2Family(), flow_sample[:500], indices=range(3),
+        checks=("balance",))
+    assert len(report) == 3
+    assert [r.index for r in report] == [0, 1, 2]
+    assert report[0].samples == 500
+    assert report.uniformity == ()
+
+
+def test_unknown_check_rejected(flow_sample):
+    with pytest.raises(ValueError, match="unknown vetting checks"):
+        vet_family(Blake2Family(), flow_sample[:10], checks=("balance",
+                                                             "entropy"))
+
+
+# ----------------------------------------------------------------------
+# Negative controls: deliberately broken families must fail the checks
+# that target their defect.
+# ----------------------------------------------------------------------
+class _EvenOnlyFamily(HashFamily):
+    """Clears bit 0 — positions land only in even buckets."""
+
+    output_bits = 64
+
+    name = "even-only"
+
+    def hash_bytes(self, index, data):
+        return VectorizedFamily(seed=0).hash_bytes(index, data) & ~1
+
+
+class _IndexBlindFamily(HashFamily):
+    """Ignores its index — every family member is the same function."""
+
+    output_bits = 64
+
+    name = "index-blind"
+
+    def hash_bytes(self, index, data):
+        return VectorizedFamily(seed=0).hash_bytes(0, data)
+
+
+class _NoDiffusionFamily(HashFamily):
+    """First 8 key bytes verbatim — an input bit flips one output bit."""
+
+    output_bits = 64
+
+    name = "no-diffusion"
+
+    def hash_bytes(self, index, data):
+        return int.from_bytes(data[:8].ljust(8, b"\0"), "little") ^ index
+
+
+def test_even_only_family_fails_uniformity(flow_sample):
+    report = position_uniformity_report(
+        _EvenOnlyFamily(), flow_sample, index=0, n_buckets=256)
+    assert not report.passed
+    assert report.statistic > report.critical
+
+
+def test_index_blind_family_fails_independence(flow_sample):
+    report = independence_report(
+        _IndexBlindFamily(), flow_sample, index_a=0, index_b=1,
+        n_buckets=256)
+    assert not report.passed
+    # every element collides: the defining symptom of a fake family
+    assert report.collisions == report.samples
+
+
+def test_no_diffusion_family_fails_avalanche(flow_sample):
+    report = avalanche_report(_NoDiffusionFamily(), flow_sample, index=0)
+    assert not report.passed
+    # one input bit flips exactly one output bit: mean rate ~= 1/64
+    assert report.mean_flip_rate < 0.05
+
+
+def test_vet_family_surfaces_failures(flow_sample):
+    report = vet_family(
+        _IndexBlindFamily(), flow_sample, indices=range(2),
+        checks=("independence",))
+    assert not report.passed
+    assert any("independence" in failure for failure in report.failures)
+
+
+# ----------------------------------------------------------------------
+# Harness internals
+# ----------------------------------------------------------------------
+def test_chi_square_critical_tracks_known_quantiles():
+    """Wilson–Hilferty at z=2.326 is the 99th percentile; reference
+    values: chi2(0.99, 100) = 135.81, chi2(0.99, 255) = 310.46."""
+    assert _chi_square_critical(100, 2.326) == pytest.approx(135.81, rel=0.01)
+    assert _chi_square_critical(255, 2.326) == pytest.approx(310.46, rel=0.01)
+
+
+def test_uniformity_statistic_scale(flow_sample):
+    """For a true uniform family, chi2 ~ dof; the statistic should sit
+    near its degrees of freedom, far from the 4.5-sigma critical."""
+    report = position_uniformity_report(
+        Blake2Family(seed=2), flow_sample, index=1, n_buckets=256)
+    assert report.passed
+    assert 0.5 * report.dof < report.statistic < 1.7 * report.dof

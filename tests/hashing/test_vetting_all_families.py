@@ -2,8 +2,16 @@
 
 The paper tested candidate hash functions on its flow IDs and kept the
 18 whose output bits were unbiased.  Here every built-in family faces
-the same gate on synthetic flow IDs — the check that justifies using
-them interchangeably in the experiments.
+the extended gate (balance, chi-square uniformity, pairwise
+independence, avalanche) on synthetic flow IDs — the check that
+justifies using them interchangeably in the experiments.
+
+One candidate is *eliminated* exactly as the paper eliminated weak
+functions: FNV-1a's byte-serial fold has no final avalanche pass, so a
+bit flipped in a late input byte cannot diffuse downward and the
+avalanche check rejects it.  It remains available as a baseline (its
+balance/uniformity/independence are fine, and the ablation bench
+measures its FPR penalty), but it is not fit to carry the hot path.
 """
 
 import pytest
@@ -13,7 +21,9 @@ from repro.hashing import (
     DoubleHashingFamily,
     FNV1aFamily,
     Murmur3Family,
+    VectorizedFamily,
     XXHash64Family,
+    avalanche_report,
     bit_balance_report,
     vet_family,
 )
@@ -29,19 +39,25 @@ def flow_sample():
 @pytest.mark.parametrize("family", [
     Blake2Family(seed=0),
     Blake2Family(seed=0, batch_lanes=False),
+    VectorizedFamily(seed=0),
     Murmur3Family(seed=0),
-    FNV1aFamily(seed=0),
     XXHash64Family(seed=0),
     DoubleHashingFamily(seed=0),
 ], ids=lambda f: f.name)
-def test_family_passes_bit_balance(family, flow_sample):
-    reports = vet_family(family, flow_sample, indices=range(4))
-    for report in reports:
-        assert report.passed, (
-            "%s index %d: worst bit %d deviates %.4f (threshold %.4f)"
-            % (family.name, report.index, report.worst_bit,
-               report.max_deviation, report.threshold)
-        )
+def test_family_passes_full_harness(family, flow_sample):
+    report = vet_family(family, flow_sample, indices=range(4))
+    assert report.passed, "%s failed: %s" % (
+        family.name, "; ".join(report.failures))
+
+
+def test_fnv1a_passes_everything_but_avalanche(flow_sample):
+    family = FNV1aFamily(seed=0)
+    report = vet_family(
+        family, flow_sample, indices=range(4),
+        checks=("balance", "uniformity", "independence"))
+    assert report.passed, "; ".join(report.failures)
+    # ... and the avalanche check is what catches the byte-serial fold.
+    assert not avalanche_report(family, flow_sample, index=0).passed
 
 
 def test_murmur_only_reports_32_bits(flow_sample):

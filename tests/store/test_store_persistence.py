@@ -9,6 +9,7 @@ from repro import persistence
 from repro.baselines import BloomFilter, OneMemoryBloomFilter
 from repro.core import CountingShiftingBloomFilter, ShiftingBloomFilter
 from repro.errors import ConfigurationError, UnsupportedSnapshotError
+from repro.hashing import Blake2Family, VectorizedFamily, family_spec
 from repro.store import ShardedFilterStore, ShardRouter
 from tests.conftest import make_elements
 
@@ -21,6 +22,26 @@ def build_store(factory=lambda s: ShiftingBloomFilter(m=8192, k=8),
     store = ShardedFilterStore(factory, n_shards=n_shards, **kwargs)
     store.add_batch(MEMBERS)
     return store
+
+
+def reforge(blob: bytes, mutate_header) -> bytes:
+    """Rewrite a snapshot's JSON header and re-sign the digest.
+
+    ``mutate_header(dict)`` edits the decoded header in place; the
+    payload is untouched, so the result is a *validly signed* blob with
+    forged metadata — the shape of attack the header fields themselves
+    (not the digest) must defend against.
+    """
+    import hashlib
+
+    _, header_len = struct.unpack("<HI", blob[4:10])
+    header = json.loads(blob[10 : 10 + header_len])
+    mutate_header(header)
+    new_header = json.dumps(header, sort_keys=True).encode()
+    payload = blob[10 + header_len + 16 :]
+    digest = hashlib.blake2b(new_header + payload, digest_size=16).digest()
+    return (blob[:4] + struct.pack("<HI", 1, len(new_header))
+            + new_header + digest + payload)
 
 
 class TestRoundTrip:
@@ -54,6 +75,90 @@ class TestRoundTrip:
         assert persistence.loads_store(
             persistence.dumps_store(store)).query_batch(PROBES).tolist() \
             == store.query_batch(PROBES).tolist()
+
+
+class TestFamilyRoundTrip:
+    """Snapshots carry the hash-family kind + seed: a restore hashes —
+    and therefore answers — identically whatever family the filters
+    (and the router) were wired with."""
+
+    @pytest.mark.parametrize("family_maker,kind", [
+        pytest.param(lambda: VectorizedFamily(seed=5), "vector64",
+                     id="vector64"),
+        pytest.param(lambda: Blake2Family(seed=5, batch_lanes=False),
+                     "blake2b-per-index", id="blake2b-per-index"),
+    ])
+    def test_single_filter_family_round_trips(self, family_maker, kind):
+        original = ShiftingBloomFilter(m=8192, k=8, family=family_maker())
+        original.add_batch(MEMBERS)
+        clone = persistence.loads(persistence.dumps(original))
+        assert family_spec(clone.family) == (kind, 5)
+        assert clone.bits.to_bytes() == original.bits.to_bytes()
+        assert clone.query_batch(PROBES).tolist() \
+            == original.query_batch(PROBES).tolist()
+
+    def test_store_of_vectorized_shards_round_trips(self):
+        original = build_store(
+            factory=lambda s: ShiftingBloomFilter(
+                m=8192, k=8, family=VectorizedFamily(seed=9)),
+            router=ShardRouter(4, seed=77, family_kind="vector64"))
+        clone = ShardedFilterStore.restore(original.snapshot())
+        assert clone.router.family_kind == "vector64"
+        assert clone.router.seed == 77
+        assert clone.router.is_compatible(original.router)
+        for shard in clone.shards:
+            assert family_spec(shard.family) == ("vector64", 9)
+        assert clone.query_batch(PROBES).tolist() \
+            == original.query_batch(PROBES).tolist()
+        # byte-identical re-snapshot: the format is deterministic in
+        # the family fields too
+        assert clone.snapshot() == original.snapshot()
+
+    def test_mixed_family_shards_round_trip(self):
+        """Each shard blob carries its own family spec."""
+        families = [Blake2Family(seed=1), VectorizedFamily(seed=2),
+                    Blake2Family(seed=3), VectorizedFamily(seed=4)]
+        original = build_store(
+            factory=lambda s: ShiftingBloomFilter(
+                m=8192, k=8, family=families[s]))
+        clone = ShardedFilterStore.restore(original.snapshot())
+        assert [family_spec(s.family) for s in clone.shards] == [
+            ("blake2b", 1), ("vector64", 2), ("blake2b", 3),
+            ("vector64", 4)]
+        assert clone.query_batch(PROBES).tolist() \
+            == original.query_batch(PROBES).tolist()
+
+    def test_unknown_family_rejected_with_clear_error(self):
+        """A blob declaring a family this build can't reconstruct must
+        refuse loudly — restoring under a different family would not
+        error, it would just answer wrongly."""
+        blob = persistence.dumps(ShiftingBloomFilter(
+            m=512, k=4, family=VectorizedFamily(seed=0)))
+        forged = reforge(
+            blob, lambda h: h.__setitem__("family", "quantum128"))
+        with pytest.raises(ConfigurationError,
+                           match="family 'quantum128'.*mis-hash"):
+            persistence.loads(forged)
+
+    def test_unknown_router_family_rejected(self):
+        forged = reforge(
+            build_store().snapshot(),
+            lambda h: h.__setitem__("router_family", "quantum128"))
+        with pytest.raises(ConfigurationError,
+                           match="router family 'quantum128'"):
+            persistence.loads_store(forged)
+
+    def test_legacy_header_without_family_is_blake2b(self):
+        """Pre-registry blobs carry only a seed; they were always
+        BLAKE2b lanes and must keep restoring that way."""
+        original = BloomFilter(m=4096, k=6, family=Blake2Family(seed=13))
+        original.add_batch(MEMBERS[:100])
+        legacy = reforge(
+            persistence.dumps(original),
+            lambda h: h.__delitem__("family"))
+        clone = persistence.loads(legacy)
+        assert family_spec(clone.family) == ("blake2b", 13)
+        assert clone.query_batch(MEMBERS[:100]).all()
 
 
 class TestRejection:

@@ -238,6 +238,108 @@ def test_property_duplicate_heavy_adds_match_scalar_readds(duplicates, k):
     assert batch.memory.stats == scalar.memory.stats
 
 
+# ----------------------------------------------------------------------
+# Cross-family equivalence: the batch ≡ scalar contract must hold for
+# every hash-family wiring, and the vectorised family's own scalar and
+# batch paths must be bit-identical for arbitrary inputs.
+# ----------------------------------------------------------------------
+ANY_ELEMENT = st.one_of(
+    st.binary(min_size=0, max_size=80),  # crosses the 32-byte boundary
+    st.text(max_size=40),
+    st.integers(min_value=-(2 ** 70), max_value=2 ** 70),
+    st.booleans(),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    elements=st.lists(ANY_ELEMENT, min_size=1, max_size=40),
+    count=st.integers(min_value=0, max_value=12),
+    start=st.integers(min_value=0, max_value=9),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_property_vectorized_scalar_batch_bit_identical(
+        elements, count, start, seed):
+    """Property: for arbitrary element mixes (bytes of any length, str,
+    int, bool), VectorizedFamily's NumPy batch kernel reproduces the
+    pure-Python scalar path bit for bit, for any (count, start, seed)."""
+    from repro.hashing import VectorizedFamily
+
+    fam = VectorizedFamily(seed=seed)
+    batch = fam.values_batch(elements, count, start=start)
+    assert batch.shape == (len(elements), count)
+    for row, element in enumerate(elements):
+        scalar = fam.values(element, count, start=start)
+        assert [int(v) for v in batch[row]] == scalar
+        assert list(fam.iter_values(element, count, start=start)) == scalar
+
+
+FAMILY_WIRINGS = ["blake2b", "vector64", "km-double"]
+
+
+@pytest.mark.parametrize("kind", FAMILY_WIRINGS)
+@pytest.mark.parametrize("make", [
+    pytest.param(lambda fam: BloomFilter(m=8192, k=7, family=fam),
+                 id="bf"),
+    pytest.param(lambda fam: ShiftingBloomFilter(m=8192, k=8, family=fam),
+                 id="shbf_m"),
+    pytest.param(
+        lambda fam: CountingShiftingBloomFilter(m=8192, k=8, family=fam),
+        id="cshbf_m"),
+    pytest.param(lambda fam: OneMemoryBloomFilter(m=8192, k=8, family=fam),
+                 id="one_mem_bf"),
+    pytest.param(
+        lambda fam: GeneralizedShiftingBloomFilter(
+            m=8192, k=12, t=2, family=fam),
+        id="generalized_t2"),
+])
+def test_family_agnostic_batch_equivalence(kind, make):
+    """State, verdicts and AccessStats equivalence is family-agnostic:
+    whatever family is wired, batch and scalar paths are twins."""
+    from repro.hashing import make_family
+
+    batch, scalar = make(make_family(kind)), make(make_family(kind))
+    batch.add_batch(MEMBERS)
+    for element in MEMBERS:
+        scalar.add(element)
+    assert batch.bits.to_bytes() == scalar.bits.to_bytes()
+    assert_same_stats(batch, scalar)
+    assert batch.query_batch(MIXED).tolist() \
+        == [scalar.query(q) for q in MIXED]
+    assert_same_stats(batch, scalar)
+    assert batch.query_batch(MEMBERS).all()
+
+
+@pytest.mark.parametrize("kind", FAMILY_WIRINGS)
+def test_family_agnostic_sharded_store_equivalence(kind):
+    """The sharded store's batch routing is family-agnostic too: same
+    verdicts and identical aggregate AccessStats as scalar routing,
+    whichever family backs the shards (and the router)."""
+    from repro.hashing import make_family
+    from repro.store import ShardedFilterStore, ShardRouter
+
+    router_kind = "vector64" if kind == "vector64" else "blake2b"
+
+    def build():
+        return ShardedFilterStore(
+            lambda shard: ShiftingBloomFilter(
+                m=4096, k=8, family=make_family(kind)),
+            n_shards=4,
+            router=ShardRouter(4, family_kind=router_kind))
+
+    batch, scalar = build(), build()
+    batch.add_batch(MEMBERS)
+    for element in MEMBERS:
+        scalar.add(element)
+    for ours, theirs in zip(batch.shards, scalar.shards):
+        assert ours.bits.to_bytes() == theirs.bits.to_bytes()
+        assert ours.n_items == theirs.n_items
+    assert batch.query_batch(MIXED).tolist() \
+        == [scalar.query(q) for q in MIXED]
+    assert batch.memory.stats == scalar.memory.stats
+    assert batch.report().total == scalar.report().total
+
+
 def test_counting_membership_batch_keeps_tiers_synchronised():
     batch = CountingShiftingBloomFilter(m=4096, k=8)
     batch.add_batch(MEMBERS[:150])

@@ -50,8 +50,22 @@ class TestSnapshots:
         with pytest.raises(ConfigurationError):
             persistence.loads(bytes(blob))
 
+    def test_registry_family_round_trips(self):
+        """Any registry family snapshots now, not just BLAKE2b."""
+        filt = BloomFilter(m=512, k=4, family=FNV1aFamily(seed=3))
+        filt.add(b"x")
+        clone = persistence.loads(persistence.dumps(filt))
+        assert type(clone.family) is FNV1aFamily
+        assert clone.family.seed == 3
+        assert b"x" in clone
+
     def test_non_seed_family_rejected(self):
-        filt = BloomFilter(m=512, k=4, family=FNV1aFamily())
+        from repro.hashing import Blake2Family, DoubleHashingFamily
+
+        # A composite over a custom base has no (kind, seed) spec.
+        family = DoubleHashingFamily(base=Blake2Family(seed=1,
+                                                       batch_lanes=False))
+        filt = BloomFilter(m=512, k=4, family=family)
         with pytest.raises(ConfigurationError):
             persistence.dumps(filt)
 
