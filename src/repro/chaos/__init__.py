@@ -1,0 +1,19 @@
+"""Fault injection for the serving and replication stack.
+
+The chaos layer is an in-process asyncio TCP proxy
+(:class:`~repro.chaos.proxy.ChaosProxy`) that sits between any client
+and a :class:`~repro.service.FilterService` and applies a scripted,
+seeded :class:`~repro.chaos.faults.FaultSchedule` — added latency,
+bandwidth throttling, response stalls, mid-frame truncation, byte
+corruption, connection resets and blackholes, targetable per direction
+and per wire op.  :mod:`repro.chaos.drill` runs a full seeded drill:
+a replicated pair behind the proxy, a
+:class:`~repro.replication.FailoverClient` workload, and a machine-
+checkable invariant report (zero wrong verdicts, zero duplicate
+writes, nothing hangs).  ``python -m repro.chaos`` exposes both.
+"""
+
+from repro.chaos.faults import FaultSchedule, FaultSpec
+from repro.chaos.proxy import ChaosProxy
+
+__all__ = ["ChaosProxy", "FaultSchedule", "FaultSpec"]

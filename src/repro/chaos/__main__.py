@@ -1,0 +1,146 @@
+"""Command-line entry points for the chaos layer.
+
+Two subcommands::
+
+    python -m repro.chaos serve --listen-port 4999 \\
+        --upstream 127.0.0.1:4000 \\
+        --fault latency:delay_ms=30,jitter_ms=20,op=QUERY,count=none \\
+        --fault reset:op=ADD,after=10
+    python -m repro.chaos drill --n 400 --seed 7 --report chaos.json
+
+``serve`` runs a standalone :class:`~repro.chaos.ChaosProxy` in front
+of any ``repro.service`` / ``repro.replication`` node, applying the
+``--fault`` specs in order (first eligible spec fires per frame) and
+printing an injection report on shutdown; ``drill`` runs the full
+seeded chaos drill of :mod:`repro.chaos.drill` — replicated pair,
+fault storm, hardened :class:`~repro.replication.FailoverClient`
+workload — and exits non-zero if any invariant (zero wrong verdicts,
+zero duplicate writes, nothing hangs) is violated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.chaos.drill import DrillConfig, run_drill
+from repro.chaos.faults import FaultSchedule
+from repro.chaos.proxy import ChaosProxy
+from repro.replication.failover import parse_endpoint
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    host, port = parse_endpoint(args.upstream)
+    schedule = FaultSchedule.parse(args.fault, seed=args.seed)
+    proxy = ChaosProxy(host, port, schedule)
+    await proxy.start(args.listen_host, args.listen_port)
+    print("repro.chaos proxying %s:%d -> %s:%d (%d faults, seed=%d)"
+          % (proxy.host, proxy.port, host, port, len(schedule.specs),
+             args.seed), flush=True)
+    try:
+        while True:
+            await asyncio.sleep(3600)
+    finally:
+        report = proxy.report()
+        await proxy.close()
+        print(json.dumps(report, indent=2))
+    return 0
+
+
+async def _drill(args: argparse.Namespace) -> int:
+    faults = (FaultSchedule.parse(args.fault, seed=args.seed)
+              if args.fault else None)
+    config = DrillConfig(
+        n=args.n, per_batch=args.per_batch, seed=args.seed,
+        op_timeout=args.op_timeout,
+        connect_timeout=args.connect_timeout,
+        failover_budget=args.failover_budget,
+        shards=args.shards, m=args.m, k=args.k,
+        max_passes=args.max_passes, faults=faults)
+    report = await run_drill(config)
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print("report written to %s" % args.report)
+    totals, client = report["totals"], report["client"]
+    print("drill: %d ops, %d elements written; slowest op %.3f s "
+          "(budget %.3f s)" % (totals["ops_run"],
+                               totals["elements_written"],
+                               totals["slowest_op_s"],
+                               totals["op_budget_s"]))
+    print("client: %d failovers, %d retries, %d deadline timeouts, "
+          "%d breaker opens" % (client["failovers"], client["retries"],
+                                client["deadline_timeouts"],
+                                client["breaker_opens"]))
+    for entry in report["proxy"]["injected"]:
+        print("fault %s: fired %d/%d matched"
+              % (entry["fault"], entry["fired"], entry["matched"]))
+    for name, held in report["invariants"].items():
+        print("invariant %s: %s" % (name, "OK" if held else "VIOLATED"))
+    if not report["ok"]:
+        print("DRILL FAILED", file=sys.stderr)
+        return 1
+    print("DRILL OK")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="fault-injecting proxy in front of a service")
+    serve.add_argument("--listen-host", default="127.0.0.1")
+    serve.add_argument("--listen-port", type=int, default=4999)
+    serve.add_argument("--upstream", required=True, metavar="HOST:PORT",
+                       help="the real service endpoint to forward to")
+    serve.add_argument("--fault", action="append", default=[],
+                       metavar="KIND:K=V,...",
+                       help="fault spec, repeatable; e.g. "
+                            "latency:delay_ms=30,op=QUERY,count=none "
+                            "(kinds: latency, throttle, stall, "
+                            "truncate, corrupt, reset, blackhole)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seeds the schedule's jitter")
+
+    drill = sub.add_parser(
+        "drill", help="seeded fault storm with invariant checking")
+    drill.add_argument("--n", type=int, default=400,
+                       help="members written over the drill")
+    drill.add_argument("--per-batch", type=int, default=40)
+    drill.add_argument("--seed", type=int, default=7)
+    drill.add_argument("--op-timeout", type=float, default=0.75,
+                       help="per-attempt client deadline in seconds")
+    drill.add_argument("--connect-timeout", type=float, default=0.5)
+    drill.add_argument("--failover-budget", type=float, default=3.0,
+                       help="extra seconds an op may spend failing "
+                            "over before the hang invariant trips")
+    drill.add_argument("--max-passes", type=int, default=3,
+                       help="client endpoint walks per op")
+    drill.add_argument("--shards", type=int, default=4)
+    drill.add_argument("--m", type=int, default=16384,
+                       help="bits per shard filter")
+    drill.add_argument("--k", type=int, default=8)
+    drill.add_argument("--fault", action="append", default=[],
+                       metavar="KIND:K=V,...",
+                       help="override the default schedule "
+                            "(repeatable, same syntax as serve)")
+    drill.add_argument("--report", default=None,
+                       help="write the full JSON report here")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    runner = {"serve": _serve, "drill": _drill}[args.command]
+    try:
+        return asyncio.run(runner(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

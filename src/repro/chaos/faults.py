@@ -1,0 +1,263 @@
+"""Fault specifications and scheduling for the chaos proxy.
+
+A :class:`FaultSpec` describes one fault: what to do (*kind*), where
+(*direction*, optional wire *op*), and when (skip the first *after*
+matching frames, then fire on up to *count* of them).  A
+:class:`FaultSchedule` holds an ordered list of specs plus a seed: for
+every proxied frame the first eligible spec fires, jitter is drawn
+from the schedule's own ``random.Random(seed)``, and the whole run is
+therefore replayable byte for byte — chaos, but *scripted* chaos.
+
+Fault kinds:
+
+========== ==========================================================
+kind       effect on a matching frame
+========== ==========================================================
+latency    forward after ``delay_ms`` (+ uniform ``jitter_ms``) sleep
+throttle   forward in chunks paced to ``rate_kbps``
+stall      never forward this frame or any later one in
+           this direction on this connection (bytes keep being read —
+           the peer sees an open, silent socket)
+truncate   forward only part of the frame, then kill the connection
+           (the classic mid-frame process death)
+corrupt    flip ``flip_bytes`` payload bytes, then forward
+reset      abort the connection immediately (RST, no FIN)
+blackhole  stall **both** directions of the connection
+========== ==========================================================
+
+Specs parse from compact CLI strings::
+
+    latency:delay_ms=30,jitter_ms=20,op=QUERY,count=20
+    stall:direction=s2c,op=QUERY,after=15
+    reset:op=ADD_IDEM,direction=c2s
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.service import protocol
+
+__all__ = ["FAULT_KINDS", "FaultSchedule", "FaultSpec"]
+
+FAULT_KINDS = ("latency", "throttle", "stall", "truncate", "corrupt",
+               "reset", "blackhole")
+_DIRECTIONS = ("c2s", "s2c", "both")
+
+#: Spec fields settable from the ``kind:key=value,...`` string form.
+_INT_FIELDS = ("after", "count", "flip_bytes")
+_FLOAT_FIELDS = ("delay_ms", "jitter_ms", "rate_kbps")
+_STR_FIELDS = ("direction", "op")
+
+
+def _op_code(name: str) -> int:
+    code = getattr(protocol, "OP_" + name.upper(), None)
+    if not isinstance(code, int):
+        raise ConfigurationError(
+            "fault names unknown wire op %r (want e.g. QUERY, ADD_IDEM)"
+            % name)
+    return code
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault; see the module docstring for the kinds.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        direction: ``c2s`` (requests), ``s2c`` (responses) or ``both``.
+        op: optional wire-op name (``QUERY``, ``ADD_IDEM``, ...); only
+            frames of that op match.  Responses match via the request
+            they answer.
+        after: skip this many matching frames before firing.
+        count: fire on at most this many frames (``None`` = every one).
+        delay_ms: base added latency (``latency``).
+        jitter_ms: extra uniform latency drawn per firing (``latency``).
+        rate_kbps: forwarding bandwidth (``throttle``).
+        flip_bytes: payload bytes to corrupt (``corrupt``).
+    """
+
+    kind: str
+    direction: str = "both"
+    op: Optional[str] = None
+    after: int = 0
+    count: Optional[int] = 1
+    delay_ms: float = 0.0
+    jitter_ms: float = 0.0
+    rate_kbps: float = 0.0
+    flip_bytes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                "unknown fault kind %r (want one of %s)"
+                % (self.kind, ", ".join(FAULT_KINDS)))
+        if self.direction not in _DIRECTIONS:
+            raise ConfigurationError(
+                "fault direction must be c2s, s2c or both, got %r"
+                % self.direction)
+        if self.op is not None:
+            _op_code(self.op)  # validate eagerly
+        if self.after < 0:
+            raise ConfigurationError(
+                "fault 'after' must be >= 0, got %d" % self.after)
+        if self.count is not None and self.count < 1:
+            raise ConfigurationError(
+                "fault 'count' must be >= 1 or None, got %r" % self.count)
+        if self.delay_ms < 0 or self.jitter_ms < 0:
+            raise ConfigurationError("fault latency must be >= 0")
+        if self.kind == "latency" and self.delay_ms <= 0 \
+                and self.jitter_ms <= 0:
+            raise ConfigurationError(
+                "latency fault needs delay_ms and/or jitter_ms > 0")
+        if self.kind == "throttle" and self.rate_kbps <= 0:
+            raise ConfigurationError(
+                "throttle fault needs rate_kbps > 0")
+        if self.kind == "corrupt" and self.flip_bytes < 1:
+            raise ConfigurationError(
+                "corrupt fault needs flip_bytes >= 1")
+
+    @property
+    def op_code(self) -> Optional[int]:
+        """The numeric opcode this spec targets, or ``None`` (any)."""
+        return None if self.op is None else _op_code(self.op)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Build a spec from ``kind:key=value,...`` (CLI form)."""
+        kind, _, rest = text.partition(":")
+        kwargs: dict = {}
+        for pair in filter(None, rest.split(",")):
+            key, sep, value = pair.partition("=")
+            key = key.strip()
+            if not sep:
+                raise ConfigurationError(
+                    "fault option %r is not key=value (in %r)"
+                    % (pair, text))
+            try:
+                if key in _INT_FIELDS:
+                    kwargs[key] = (None if key == "count"
+                                   and value in ("none", "inf")
+                                   else int(value))
+                elif key in _FLOAT_FIELDS:
+                    kwargs[key] = float(value)
+                elif key in _STR_FIELDS:
+                    kwargs[key] = value.strip()
+                else:
+                    raise ConfigurationError(
+                        "unknown fault option %r (in %r)" % (key, text))
+            except ValueError:
+                raise ConfigurationError(
+                    "fault option %s=%r is not a number (in %r)"
+                    % (key, value, text)) from None
+        return cls(kind=kind.strip(), **kwargs)
+
+    def describe(self) -> str:
+        parts = [self.kind, self.direction]
+        if self.op:
+            parts.append("op=%s" % self.op)
+        if self.after:
+            parts.append("after=%d" % self.after)
+        parts.append("count=%s" % ("inf" if self.count is None
+                                   else self.count))
+        return ":".join(parts[:1]) + "(" + ",".join(parts[1:]) + ")"
+
+
+class FaultSchedule:
+    """An ordered, seeded fault script consulted per proxied frame.
+
+    :meth:`fire` is called by the proxy once per frame with the frame's
+    direction and (when known) wire op; the first spec that matches and
+    is still within its ``after``/``count`` window fires and returns
+    itself plus any jittered latency.  All randomness comes from
+    ``random.Random(seed)``, so two runs of the same schedule against
+    the same traffic inject identically.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = (), seed: int = 0):
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._seen = [0] * len(self.specs)
+        self._fired = [0] * len(self.specs)
+
+    @classmethod
+    def parse(cls, texts: Sequence[str], seed: int = 0) -> "FaultSchedule":
+        """Build a schedule from CLI ``kind:key=value,...`` strings."""
+        return cls([FaultSpec.parse(t) for t in texts], seed=seed)
+
+    def reset(self) -> None:
+        """Forget all runtime state (seen/fired counters, rng)."""
+        self.rng = random.Random(self.seed)
+        self._seen = [0] * len(self.specs)
+        self._fired = [0] * len(self.specs)
+
+    def _matches(self, spec: FaultSpec, direction: str,
+                 op_code: Optional[int]) -> bool:
+        if spec.direction != "both" and spec.direction != direction:
+            return False
+        if spec.op is not None and spec.op_code != op_code:
+            return False
+        return True
+
+    def fire(self, direction: str,
+             op_code: Optional[int]) -> Optional[Tuple[FaultSpec, float]]:
+        """The fault (and its drawn delay in seconds) for one frame.
+
+        Every matching spec's ``seen`` counter advances; the first one
+        past its ``after`` threshold and under its ``count`` budget
+        fires.  Returns ``None`` when no fault applies.
+        """
+        chosen: Optional[int] = None
+        for i, spec in enumerate(self.specs):
+            if not self._matches(spec, direction, op_code):
+                continue
+            self._seen[i] += 1
+            if self._seen[i] <= spec.after:
+                continue
+            if spec.count is not None and self._fired[i] >= spec.count:
+                continue
+            if chosen is None:
+                chosen = i
+        if chosen is None:
+            return None
+        spec = self.specs[chosen]
+        self._fired[chosen] += 1
+        delay_s = spec.delay_ms / 1e3
+        if spec.jitter_ms > 0:
+            delay_s += self.rng.uniform(0.0, spec.jitter_ms) / 1e3
+        return spec, delay_s
+
+    def injected(self) -> List[dict]:
+        """Per-spec summary of what actually fired (for reports)."""
+        return [
+            {
+                "fault": spec.describe(),
+                "kind": spec.kind,
+                "matched": self._seen[i],
+                "fired": self._fired[i],
+            }
+            for i, spec in enumerate(self.specs)
+        ]
+
+
+def default_drill_schedule(seed: int = 0) -> FaultSchedule:
+    """The seeded schedule the chaos drill runs unless told otherwise.
+
+    Latency spikes on query responses, one query response stall (the
+    client must miss its deadline and fail over), and one connection
+    reset on a write request (the client must retry under the same
+    idempotency key) — the three failure classes of the drill
+    invariant.
+    """
+    return FaultSchedule([
+        FaultSpec(kind="latency", direction="s2c", op="QUERY",
+                  delay_ms=40.0, jitter_ms=20.0, count=4),
+        FaultSpec(kind="stall", direction="s2c", op="QUERY",
+                  after=4, count=1),
+        FaultSpec(kind="reset", direction="c2s", op="ADD_IDEM",
+                  after=2, count=1),
+    ], seed=seed)

@@ -1,0 +1,270 @@
+"""Frame-aware fault-injecting TCP proxy.
+
+:class:`ChaosProxy` listens on a local port and forwards every
+connection to an upstream ``FilterService`` (or standby), re-framing
+the wire protocol as it goes so faults can target individual frames:
+it reads whole frames with :func:`repro.service.protocol.read_frame`,
+asks the :class:`~repro.chaos.faults.FaultSchedule` whether anything
+fires for that frame, applies the fault, and (usually) forwards the
+re-encoded frame.
+
+Because the proxy parses frames it knows each request's wire op, and it
+remembers ``request_id -> op`` per connection so *response* frames can
+be targeted by the op they answer ("stall the 16th QUERY response").
+
+The proxy is deliberately in-process and asyncio-native: drills and
+tests start it in the same event loop as the server and client, so a
+whole chaos run is a single deterministic process with no external
+tooling (no tc/netem, no root).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Dict, List, Optional
+
+from repro.chaos.faults import FaultSchedule, FaultSpec
+from repro.errors import ProtocolError
+from repro.service import protocol
+
+__all__ = ["ChaosProxy"]
+
+#: Bytes per throttled write chunk; small enough that pacing is smooth
+#: at the kbps rates drills use, large enough to stay cheap.
+_THROTTLE_CHUNK = 1024
+
+#: How much of a frame the ``truncate`` fault lets through: the header
+#: plus at most this many body bytes, guaranteeing a partial frame.
+_TRUNCATE_BODY_BYTES = 5
+
+
+class _Connection:
+    """Per-connection state shared by the two pump directions."""
+
+    __slots__ = ("index", "op_by_id", "stalled", "client_writer",
+                 "upstream_writer")
+
+    def __init__(self, index: int, client_writer: asyncio.StreamWriter,
+                 upstream_writer: asyncio.StreamWriter):
+        self.index = index
+        #: request_id -> op code, recorded c2s, consumed s2c.
+        self.op_by_id: Dict[int, int] = {}
+        #: directions ("c2s"/"s2c") that a stall/blackhole has silenced.
+        self.stalled: set = set()
+        self.client_writer = client_writer
+        self.upstream_writer = upstream_writer
+
+    def abort(self) -> None:
+        """RST both sides (no FIN, no flush) — ``reset``/``truncate``."""
+        for writer in (self.client_writer, self.upstream_writer):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+
+
+class ChaosProxy:
+    """A fault-injecting proxy in front of one upstream service.
+
+    Args:
+        upstream_host: where the real service listens.
+        upstream_port: the real service's port.
+        schedule: the fault script; ``None`` or an empty schedule makes
+            the proxy a transparent (but still re-framing) relay.
+    """
+
+    def __init__(self, upstream_host: str, upstream_port: int,
+                 schedule: Optional[FaultSchedule] = None):
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.schedule = schedule if schedule is not None else FaultSchedule()
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conns: List[_Connection] = []
+        self._tasks: set = set()
+        self.connections_opened = 0
+        self.connections_aborted = 0
+        self.frames_forwarded = 0
+        self.frames_dropped = 0
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Begin listening; ``self.port`` holds the bound port after."""
+        self._server = await asyncio.start_server(
+            self._handle, host=host, port=port)
+        sock = self._server.sockets[0].getsockname()
+        self.host, self.port = sock[0], sock[1]
+
+    async def close(self) -> None:
+        """Stop listening and tear down every live connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._conns):
+            conn.abort()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+        self._conns.clear()
+
+    async def __aenter__(self) -> "ChaosProxy":
+        if self._server is None:
+            await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def report(self) -> dict:
+        """Counters plus the schedule's per-fault injection summary."""
+        return {
+            "upstream": "%s:%d" % (self.upstream_host, self.upstream_port),
+            "connections_opened": self.connections_opened,
+            "connections_aborted": self.connections_aborted,
+            "frames_forwarded": self.frames_forwarded,
+            "frames_dropped": self.frames_dropped,
+            "injected": self.schedule.injected(),
+        }
+
+    async def _handle(self, client_reader: asyncio.StreamReader,
+                      client_writer: asyncio.StreamWriter) -> None:
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port)
+        except OSError:
+            client_writer.transport.abort()
+            return
+        conn = _Connection(self.connections_opened, client_writer,
+                           up_writer)
+        self.connections_opened += 1
+        self._conns.append(conn)
+        pumps = [
+            asyncio.ensure_future(
+                self._pump(conn, "c2s", client_reader, up_writer)),
+            asyncio.ensure_future(
+                self._pump(conn, "s2c", up_reader, client_writer)),
+        ]
+        for task in pumps:
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        try:
+            await asyncio.gather(*pumps, return_exceptions=True)
+        finally:
+            for writer in (client_writer, up_writer):
+                with contextlib.suppress(Exception):
+                    writer.close()
+            if conn in self._conns:
+                self._conns.remove(conn)
+
+    async def _pump(self, conn: _Connection, direction: str,
+                    reader: asyncio.StreamReader,
+                    writer: asyncio.StreamWriter) -> None:
+        """Forward frames one way, consulting the schedule per frame."""
+        while True:
+            try:
+                frame = await protocol.read_frame(reader)
+            except (ProtocolError, ConnectionError, OSError):
+                conn.abort()
+                return
+            if frame is None:
+                # Clean EOF: half-close towards the peer so in-flight
+                # responses still drain the other way.
+                with contextlib.suppress(Exception):
+                    if writer.can_write_eof():
+                        writer.write_eof()
+                return
+            request_id, code, payload = frame
+            if direction == "c2s":
+                op_code: Optional[int] = code
+                conn.op_by_id[request_id] = code
+            else:
+                op_code = conn.op_by_id.pop(request_id, None)
+            fired = self.schedule.fire(direction, op_code)
+            if direction in conn.stalled:
+                # A stall keeps reading (the sender never blocks or
+                # notices) but forwards nothing further.
+                self.frames_dropped += 1
+                continue
+            if fired is None:
+                await self._forward(conn, writer, request_id, code,
+                                    payload)
+                continue
+            spec, delay_s = fired
+            done = await self._apply(conn, direction, writer, spec,
+                                     delay_s, request_id, code, payload)
+            if done:
+                return
+
+    async def _apply(self, conn: _Connection, direction: str,
+                     writer: asyncio.StreamWriter, spec: FaultSpec,
+                     delay_s: float, request_id: int, code: int,
+                     payload: bytes) -> bool:
+        """Apply one fired fault; ``True`` means this pump is finished."""
+        if spec.kind == "latency":
+            if delay_s > 0:
+                await asyncio.sleep(delay_s)
+            await self._forward(conn, writer, request_id, code, payload)
+            return False
+        if spec.kind == "throttle":
+            encoded = protocol.encode_frame(request_id, code, payload)
+            interval = _THROTTLE_CHUNK / (spec.rate_kbps * 1024.0)
+            try:
+                # Pace *before* each chunk: the bytes arrive at the
+                # modelled bandwidth, including the first ones.
+                for off in range(0, len(encoded), _THROTTLE_CHUNK):
+                    await asyncio.sleep(interval)
+                    writer.write(encoded[off:off + _THROTTLE_CHUNK])
+                    await writer.drain()
+            except (ConnectionError, OSError):
+                conn.abort()
+                return True
+            self.frames_forwarded += 1
+            return False
+        if spec.kind in ("stall", "blackhole"):
+            conn.stalled.add(direction)
+            if spec.kind == "blackhole":
+                conn.stalled.update(("c2s", "s2c"))
+            self.frames_dropped += 1
+            return False
+        if spec.kind == "truncate":
+            encoded = protocol.encode_frame(request_id, code, payload)
+            cut = min(len(encoded), 4 + _TRUNCATE_BODY_BYTES)
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.write(encoded[:cut])
+                await writer.drain()
+            self.frames_dropped += 1
+            self.connections_aborted += 1
+            conn.abort()
+            return True
+        if spec.kind == "corrupt":
+            mutated = bytearray(payload)
+            if mutated:
+                for i in range(min(spec.flip_bytes, len(mutated))):
+                    mutated[i] ^= 0xFF
+                await self._forward(conn, writer, request_id, code,
+                                    bytes(mutated))
+            else:
+                # No payload to flip: corrupt the code byte instead.
+                await self._forward(conn, writer, request_id,
+                                    code ^ 0xFF, payload)
+            return False
+        if spec.kind == "reset":
+            self.frames_dropped += 1
+            self.connections_aborted += 1
+            conn.abort()
+            return True
+        raise AssertionError("unhandled fault kind %r" % spec.kind)
+
+    async def _forward(self, conn: _Connection,
+                       writer: asyncio.StreamWriter, request_id: int,
+                       code: int, payload: bytes) -> None:
+        try:
+            writer.write(protocol.encode_frame(request_id, code, payload))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            conn.abort()
+        else:
+            self.frames_forwarded += 1

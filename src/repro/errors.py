@@ -87,6 +87,29 @@ class ServiceOverloadedError(ReproError, RuntimeError):
     """
 
 
+class DeadlineExceededError(ReproError, TimeoutError):
+    """An operation missed its deadline (op timeout or connect timeout).
+
+    Subclasses the builtin :class:`TimeoutError` so generic transport
+    handlers (``except OSError``) and asyncio-aware callers both catch
+    it, while ``except ReproError`` still works.  Raised by the service
+    clients when a response frame does not arrive within ``op_timeout``
+    or a TCP connect does not complete within ``connect_timeout`` — the
+    timed-out request's future is removed from the in-flight table, so
+    a stalled server cannot leak client memory.
+    """
+
+
+class RetryBudgetExceededError(ReproError, RuntimeError):
+    """A retry loop ran out of retry budget.
+
+    Raised by :mod:`repro.retry` when the token-bucket budget that
+    bounds retry amplification is empty: the caller has already retried
+    as much as the budget allows, so failing fast beats adding load to
+    an already-struggling service (retry storms).
+    """
+
+
 class ReplicationError(ReproError, RuntimeError):
     """The primary→standby replication pipeline hit an unrecoverable gap.
 

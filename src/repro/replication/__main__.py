@@ -243,7 +243,9 @@ async def _wait_synced(primary: ServiceClient, standby_spec: str,
 async def _probe(args: argparse.Namespace) -> int:
     workload = build_replication_workload(
         args.n, failover_at=args.failover_at, seed=args.seed)
-    client = await ServiceClient.connect(args.host, args.port)
+    client = await ServiceClient.connect(
+        args.host, args.port, connect_timeout=args.connect_timeout,
+        op_timeout=args.op_timeout)
     try:
         if args.write:
             pre, _ = workload.write_batches(args.per_batch)
@@ -275,7 +277,8 @@ async def _verify(args: argparse.Namespace) -> int:
     workload = build_replication_workload(
         args.n, failover_at=args.failover_at, seed=args.seed)
     endpoints = [spec for spec in args.endpoints.split(",") if spec]
-    client = FailoverClient(endpoints, op_timeout=args.op_timeout)
+    client = FailoverClient(endpoints, op_timeout=args.op_timeout,
+                            connect_timeout=args.connect_timeout)
     try:
         health = await client.health()
         for entry in health:
@@ -346,7 +349,9 @@ async def _drill(args: argparse.Namespace) -> int:
           % (primary_port, standby_port))
 
     client = FailoverClient([(args.host, primary_port),
-                             (args.host, standby_port)])
+                             (args.host, standby_port)],
+                            op_timeout=args.op_timeout,
+                            connect_timeout=args.connect_timeout)
     mix = workload.read_mix()
     try:
         # --- acknowledged phase: write, replicate, record verdicts ----
@@ -442,6 +447,9 @@ def build_parser() -> argparse.ArgumentParser:
         "probe", help="write the acknowledged stream, record verdicts")
     probe.add_argument("--host", default="127.0.0.1")
     probe.add_argument("--port", type=int, default=4000)
+    probe.add_argument("--op-timeout", type=float, default=30.0,
+                       help="per-request deadline in seconds")
+    probe.add_argument("--connect-timeout", type=float, default=5.0)
     probe.add_argument("--write", action="store_true",
                        help="write the pre-failover stream first")
     probe.add_argument("--sync", metavar="HOST:PORT", default=None,
@@ -463,11 +471,15 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--promote", action="store_true",
                         help="promote a standby if no primary is alive")
     verify.add_argument("--op-timeout", type=float, default=5.0)
+    verify.add_argument("--connect-timeout", type=float, default=5.0)
     _add_workload_args(verify)
 
     drill = sub.add_parser(
         "drill", help="full kill-primary failover drill in one process")
     drill.add_argument("--host", default="127.0.0.1")
+    drill.add_argument("--op-timeout", type=float, default=5.0,
+                       help="per-request deadline in seconds")
+    drill.add_argument("--connect-timeout", type=float, default=2.0)
     _add_workload_args(drill)
     _add_geometry_args(drill)
     _add_replication_args(drill)

@@ -1,54 +1,89 @@
 """Client-side failover across a primary and its warm standbys.
 
 :class:`FailoverClient` presents the :class:`~repro.service.
-ServiceClient` surface over an *ordered endpoint list* instead of one
+ServiceClient` surface over an *endpoint list* instead of one
 connection:
 
 * **reads** (``ping``/``query``/``query_multi``/``stats``/
-  ``snapshot``) try the currently preferred endpoint first and fail
-  over to the next on any transport death, malformed stream or —
-  because a shedding primary is exactly when a warm standby should
-  absorb reads — :class:`~repro.errors.ServiceOverloadedError`.
-  Errors a *live* server answered with (stamped ``remote`` by
+  ``snapshot``) walk the endpoints in **health-scored order**: each
+  endpoint carries an EWMA of its observed round-trip time, the
+  currently preferred endpoint keeps a hysteresis bonus (so scoring
+  cannot flap between near-equal peers), and endpoints whose circuit
+  breaker is open sort last.  A read fails over on any transport
+  death, malformed stream, missed deadline
+  (:class:`~repro.errors.DeadlineExceededError`) or — because a
+  shedding primary is exactly when a warm standby should absorb reads
+  — :class:`~repro.errors.ServiceOverloadedError`.  Errors a *live*
+  server answered with (stamped ``remote`` by
   :func:`repro.errors.remote_error`) re-raise instead of failing
   over: the peer rejected the request deterministically, and the same
   payload would fail identically everywhere;
+* **circuit breaker**: ``breaker_failures`` consecutive failures open
+  an endpoint's breaker for ``breaker_reset_s`` seconds, demoting it
+  to the back of the candidate order; once the window passes the next
+  operation that reaches it is the half-open probe — success closes
+  the breaker, failure re-opens it.  A breaker never makes an endpoint
+  unreachable: with everything open, everything is still tried;
 * **writes** (``add``/``restore``) walk the endpoints until one in the
   *primary role* accepts; standbys refuse writes with
   :class:`~repro.errors.StandbyReadOnlyError`, which is treated as
   "keep looking", so a write can never land on a follower and fork
-  the replicated state.  With ``auto_promote=True`` a write that finds
-  no primary promotes the preferred surviving standby and retries
-  once — the one-line failover drill;
+  the replicated state.  ``add`` ships as ADD_IDEM under a per-client
+  ``(client_id, write_id)`` idempotency key, so a write retried across
+  a failover — or re-sent after an ambiguous transport death — is
+  applied **exactly once**: the server's dedup window absorbs the
+  duplicate.  With ``auto_promote=True`` a write that finds no primary
+  promotes the preferred surviving standby and retries once;
+* **retry passes**: with ``max_passes > 1`` an exhausted walk sleeps
+  under the shared :class:`~repro.retry.BackoffPolicy` (capped
+  exponential, full jitter, optional :class:`~repro.retry.RetryBudget`)
+  and walks again — the chaos drill's way of riding out a fault window
+  instead of failing the workload;
 * **health** (:meth:`FailoverClient.health`) probes every endpoint
-  with PING + STATS and reports role, epoch and round-trip time,
-  without disturbing the preferred-endpoint choice.
+  with STATS and reports role, epoch, round-trip time and breaker
+  state, without disturbing the preferred-endpoint choice.
 
-Connections are opened lazily and dropped on first failure; a dead
-endpoint is retried from scratch on the next operation that reaches
-it, so a revived primary rejoins the rotation without client restarts.
-When every endpoint fails, :class:`~repro.errors.
-FailoverExhaustedError` carries the full per-endpoint error list.
+Connections are opened lazily (bounded by ``connect_timeout``) and
+dropped on first failure; a dead endpoint is retried from scratch on
+the next operation that reaches it, so a revived primary rejoins the
+rotation without client restarts.  When every endpoint fails,
+:class:`~repro.errors.FailoverExhaustedError` carries the full
+per-endpoint error list.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import time
+from dataclasses import dataclass
 from typing import Awaitable, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro._util import ElementLike
 from repro.errors import (
+    DeadlineExceededError,
     FailoverExhaustedError,
     ProtocolError,
     ServiceOverloadedError,
     StandbyReadOnlyError,
 )
-from repro.service.client import ServiceClient
+from repro.retry import BackoffPolicy, RetryBudget
+from repro.service.client import (
+    DEFAULT_CONNECT_TIMEOUT,
+    DEFAULT_OP_TIMEOUT,
+    ServiceClient,
+)
 
-__all__ = ["FailoverClient", "parse_endpoint"]
+__all__ = ["EndpointState", "FailoverClient", "parse_endpoint"]
+
+#: EWMA smoothing for observed per-endpoint round-trip times.
+_EWMA_ALPHA = 0.3
+#: Multiplicative score bonus keeping the preferred endpoint sticky:
+#: a rival must be >20% faster before reads migrate, so near-equal
+#: peers do not flap.
+_HYSTERESIS = 0.8
 
 
 def parse_endpoint(spec) -> Tuple[str, int]:
@@ -67,11 +102,33 @@ def parse_endpoint(spec) -> Tuple[str, int]:
     return str(host), int(port)
 
 
+@dataclass
+class EndpointState:
+    """Per-endpoint health the read scheduler and breaker run on."""
+
+    #: Consecutive failures since the last success.
+    failures_row: int = 0
+    #: Monotonic deadline until which the breaker is open (0 = closed).
+    open_until: float = 0.0
+    #: EWMA of observed round-trip seconds; ``None`` until first sample.
+    ewma_s: Optional[float] = None
+
+    def record_success(self, rtt_s: float) -> None:
+        self.failures_row = 0
+        self.open_until = 0.0
+        self.ewma_s = (rtt_s if self.ewma_s is None else
+                       _EWMA_ALPHA * rtt_s
+                       + (1.0 - _EWMA_ALPHA) * self.ewma_s)
+
+    def is_open(self, now: float) -> bool:
+        return now < self.open_until
+
+
 class FailoverClient:
     """One logical client over ``[primary, standby, ...]`` endpoints.
 
     Args:
-        endpoints: ordered endpoint list — ``"host:port"`` strings or
+        endpoints: endpoint list — ``"host:port"`` strings or
             ``(host, port)`` pairs; the first is the presumed primary.
         retry_overload: fail reads over to a standby when the preferred
             endpoint sheds with ``ServiceOverloadedError`` (on by
@@ -80,9 +137,27 @@ class FailoverClient:
         auto_promote: when a write finds no endpoint in the primary
             role, PROMOTE the preferred surviving standby and retry the
             write once.
-        op_timeout: optional per-attempt timeout in seconds; a hung
+        op_timeout: per-attempt deadline in seconds (default
+            :data:`~repro.service.client.DEFAULT_OP_TIMEOUT`); a hung
             endpoint then counts as failed instead of stalling the
             caller.
+        connect_timeout: bound on each lazy TCP connect (defaults to
+            ``min(op_timeout, DEFAULT_CONNECT_TIMEOUT)``).
+        breaker_failures: consecutive failures that open an endpoint's
+            circuit breaker.
+        breaker_reset_s: seconds an open breaker demotes its endpoint
+            before the half-open probe.
+        max_passes: full endpoint walks per operation; passes beyond
+            the first sleep under *backoff* first.
+        backoff: delay policy between passes (shared
+            :class:`~repro.retry.BackoffPolicy`).
+        budget: optional :class:`~repro.retry.RetryBudget` spent by
+            each extra pass — bounds retry amplification fleet-wide.
+        client_id: 64-bit idempotency namespace for this client's
+            writes (random when omitted; pass one for deterministic
+            drills).
+        rng: randomness source for backoff jitter (seed for replay).
+        clock: monotonic time source (injectable for breaker tests).
 
     Example::
 
@@ -93,7 +168,7 @@ class FailoverClient:
 
     #: Errors that move a read to the next endpoint.
     _TRANSPORT_ERRORS = (ConnectionError, OSError, ProtocolError,
-                         asyncio.TimeoutError)
+                         DeadlineExceededError, asyncio.TimeoutError)
 
     def __init__(
         self,
@@ -101,19 +176,56 @@ class FailoverClient:
         retry_overload: bool = True,
         auto_promote: bool = False,
         op_timeout: Optional[float] = None,
+        connect_timeout: Optional[float] = None,
+        breaker_failures: int = 3,
+        breaker_reset_s: float = 1.0,
+        max_passes: int = 1,
+        backoff: Optional[BackoffPolicy] = None,
+        budget: Optional[RetryBudget] = None,
+        client_id: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+        clock: Callable[[], float] = time.monotonic,
     ):
         parsed = [parse_endpoint(spec) for spec in endpoints]
         if not parsed:
             raise ProtocolError("FailoverClient needs >= 1 endpoint")
+        if breaker_failures < 1:
+            raise ProtocolError(
+                "breaker_failures must be >= 1, got %d" % breaker_failures)
+        if max_passes < 1:
+            raise ProtocolError(
+                "max_passes must be >= 1, got %d" % max_passes)
         self._endpoints = parsed
         self._clients: List[Optional[ServiceClient]] = [None] * len(parsed)
+        self._connect_locks = [asyncio.Lock() for _ in parsed]
+        self._states = [EndpointState() for _ in parsed]
         self._preferred = 0
         self._retry_overload = retry_overload
         self._auto_promote = auto_promote
-        self._op_timeout = op_timeout
+        self._op_timeout = (op_timeout if op_timeout is not None
+                            else DEFAULT_OP_TIMEOUT)
+        self._connect_timeout = (
+            connect_timeout if connect_timeout is not None
+            else min(self._op_timeout, DEFAULT_CONNECT_TIMEOUT))
+        self._breaker_failures = breaker_failures
+        self._breaker_reset_s = breaker_reset_s
+        self._max_passes = max_passes
+        self._backoff = backoff if backoff is not None else BackoffPolicy()
+        self._budget = budget
+        self._rng = rng if rng is not None else random.Random()
+        self._clock = clock
+        self._client_id = (client_id if client_id is not None
+                           else random.getrandbits(64))
+        self._write_seq = 0
         #: Times a read or write landed on a different endpoint than
         #: the previously preferred one.
         self.failovers = 0
+        #: Extra endpoint walks taken after an exhausted pass.
+        self.retries = 0
+        #: Times an endpoint's breaker transitioned closed → open.
+        self.breaker_opens = 0
+        #: Attempts that failed by missing their op deadline.
+        self.deadline_timeouts = 0
 
     # ------------------------------------------------------------------
     # Connection plumbing
@@ -128,17 +240,37 @@ class FailoverClient:
         """Index of the endpoint reads currently go to first."""
         return self._preferred
 
+    @property
+    def client_id(self) -> int:
+        """The 64-bit idempotency namespace of this client's writes."""
+        return self._client_id
+
+    def counters_dict(self) -> dict:
+        """Resilience counters for reports and the chaos drill."""
+        return {
+            "failovers": self.failovers,
+            "retries": self.retries,
+            "breaker_opens": self.breaker_opens,
+            "deadline_timeouts": self.deadline_timeouts,
+        }
+
     async def _ensure(self, index: int) -> ServiceClient:
         client = self._clients[index]
         if client is not None:
             return client
-        host, port = self._endpoints[index]
-        connect = ServiceClient.connect(host, port)
-        if self._op_timeout is not None:
-            connect = asyncio.wait_for(connect, self._op_timeout)
-        client = await connect
-        self._clients[index] = client
-        return client
+        # Serialise concurrent pipelined callers hitting a cold
+        # endpoint: without the lock each would open (and then leak)
+        # its own connection, with only the last one retained.
+        async with self._connect_locks[index]:
+            client = self._clients[index]
+            if client is not None:
+                return client
+            host, port = self._endpoints[index]
+            client = await ServiceClient.connect(
+                host, port, connect_timeout=self._connect_timeout,
+                op_timeout=self._op_timeout)
+            self._clients[index] = client
+            return client
 
     async def _drop(self, index: int) -> None:
         client, self._clients[index] = self._clients[index], None
@@ -148,24 +280,58 @@ class FailoverClient:
             except Exception:  # pragma: no cover - best effort
                 pass
 
+    def _record_failure(self, index: int) -> None:
+        state = self._states[index]
+        state.failures_row += 1
+        if state.failures_row >= self._breaker_failures:
+            if not state.is_open(self._clock()):
+                if state.failures_row == self._breaker_failures:
+                    self.breaker_opens += 1
+            state.open_until = self._clock() + self._breaker_reset_s
+
     def _order(self) -> List[int]:
+        """Write/promote walk order: rotation from the preferred."""
         n = len(self._endpoints)
         return [(self._preferred + i) % n for i in range(n)]
+
+    def _read_order(self) -> List[int]:
+        """Health-scored candidate order for reads.
+
+        Closed-breaker endpoints first, scored by their round-trip
+        EWMA; an endpoint with no sample yet scores *neutral* (equal to
+        the best known), so a cold standby never jumps ahead of a warm
+        preferred on zero evidence.  The preferred endpoint keeps a
+        hysteresis bonus and wins ties, so steady state is stable;
+        open-breaker endpoints sort last (by soonest half-open), still
+        reachable when everything healthier failed.
+        """
+        now = self._clock()
+        known = [s.ewma_s for s in self._states if s.ewma_s is not None]
+        neutral = min(known) if known else 0.0
+
+        def key(index: int):
+            state = self._states[index]
+            score = state.ewma_s if state.ewma_s is not None else neutral
+            if index == self._preferred:
+                score *= _HYSTERESIS
+            if state.is_open(now):
+                return (1, state.open_until, score, index)
+            return (0, score, index != self._preferred, index)
+
+        return sorted(range(len(self._endpoints)), key=key)
 
     async def _attempt(self, index: int,
                        op: Callable[[ServiceClient], Awaitable]):
         client = await self._ensure(index)
-        call = op(client)
-        if self._op_timeout is not None:
-            call = asyncio.wait_for(call, self._op_timeout)
-        return await call
+        return await op(client)
 
     # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
-    async def _read(self, op: Callable[[ServiceClient], Awaitable]):
+    async def _read_once(self, op: Callable[[ServiceClient], Awaitable]):
         errors: List[str] = []
-        for index in self._order():
+        for index in self._read_order():
+            start = self._clock()
             try:
                 result = await self._attempt(index, op)
             except self._TRANSPORT_ERRORS as exc:
@@ -174,8 +340,11 @@ class FailoverClient:
                     # (e.g. a server-side ProtocolError): retrying the
                     # same payload elsewhere would fail the same way.
                     raise
+                if isinstance(exc, DeadlineExceededError):
+                    self.deadline_timeouts += 1
                 errors.append("%s:%d %s: %s" % (
                     *self._endpoints[index], type(exc).__name__, exc))
+                self._record_failure(index)
                 await self._drop(index)
                 continue
             except ServiceOverloadedError as exc:
@@ -184,6 +353,7 @@ class FailoverClient:
                 errors.append("%s:%d shed: %s" % (
                     *self._endpoints[index], exc))
                 continue  # connection is healthy; just try a standby
+            self._states[index].record_success(self._clock() - start)
             if index != self._preferred:
                 self._preferred = index
                 self.failovers += 1
@@ -191,6 +361,23 @@ class FailoverClient:
         raise FailoverExhaustedError(
             "read failed on all %d endpoints: %s"
             % (len(self._endpoints), "; ".join(errors)))
+
+    async def _with_passes(self, attempt_once: Callable[[], Awaitable]):
+        """Run a one-pass operation under the multi-pass retry policy."""
+        for attempt in range(self._max_passes):
+            try:
+                return await attempt_once()
+            except FailoverExhaustedError:
+                if attempt + 1 >= self._max_passes:
+                    raise
+                if self._budget is not None:
+                    self._budget.spend()
+                self.retries += 1
+                await asyncio.sleep(
+                    self._backoff.delay(attempt, self._rng))
+
+    async def _read(self, op: Callable[[ServiceClient], Awaitable]):
+        return await self._with_passes(lambda: self._read_once(op))
 
     async def ping(self) -> str:
         return await self._read(lambda c: c.ping())
@@ -210,8 +397,8 @@ class FailoverClient:
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
-    async def _write(self, op: Callable[[ServiceClient], Awaitable],
-                     allow_promote: bool):
+    async def _write_once(self, op: Callable[[ServiceClient], Awaitable],
+                          allow_promote: bool):
         errors: List[str] = []
         for index in self._order():
             try:
@@ -219,8 +406,11 @@ class FailoverClient:
             except self._TRANSPORT_ERRORS as exc:
                 if getattr(exc, "remote", False):
                     raise  # a live server's verdict, not a dead link
+                if isinstance(exc, DeadlineExceededError):
+                    self.deadline_timeouts += 1
                 errors.append("%s:%d %s: %s" % (
                     *self._endpoints[index], type(exc).__name__, exc))
+                self._record_failure(index)
                 await self._drop(index)
                 continue
             except StandbyReadOnlyError as exc:
@@ -228,22 +418,40 @@ class FailoverClient:
                 errors.append("%s:%d standby: %s" % (
                     *self._endpoints[index], exc))
                 continue
+            self._states[index].record_success(0.0)
             if index != self._preferred:
                 self._preferred = index
                 self.failovers += 1
             return result
         if allow_promote and self._auto_promote:
             await self.promote()
-            return await self._write(op, allow_promote=False)
+            return await self._write_once(op, allow_promote=False)
         raise FailoverExhaustedError(
             "write found no endpoint in the primary role (%d tried): "
             "%s — promote a standby first"
             % (len(self._endpoints), "; ".join(errors)))
 
+    async def _write(self, op: Callable[[ServiceClient], Awaitable],
+                     allow_promote: bool):
+        return await self._with_passes(
+            lambda: self._write_once(op, allow_promote))
+
     async def add(self, elements: Sequence[ElementLike],
                   counts: Optional[Sequence[int]] = None) -> int:
+        """Idempotency-keyed insert: retries apply exactly once.
+
+        Each call takes the next ``(client_id, write_id)`` key and every
+        retry — across passes, endpoints, or failover to a promoted
+        standby — re-sends the *same* key, so the server-side dedup
+        window guarantees single application even when the original
+        response was lost in flight.
+        """
+        self._write_seq += 1
+        write_id = self._write_seq
         return await self._write(
-            lambda c: c.add(elements, counts), allow_promote=True)
+            lambda c: c.add_idem(
+                self._client_id, write_id, elements, counts),
+            allow_promote=True)
 
     async def restore(self, blob: bytes) -> int:
         return await self._write(
@@ -265,8 +473,10 @@ class FailoverClient:
             except self._TRANSPORT_ERRORS as exc:
                 errors.append("%s:%d %s: %s" % (
                     *self._endpoints[i], type(exc).__name__, exc))
+                self._record_failure(i)
                 await self._drop(i)
                 continue
+            self._states[i].record_success(0.0)
             self._preferred = i
             return banner
         raise FailoverExhaustedError(
@@ -275,14 +485,22 @@ class FailoverClient:
     async def health(self) -> List[dict]:
         """Probe every endpoint; one dict per endpoint, dead or alive.
 
-        Keys: ``endpoint``, ``alive``, ``rtt_ms``, and — when alive —
-        ``role``, ``epoch`` and ``n_items`` from STATS.  Probing does
-        not change the preferred endpoint.
+        Keys: ``endpoint``, ``alive``, ``rtt_ms``, ``breaker_open``,
+        ``ewma_ms``, and — when alive — ``role``, ``epoch`` and
+        ``n_items`` from STATS.  Probing does not change the preferred
+        endpoint.
         """
         out = []
+        now = self._clock()
         for index, (host, port) in enumerate(self._endpoints):
-            entry: dict = {"endpoint": "%s:%d" % (host, port),
-                           "alive": False, "rtt_ms": None}
+            state = self._states[index]
+            entry: dict = {
+                "endpoint": "%s:%d" % (host, port),
+                "alive": False, "rtt_ms": None,
+                "breaker_open": state.is_open(now),
+                "ewma_ms": (None if state.ewma_s is None
+                            else state.ewma_s * 1e3),
+            }
             start = time.perf_counter()
             try:
                 stats = await self._attempt(index, lambda c: c.stats())

@@ -103,6 +103,10 @@ class StandbyLink:
     deltas_sent: int = 0
     full_snapshots_sent: int = 0
     bytes_sent: int = 0
+    #: Version of the primary's idempotency window this standby last
+    #: acknowledged (see ``ReplicatedFilterService._idem_version``).
+    keys_version_acked: int = 0
+    keys_sent: int = 0
     last_error: Optional[str] = None
 
     def stats_dict(self) -> dict:
@@ -114,6 +118,7 @@ class StandbyLink:
             "deltas_sent": self.deltas_sent,
             "full_snapshots_sent": self.full_snapshots_sent,
             "bytes_sent": self.bytes_sent,
+            "keys_sent": self.keys_sent,
             "last_error": self.last_error,
         }
 
@@ -156,7 +161,13 @@ class ReplicatedFilterService:
         self._ship_lock = asyncio.Lock()
         self._task: Optional[asyncio.Task] = None
         self.last_ship_error: Optional[str] = None
+        #: Bumped on every newly applied ADD_IDEM; links whose
+        #: ``keys_version_acked`` lags this version receive the current
+        #: dedup window as a ``MODE_IDEM`` entry with their next shard
+        #: delta, so retried writes stay exactly-once across failover.
+        self._idem_version = 0
         service.on_write = self._on_write
+        service.on_idempotent = self._on_idempotent
         service.replication_extra = self._extra_stats
 
     # ------------------------------------------------------------------
@@ -203,6 +214,12 @@ class ReplicatedFilterService:
             link.pending.append(record)
         if self._write_batches >= self.config.max_staleness_batches:
             self._wakeup.set()
+
+    def _on_idempotent(self, client_id: int, write_id: int,
+                       result: int) -> None:
+        """Mark the dedup window dirty after a newly applied ADD_IDEM."""
+        if self._links:
+            self._idem_version += 1
 
     # ------------------------------------------------------------------
     # Snapshot / delta construction
@@ -311,6 +328,10 @@ class ReplicatedFilterService:
         ids = self._identity_map(target)
         if ids != self._shard_ids:
             return True
+        if (isinstance(target, ShardedFilterStore) and self._idem_version
+                and any(link.keys_version_acked != self._idem_version
+                        for link in self._links)):
+            return True
         return any(link.pending or link.needs_full
                    for link in self._links)
 
@@ -361,7 +382,7 @@ class ReplicatedFilterService:
         # and no journal half-consumed: on error, everything taken is
         # put back and the round is rolled back as if never attempted.
         full_blob: Optional[bytes] = None
-        plans = []  # (link, entries, full_blob)
+        plans = []  # (link, entries, full_blob, keys_version, keys_count)
         taken = []
         # Journalled records are shared objects appended to every link,
         # so links that saw the same write stream get the same pending
@@ -369,6 +390,9 @@ class ReplicatedFilterService:
         # standby.
         memo_key: Optional[List[int]] = None
         memo_entries = None
+        idem_version = self._idem_version
+        idem_window: Optional[List[Tuple[int, int, int]]] = None
+        idem_blob: Optional[bytes] = None
         try:
             for link in list(self._links):
                 pending, link.pending = link.pending, []
@@ -376,14 +400,30 @@ class ReplicatedFilterService:
                 if full_due or link.needs_full or link.client is None:
                     if full_blob is None:
                         full_blob = self._snapshot_blob()
-                    plans.append((link, None, full_blob))
+                    plans.append((link, None, full_blob, None, 0))
                 else:
                     key = [id(record) for record in pending]
                     if key != memo_key:
                         memo_key = key
                         memo_entries = self._build_entries(
                             target, pending, rotated)
-                    plans.append((link, memo_entries, None))
+                    link_entries = memo_entries
+                    keys_version = None
+                    keys_count = 0
+                    if (idem_version
+                            and link.keys_version_acked != idem_version):
+                        if idem_blob is None:
+                            idem_window = (
+                                self.service.idempotency.entries())
+                            idem_blob = protocol.encode_idempotency_keys(
+                                idem_window)
+                        keys_version = idem_version
+                        if idem_window:
+                            keys_count = len(idem_window)
+                            link_entries = list(memo_entries) + [
+                                (0, protocol.MODE_IDEM, idem_blob)]
+                    plans.append((link, link_entries, None,
+                                  keys_version, keys_count))
         except BaseException:
             for link, pending in taken:
                 link.pending = pending + link.pending
@@ -391,8 +431,9 @@ class ReplicatedFilterService:
              self._ships, self._epoch) = prior
             raise
         results = await asyncio.gather(
-            *(self._send(link, epoch, entries=entries, full_blob=blob)
-              for link, entries, blob in plans))
+            *(self._send(link, epoch, entries=entries, full_blob=blob,
+                         keys_version=kv, keys_count=kc)
+              for link, entries, blob, kv, kc in plans))
         shipped = sum(1 for ok in results if ok)
         return {"epoch": epoch, "shipped": shipped,
                 "standbys": len(results)}
@@ -403,6 +444,8 @@ class ReplicatedFilterService:
         epoch: int,
         entries: Optional[List[Tuple[int, int, bytes]]] = None,
         full_blob: Optional[bytes] = None,
+        keys_version: Optional[int] = None,
+        keys_count: int = 0,
     ) -> bool:
         """Deliver one delta to one standby; never raises.
 
@@ -437,6 +480,9 @@ class ReplicatedFilterService:
         link.epoch_acked = epoch
         link.needs_full = False
         link.last_error = None
+        if keys_version is not None:
+            link.keys_version_acked = keys_version
+            link.keys_sent += keys_count
         return True
 
     # ------------------------------------------------------------------

@@ -1,0 +1,154 @@
+"""Shared retry machinery: capped exponential backoff with full jitter.
+
+Every retrying caller in the stack — the CLI ``ping`` probe, the
+failover client, the chaos drill — uses the same three pieces:
+
+* :class:`BackoffPolicy` computes the sleep before attempt *n*:
+  ``uniform(0, min(cap, base * multiplier**n))`` ("full jitter", the
+  scheme from the AWS architecture blog that decorrelates retrying
+  clients so they do not re-stampede a recovering server in lockstep);
+* :class:`RetryBudget` is a token bucket bounding retry *amplification*:
+  each retry spends a token, tokens refill at a fixed rate, and an empty
+  bucket raises :class:`~repro.errors.RetryBudgetExceededError` — a
+  fleet of clients cannot multiply offered load more than
+  ``1 + refill_per_s`` ops/s per client no matter how unhealthy the
+  service is;
+* :func:`call_with_retries` glues them under an async callable.
+
+Determinism: both the policy (via an injected ``random.Random``) and the
+budget (via an injected clock) are seedable, so chaos drills replay
+byte-identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Optional, Tuple, Type
+
+from repro.errors import ConfigurationError, RetryBudgetExceededError
+
+__all__ = ["BackoffPolicy", "RetryBudget", "call_with_retries"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff with optional full jitter.
+
+    ``delay(attempt)`` is the sleep *before* retry number ``attempt``
+    (0-based: attempt 0 is the first retry).  With ``jitter="full"``
+    the delay is drawn uniformly from ``[0, capped]``; with
+    ``jitter="none"`` it is exactly ``capped`` (useful in tests).
+    """
+
+    base: float = 0.05
+    cap: float = 2.0
+    multiplier: float = 2.0
+    jitter: str = "full"
+    max_attempts: int = 3
+
+    def __post_init__(self):
+        if self.base < 0 or self.cap < 0:
+            raise ConfigurationError(
+                "backoff base/cap must be >= 0, got base=%r cap=%r"
+                % (self.base, self.cap))
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                "backoff multiplier must be >= 1, got %r" % self.multiplier)
+        if self.jitter not in ("full", "none"):
+            raise ConfigurationError(
+                "jitter must be 'full' or 'none', got %r" % self.jitter)
+        if self.max_attempts < 0:
+            raise ConfigurationError(
+                "max_attempts must be >= 0, got %r" % self.max_attempts)
+
+    def delay(self, attempt: int,
+              rng: Optional[random.Random] = None) -> float:
+        """Seconds to sleep before retry *attempt* (0-based)."""
+        capped = min(self.cap, self.base * self.multiplier ** attempt)
+        if self.jitter == "none":
+            return capped
+        return (rng or random).uniform(0.0, capped)
+
+
+class RetryBudget:
+    """Token bucket bounding how many retries may be spent over time.
+
+    ``capacity`` tokens are available immediately; they refill at
+    ``refill_per_s``.  :meth:`spend` takes one token or raises
+    :class:`RetryBudgetExceededError`.  The clock is injectable so tests
+    and drills control time explicitly.
+    """
+
+    def __init__(self, capacity: int = 10, refill_per_s: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if capacity < 1:
+            raise ConfigurationError(
+                "budget capacity must be >= 1, got %r" % capacity)
+        if refill_per_s < 0:
+            raise ConfigurationError(
+                "refill_per_s must be >= 0, got %r" % refill_per_s)
+        self.capacity = capacity
+        self.refill_per_s = refill_per_s
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._stamp = clock()
+        self.spent = 0
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            float(self.capacity),
+            self._tokens + (now - self._stamp) * self.refill_per_s)
+        self._stamp = now
+
+    def available(self) -> float:
+        """Tokens currently spendable (fractional while refilling)."""
+        self._refill()
+        return self._tokens
+
+    def spend(self) -> None:
+        """Consume one retry token or fail fast."""
+        self._refill()
+        if self._tokens < 1.0:
+            raise RetryBudgetExceededError(
+                "retry budget exhausted (%d retries spent, refill %.3g/s)"
+                % (self.spent, self.refill_per_s))
+        self._tokens -= 1.0
+        self.spent += 1
+
+
+async def call_with_retries(
+    fn: Callable[[], Awaitable],
+    *,
+    policy: BackoffPolicy = BackoffPolicy(),
+    budget: Optional[RetryBudget] = None,
+    retry_on: Tuple[Type[BaseException], ...] = (ConnectionError, OSError),
+    rng: Optional[random.Random] = None,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+):
+    """Await ``fn()`` with up to ``policy.max_attempts`` retries.
+
+    Only exceptions matching ``retry_on`` are retried, and errors the
+    server *answered* with (stamped ``remote = True`` by
+    :func:`repro.errors.remote_error`) are never retried here — the peer
+    is alive and said no; repeating the question is load, not
+    resilience.  ``on_retry(attempt, error)`` fires before each sleep.
+    """
+    attempt = 0
+    while True:
+        try:
+            return await fn()
+        except retry_on as exc:
+            if getattr(exc, "remote", False):
+                raise
+            if attempt >= policy.max_attempts:
+                raise
+            if budget is not None:
+                budget.spend()
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            await asyncio.sleep(policy.delay(attempt, rng))
+            attempt += 1

@@ -20,12 +20,14 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import random
 import sys
 import time
 
 from repro.core.membership import ShiftingBloomFilter
 from repro.errors import ReproError
 from repro.hashing.family import FAMILY_KINDS, make_family
+from repro.retry import BackoffPolicy
 from repro.service.client import ServiceClient
 from repro.service.server import CoalescerConfig, FilterService
 from repro.store.sharded import ShardedFilterStore
@@ -35,6 +37,13 @@ from repro.workloads.service import build_service_workload
 def _add_endpoint_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=4000)
+
+
+def _add_timeout_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--op-timeout", type=float, default=30.0,
+                        help="per-request deadline in seconds")
+    parser.add_argument("--connect-timeout", type=float, default=5.0,
+                        help="TCP connect bound in seconds")
 
 
 def _build_target(shards: int, m: int, k: int, family_kind: str = "blake2b"):
@@ -61,6 +70,8 @@ async def _serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_delay_us=args.max_delay_us,
         max_inflight=args.max_inflight,
+        adaptive_shed=args.adaptive_shed,
+        shed_ratio=args.shed_ratio,
     ))
     server = await service.start(args.host, args.port)
     port = server.sockets[0].getsockname()[1]
@@ -74,11 +85,17 @@ async def _serve(args: argparse.Namespace) -> int:
 
 
 async def _ping(args: argparse.Namespace) -> int:
+    backoff = BackoffPolicy(base=args.retry_delay, cap=args.retry_cap,
+                            max_attempts=max(args.retries, 1))
+    rng = random.Random(args.seed)
     last_error: Exception = ConnectionError("no attempt made")
     for attempt in range(args.retries):
         try:
             start = time.perf_counter()
-            client = await ServiceClient.connect(args.host, args.port)
+            client = await ServiceClient.connect(
+                args.host, args.port,
+                connect_timeout=args.connect_timeout,
+                op_timeout=args.op_timeout)
             try:
                 banner = await client.ping()
             finally:
@@ -89,7 +106,7 @@ async def _ping(args: argparse.Namespace) -> int:
         except (ConnectionError, OSError, ReproError) as exc:
             last_error = exc
             if attempt + 1 < args.retries:
-                await asyncio.sleep(args.retry_delay)
+                await asyncio.sleep(backoff.delay(attempt, rng))
     print("ping failed after %d attempts: %s" % (args.retries, last_error),
           file=sys.stderr)
     return 1
@@ -97,7 +114,9 @@ async def _ping(args: argparse.Namespace) -> int:
 
 async def _bench(args: argparse.Namespace) -> int:
     workload = build_service_workload(args.n, seed=args.seed)
-    loader = await ServiceClient.connect(args.host, args.port)
+    loader = await ServiceClient.connect(
+        args.host, args.port, connect_timeout=args.connect_timeout,
+        op_timeout=args.op_timeout)
     try:
         await loader.add(list(workload.members))
         requests = workload.request_stream(args.elements_per_request)
@@ -105,7 +124,10 @@ async def _bench(args: argparse.Namespace) -> int:
         async def run_client(client_id: int) -> int:
             """Each client owns its slice of the request stream."""
             mismatches = 0
-            client = await ServiceClient.connect(args.host, args.port)
+            client = await ServiceClient.connect(
+                args.host, args.port,
+                connect_timeout=args.connect_timeout,
+                op_timeout=args.op_timeout)
             try:
                 for i in range(client_id, len(requests), args.clients):
                     batch = requests[i]
@@ -164,6 +186,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="coalescer flush threshold; 1 = uncoalesced")
     serve.add_argument("--max-delay-us", type=int, default=200)
     serve.add_argument("--max-inflight", type=int, default=1024)
+    serve.add_argument("--adaptive-shed", action="store_true",
+                       help="shed reads early (at --shed-ratio of "
+                            "--max-inflight) so writes and health "
+                            "probes survive overload")
+    serve.add_argument("--shed-ratio", type=float, default=0.75,
+                       help="fraction of --max-inflight where adaptive "
+                            "read shedding begins")
     serve.add_argument("--preload", type=int, default=0,
                        help="insert this many seeded catalog items")
     serve.add_argument("--seed", type=int, default=0)
@@ -174,12 +203,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     ping = sub.add_parser("ping", help="liveness probe with retries")
     _add_endpoint_args(ping)
+    _add_timeout_args(ping)
     ping.add_argument("--retries", type=int, default=1)
-    ping.add_argument("--retry-delay", type=float, default=0.25)
+    ping.add_argument("--retry-delay", type=float, default=0.25,
+                      help="base delay of the capped-exponential "
+                           "full-jitter backoff between attempts")
+    ping.add_argument("--retry-cap", type=float, default=2.0,
+                      help="backoff delay ceiling in seconds")
+    ping.add_argument("--seed", type=int, default=0,
+                      help="seeds the backoff jitter for replayable "
+                           "retry timing")
 
     bench = sub.add_parser(
         "bench", help="drive a verified query mix through N clients")
     _add_endpoint_args(bench)
+    _add_timeout_args(bench)
     bench.add_argument("--clients", type=int, default=8)
     bench.add_argument("--n", type=int, default=2000,
                        help="member count (query mix is 2n)")

@@ -24,16 +24,35 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import warnings
+from concurrent import futures
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro._util import ElementLike
 from repro.core.association_types import AssociationAnswer
-from repro.errors import ProtocolError, remote_error
+from repro.errors import DeadlineExceededError, ProtocolError, remote_error
 from repro.service import protocol
 
-__all__ = ["ServiceClient", "SyncServiceClient"]
+__all__ = [
+    "DEFAULT_CONNECT_TIMEOUT",
+    "DEFAULT_OP_TIMEOUT",
+    "ServiceClient",
+    "SyncServiceClient",
+]
+
+#: Default bound on a TCP connect.  Generous for loopback and LAN; the
+#: point is that "forever" is never the default.
+DEFAULT_CONNECT_TIMEOUT = 5.0
+#: Default bound on one request/response round trip.  Wide enough for a
+#: multi-MiB SNAPSHOT on a loaded box, finite so a stalled server frees
+#: the caller (and the ``_pending`` slot) eventually.
+DEFAULT_OP_TIMEOUT = 30.0
+
+#: Sentinel distinguishing "use the connection default" from an explicit
+#: ``None`` ("no deadline") in per-call ``timeout`` arguments.
+_UNSET = object()
 
 
 class ServiceClient:
@@ -41,6 +60,15 @@ class ServiceClient:
 
     Build with :meth:`connect`; every public method is a coroutine and
     may be awaited concurrently from many tasks.
+
+    Every operation runs under a deadline: ``op_timeout`` set at connect
+    time applies to each request unless overridden per call with
+    ``timeout=`` (``None`` disables the deadline for that call).  A
+    request that misses its deadline fails with
+    :class:`~repro.errors.DeadlineExceededError` and its future is
+    removed from the in-flight table immediately — a stalled server
+    cannot pin client memory, and a late response for a timed-out id is
+    dropped by the reader.
 
     Example::
 
@@ -51,20 +79,35 @@ class ServiceClient:
     """
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter):
+                 writer: asyncio.StreamWriter,
+                 op_timeout: Optional[float] = DEFAULT_OP_TIMEOUT):
         self._reader = reader
         self._writer = writer
+        self._op_timeout = op_timeout
         self._next_id = 0
         self._pending: dict = {}
         self._closed = False
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     @classmethod
-    async def connect(cls, host: str = "127.0.0.1",
-                      port: int = 4000) -> "ServiceClient":
-        """Open a connection and start the response reader."""
-        reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 4000,
+        connect_timeout: Optional[float] = DEFAULT_CONNECT_TIMEOUT,
+        op_timeout: Optional[float] = DEFAULT_OP_TIMEOUT,
+    ) -> "ServiceClient":
+        """Open a connection and start the response reader.
+
+        *connect_timeout* bounds the TCP handshake (``None`` = wait
+        forever); *op_timeout* becomes the per-request default deadline.
+        """
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), connect_timeout)
+        except asyncio.TimeoutError:
+            raise DeadlineExceededError(
+                "connect to %s:%d timed out after %.3gs"
+                % (host, port, connect_timeout)) from None
+        return cls(reader, writer, op_timeout=op_timeout)
 
     async def _read_loop(self) -> None:
         """Resolve in-flight futures as response frames arrive."""
@@ -93,57 +136,105 @@ class ServiceClient:
                     future.set_exception(error)
             self._pending.clear()
 
-    async def _request(self, op: int, payload: bytes = b"") -> bytes:
+    def _expire(self, request_id: int, op: int, deadline: float) -> None:
+        """Deadline timer callback: fail and forget one request."""
+        future = self._pending.pop(request_id, None)
+        if future is not None and not future.done():
+            future.set_exception(DeadlineExceededError(
+                "op %d request %d exceeded its %.3gs deadline"
+                % (op, request_id, deadline)))
+
+    async def _request(self, op: int, payload: bytes = b"",
+                       timeout=_UNSET) -> bytes:
         if self._closed:
             raise ProtocolError("client is closed")
+        deadline = self._op_timeout if timeout is _UNSET else timeout
         request_id = self._next_id
         self._next_id = (self._next_id + 1) & 0xFFFFFFFF
-        future = asyncio.get_running_loop().create_future()
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
         self._pending[request_id] = future
-        self._writer.write(protocol.encode_frame(request_id, op, payload))
-        await self._writer.drain()
-        return await future
+        # One call_later per request (not wait_for): no wrapper task, so
+        # the happy path stays at benchmark speed.  The timer pops the
+        # future from _pending itself, so a timed-out slot never leaks;
+        # the read loop drops the late response by its absent id.
+        timer = None
+        if deadline is not None:
+            timer = loop.call_later(
+                deadline, self._expire, request_id, op, deadline)
+        try:
+            self._writer.write(
+                protocol.encode_frame(request_id, op, payload))
+            await self._writer.drain()
+            return await future
+        finally:
+            if timer is not None:
+                timer.cancel()
+            self._pending.pop(request_id, None)
 
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
-    async def ping(self) -> str:
+    async def ping(self, timeout=_UNSET) -> str:
         """Round-trip liveness probe; returns the server banner."""
-        return (await self._request(protocol.OP_PING)).decode("utf-8")
+        payload = await self._request(protocol.OP_PING, timeout=timeout)
+        return payload.decode("utf-8")
 
     async def add(self, elements: Sequence[ElementLike],
-                  counts: Optional[Sequence[int]] = None) -> int:
+                  counts: Optional[Sequence[int]] = None,
+                  timeout=_UNSET) -> int:
         """Insert a batch (with optional multiplicities); returns count."""
         payload = await self._request(
-            protocol.OP_ADD, protocol.encode_elements(elements, counts))
+            protocol.OP_ADD, protocol.encode_elements(elements, counts),
+            timeout=timeout)
         return int.from_bytes(payload, "big")
 
-    async def query(self, elements: Sequence[ElementLike]) -> np.ndarray:
+    async def add_idem(self, client_id: int, write_id: int,
+                       elements: Sequence[ElementLike],
+                       counts: Optional[Sequence[int]] = None,
+                       timeout=_UNSET) -> int:
+        """Idempotent insert: a retry with the same key applies once.
+
+        ``(client_id, write_id)`` must be reused verbatim on retry; the
+        server's dedup window answers the duplicate with the original
+        insert count instead of inserting again.
+        """
+        payload = await self._request(
+            protocol.OP_ADD_IDEM,
+            protocol.encode_add_idem(client_id, write_id, elements, counts),
+            timeout=timeout)
+        return int.from_bytes(payload, "big")
+
+    async def query(self, elements: Sequence[ElementLike],
+                    timeout=_UNSET) -> np.ndarray:
         """Batch verdicts: bool array (membership) or int64 (counts)."""
         payload = await self._request(
-            protocol.OP_QUERY, protocol.encode_elements(elements))
+            protocol.OP_QUERY, protocol.encode_elements(elements),
+            timeout=timeout)
         return protocol.decode_verdicts(payload)
 
     async def query_multi(
-        self, elements: Sequence[ElementLike],
+        self, elements: Sequence[ElementLike], timeout=_UNSET,
     ) -> List[AssociationAnswer]:
         """ShBF_A association answers, one per element."""
         payload = await self._request(
-            protocol.OP_QUERY_MULTI, protocol.encode_elements(elements))
+            protocol.OP_QUERY_MULTI, protocol.encode_elements(elements),
+            timeout=timeout)
         return protocol.decode_association_answers(payload)
 
-    async def snapshot(self) -> bytes:
+    async def snapshot(self, timeout=_UNSET) -> bytes:
         """The hosted structure as a persistence blob."""
-        return await self._request(protocol.OP_SNAPSHOT)
+        return await self._request(protocol.OP_SNAPSHOT, timeout=timeout)
 
-    async def restore(self, blob: bytes) -> int:
+    async def restore(self, blob: bytes, timeout=_UNSET) -> int:
         """Replace the hosted structure; returns its item count."""
-        payload = await self._request(protocol.OP_RESTORE, blob)
+        payload = await self._request(
+            protocol.OP_RESTORE, blob, timeout=timeout)
         return int.from_bytes(payload, "big")
 
-    async def stats(self) -> dict:
+    async def stats(self, timeout=_UNSET) -> dict:
         """Server-side queue, coalescer and access accounting."""
-        payload = await self._request(protocol.OP_STATS)
+        payload = await self._request(protocol.OP_STATS, timeout=timeout)
         return json.loads(payload.decode("utf-8"))
 
     # --- replication ops (primary-side replicator / operator tools) ---
@@ -174,9 +265,9 @@ class ServiceClient:
             protocol.encode_delta(epoch, entries, full_blob))
         return int.from_bytes(payload, "big")
 
-    async def promote(self) -> str:
+    async def promote(self, timeout=_UNSET) -> str:
         """Flip a standby back to the writable primary role."""
-        payload = await self._request(protocol.OP_PROMOTE)
+        payload = await self._request(protocol.OP_PROMOTE, timeout=timeout)
         return payload.decode("utf-8")
 
     async def close(self) -> None:
@@ -211,19 +302,48 @@ class SyncServiceClient:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 4000,
-                 timeout: float = 30.0):
+                 timeout: float = 30.0,
+                 connect_timeout: Optional[float] = None):
         self._timeout = timeout
+        self._client: Optional[ServiceClient] = None
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._loop.run_forever,
             name="repro-service-client", daemon=True)
         self._thread.start()
-        self._client: ServiceClient = self._call(
-            ServiceClient.connect(host, port))
+        try:
+            # `timeout` bounds the whole op *inside* the loop too (it is
+            # the connection's op_timeout), not just future.result():
+            # a stalled server fails the coroutine itself, freeing its
+            # _pending slot instead of abandoning a live coroutine.
+            self._client = self._call(ServiceClient.connect(
+                host, port,
+                connect_timeout=(connect_timeout if connect_timeout
+                                 is not None else min(timeout, 5.0)),
+                op_timeout=timeout))
+        except BaseException:
+            # Failed connect: reclaim the loop thread so __exit__/close
+            # after a constructor failure is safe and leak-free.
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(self._timeout)
+            if not self._thread.is_alive():
+                self._loop.close()
+            raise
 
     def _call(self, coroutine):
         future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
-        return future.result(self._timeout)
+        # The in-loop op_timeout fires first in normal operation; the
+        # small grace here only guards against a wedged event loop.
+        try:
+            return future.result(self._timeout + 1.0
+                                 if self._timeout is not None else None)
+        except (TimeoutError, futures.TimeoutError):
+            if future.done():
+                raise  # the coroutine's own timeout error; keep it
+            future.cancel()
+            raise DeadlineExceededError(
+                "operation exceeded the %.3gs client timeout and the "
+                "event loop did not answer" % self._timeout) from None
 
     def ping(self) -> str:
         return self._call(self._client.ping())
@@ -231,6 +351,12 @@ class SyncServiceClient:
     def add(self, elements: Sequence[ElementLike],
             counts: Optional[Sequence[int]] = None) -> int:
         return self._call(self._client.add(elements, counts))
+
+    def add_idem(self, client_id: int, write_id: int,
+                 elements: Sequence[ElementLike],
+                 counts: Optional[Sequence[int]] = None) -> int:
+        return self._call(
+            self._client.add_idem(client_id, write_id, elements, counts))
 
     def query(self, elements: Sequence[ElementLike]) -> np.ndarray:
         return self._call(self._client.query(elements))
@@ -253,15 +379,31 @@ class SyncServiceClient:
         return self._call(self._client.promote())
 
     def close(self) -> None:
-        """Close the connection and stop the private loop thread."""
+        """Close the connection and stop the private loop thread.
+
+        If the worker thread fails to stop within the client timeout a
+        :class:`ResourceWarning` is emitted and the (still running)
+        loop is left unclosed — closing a live loop raises from the
+        wrong thread and would mask the real problem, a wedged op.
+        Safe to call repeatedly and after a failed constructor.
+        """
         if self._loop.is_closed():
             return
         try:
-            self._call(self._client.close())
+            if self._client is not None:
+                self._call(self._client.close())
+                self._client = None
         finally:
             self._loop.call_soon_threadsafe(self._loop.stop)
             self._thread.join(self._timeout)
-            self._loop.close()
+            if self._thread.is_alive():
+                warnings.warn(
+                    "SyncServiceClient worker thread did not stop within "
+                    "%.3gs; leaking the daemon thread and leaving its "
+                    "event loop open" % self._timeout,
+                    ResourceWarning, stacklevel=2)
+            else:
+                self._loop.close()
 
     def __enter__(self) -> "SyncServiceClient":
         return self

@@ -30,6 +30,8 @@ STATS      7     empty                             JSON object (utf-8)
 SUBSCRIBE  8     u64 epoch + snapshot blob         u32 restored item count
 DELTA      9     replication delta (see below)     u32 item count after apply
 PROMOTE    10    empty                             server banner (utf-8)
+ADD_IDEM   11    u64 client id + u64 write id      u32 number added
+..               + elements [+ counts]
 ========== ===== ================================= =========================
 
 A response's code is a status: ``OK`` (0) or ``ERR`` (1); error payloads
@@ -53,9 +55,19 @@ payload is the primary's replication epoch plus a full persistence
 snapshot, and the receiving server enters the read-only ``standby``
 role.  DELTA ships incremental state: ``u64 epoch``, ``u8 kind``, then
 either one whole-store blob (kind 1, *full*) or ``u32 n`` shard entries
-of ``u32 shard_id``, ``u8 mode`` (0 merge / 1 replace), ``u32 length``
-and a single-filter blob (kind 0, *shards*).  PROMOTE flips a standby
-back to the writable ``primary`` role after its primary dies.
+of ``u32 shard_id``, ``u8 mode`` (0 merge / 1 replace / 2 idem-keys),
+``u32 length`` and a blob (kind 0, *shards*) — for mode 2 the shard id
+is ignored and the blob is an idempotency-key table (see
+:func:`encode_idempotency_keys`), which is how a primary replicates its
+ADD_IDEM dedup window so a retried write stays exactly-once across a
+failover.  PROMOTE flips a standby back to the writable ``primary``
+role after its primary dies.
+
+ADD_IDEM is ADD made retry-safe: the payload is prefixed with a
+``(client id, write id)`` pair and the server remembers recent pairs in
+a bounded dedup window — a duplicate (a retry whose original actually
+landed) answers with the originally recorded count instead of inserting
+twice.
 
 Decoding is strict: declared lengths must match the bytes present, and
 frames above :data:`MAX_FRAME_BYTES` are rejected before allocation, so
@@ -79,9 +91,11 @@ __all__ = [
     "DELTA_FULL",
     "DELTA_SHARDS",
     "MAX_FRAME_BYTES",
+    "MODE_IDEM",
     "MODE_MERGE",
     "MODE_REPLACE",
     "OP_ADD",
+    "OP_ADD_IDEM",
     "OP_DELTA",
     "OP_PING",
     "OP_PROMOTE",
@@ -93,18 +107,22 @@ __all__ = [
     "OP_SUBSCRIBE",
     "STATUS_ERR",
     "STATUS_OK",
+    "decode_add_idem",
     "decode_association_answers",
     "decode_counts",
     "decode_delta",
     "decode_elements",
+    "decode_idempotency_keys",
     "decode_error",
     "decode_frame",
     "decode_subscribe",
     "decode_verdicts",
+    "encode_add_idem",
     "encode_association_answers",
     "encode_delta",
     "encode_elements",
     "encode_error",
+    "encode_idempotency_keys",
     "encode_frame",
     "encode_subscribe",
     "encode_verdicts",
@@ -122,6 +140,7 @@ OP_STATS = 7
 OP_SUBSCRIBE = 8
 OP_DELTA = 9
 OP_PROMOTE = 10
+OP_ADD_IDEM = 11
 
 STATUS_OK = 0
 STATUS_ERR = 1
@@ -129,7 +148,7 @@ STATUS_ERR = 1
 _KNOWN_OPS = frozenset((
     OP_PING, OP_ADD, OP_QUERY, OP_QUERY_MULTI,
     OP_SNAPSHOT, OP_RESTORE, OP_STATS,
-    OP_SUBSCRIBE, OP_DELTA, OP_PROMOTE,
+    OP_SUBSCRIBE, OP_DELTA, OP_PROMOTE, OP_ADD_IDEM,
 ))
 
 # --- replication delta kinds and shard-entry apply modes --------------
@@ -137,6 +156,7 @@ DELTA_SHARDS = 0
 DELTA_FULL = 1
 MODE_MERGE = 0
 MODE_REPLACE = 1
+MODE_IDEM = 2
 
 #: Hard ceiling on one frame.  Large enough for a multi-MiB store
 #: snapshot, small enough that a corrupted length prefix cannot make a
@@ -146,6 +166,8 @@ MAX_FRAME_BYTES = 256 * 1024 * 1024
 _HEADER = struct.Struct("!I")          # frame length (rest of frame)
 _FRAME_META = struct.Struct("!IB")     # request id + code
 _U32 = struct.Struct("!I")
+_IDEM_HEAD = struct.Struct("!QQ")      # client id + write id
+_IDEM_KEY = struct.Struct("!QQI")      # client id + write id + result
 
 #: Region → bitmask for the one-byte association answer encoding.
 _REGION_BITS = {
@@ -315,6 +337,68 @@ def decode_elements(
     return elements, counts
 
 
+def encode_add_idem(
+    client_id: int,
+    write_id: int,
+    elements: Sequence[ElementLike],
+    counts: Optional[Sequence[int]] = None,
+) -> bytes:
+    """ADD_IDEM payload: ``u64 client_id, u64 write_id`` + element batch.
+
+    ``(client_id, write_id)`` is the idempotency key: a retry reuses the
+    pair verbatim so the server can recognise and absorb the duplicate.
+    """
+    return (_IDEM_HEAD.pack(client_id, write_id)
+            + encode_elements(elements, counts))
+
+
+def decode_add_idem(
+    payload: bytes,
+) -> Tuple[int, int, List[bytes], Optional[List[int]]]:
+    """Invert :func:`encode_add_idem`:
+    ``(client_id, write_id, elements, counts-or-None)``."""
+    if len(payload) < _IDEM_HEAD.size:
+        raise ProtocolError("ADD_IDEM payload truncated inside its key")
+    client_id, write_id = _IDEM_HEAD.unpack_from(payload)
+    elements, counts = decode_elements(payload[_IDEM_HEAD.size:])
+    return client_id, write_id, elements, counts
+
+
+def encode_idempotency_keys(
+    keys: Sequence[Tuple[int, int, int]],
+) -> bytes:
+    """Encode a dedup-window table: ``u32 n`` × (u64 cid, u64 wid, u32 n_added).
+
+    Shipped inside a shard delta as a ``MODE_IDEM`` entry so standbys
+    learn which writes already landed before they are asked to serve a
+    retried one post-failover.
+    """
+    parts = [_U32.pack(len(keys))]
+    for client_id, write_id, result in keys:
+        parts.append(_IDEM_KEY.pack(client_id, write_id, result))
+    return b"".join(parts)
+
+
+def decode_idempotency_keys(
+    payload: bytes,
+) -> List[Tuple[int, int, int]]:
+    """Invert :func:`encode_idempotency_keys`."""
+    if len(payload) < 4:
+        raise ProtocolError(
+            "idempotency key table truncated inside its count")
+    (count,) = _U32.unpack_from(payload)
+    if len(payload) - 4 != count * _IDEM_KEY.size:
+        raise ProtocolError(
+            "idempotency key table of %d entries needs %d bytes, found %d"
+            % (count, count * _IDEM_KEY.size, len(payload) - 4))
+    keys: List[Tuple[int, int, int]] = []
+    cursor = 4
+    for _ in range(count):
+        keys.append(_IDEM_KEY.unpack_from(payload, cursor))
+        cursor += _IDEM_KEY.size
+    return keys
+
+
 def decode_counts(payload: bytes) -> List[int]:
     """Decode an i64 count vector prefixed with its u32 length."""
     if len(payload) < 4:
@@ -463,10 +547,10 @@ def encode_delta(
     parts = [_DELTA_HEAD.pack(epoch, DELTA_SHARDS),
              _U32.pack(len(entries))]
     for shard_id, mode, blob in entries:
-        if mode not in (MODE_MERGE, MODE_REPLACE):
+        if mode not in (MODE_MERGE, MODE_REPLACE, MODE_IDEM):
             raise ProtocolError(
-                "delta entry mode must be MERGE (0) or REPLACE (1), "
-                "got %d" % mode)
+                "delta entry mode must be MERGE (0), REPLACE (1) or "
+                "IDEM (2), got %d" % mode)
         parts.append(_DELTA_ENTRY.pack(shard_id, mode, len(blob)))
         parts.append(blob)
     return b"".join(parts)
@@ -499,7 +583,7 @@ def decode_delta(
                 "shard delta truncated: %d entries promised, ran out at "
                 "entry %d" % (count, len(entries)))
         shard_id, mode, size = _DELTA_ENTRY.unpack_from(body, cursor)
-        if mode not in (MODE_MERGE, MODE_REPLACE):
+        if mode not in (MODE_MERGE, MODE_REPLACE, MODE_IDEM):
             raise ProtocolError(
                 "delta entry %d has unknown mode %d" % (len(entries), mode))
         cursor += _DELTA_ENTRY.size

@@ -50,8 +50,10 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -72,6 +74,7 @@ from repro.store.sharded import ShardedFilterStore
 __all__ = [
     "CoalescerConfig",
     "FilterService",
+    "IdempotencyWindow",
     "ReplicaState",
     "ServiceCounters",
 ]
@@ -79,6 +82,15 @@ __all__ = [
 #: Magic prefixes of the two persistence formats RESTORE accepts.
 _STORE_MAGIC = b"SHBS"
 _FILTER_MAGIC = b"SHBF"
+
+logger = logging.getLogger("repro.service")
+
+#: Ops that adaptive shedding may refuse before the hard admission
+#: limit: reads are retryable elsewhere (any standby can answer), so
+#: they yield admission slots to writes and replication traffic first.
+#: PING and STATS stay admitted — an overloaded server must remain
+#: observable.
+_SHEDDABLE_OPS = frozenset((protocol.OP_QUERY, protocol.OP_QUERY_MULTI))
 
 
 @dataclass(frozen=True)
@@ -93,11 +105,20 @@ class CoalescerConfig:
         max_inflight: admission bound on concurrently admitted
             requests; excess requests are refused with
             :class:`~repro.errors.ServiceOverloadedError`.
+        adaptive_shed: when true, shed-eligible ops (QUERY/QUERY_MULTI —
+            reads a standby could answer instead) are refused once the
+            queue passes ``shed_ratio * max_inflight``, reserving the
+            remaining slots for writes, replication and observability
+            ops; the hard ``max_inflight`` bound still sheds everything.
+        shed_ratio: fraction of ``max_inflight`` at which adaptive
+            shedding starts (ignored unless ``adaptive_shed``).
     """
 
     max_batch: int = 512
     max_delay_us: int = 200
     max_inflight: int = 1024
+    adaptive_shed: bool = False
+    shed_ratio: float = 0.75
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -109,6 +130,14 @@ class CoalescerConfig:
         if self.max_inflight < 1:
             raise ProtocolError(
                 "max_inflight must be >= 1, got %d" % self.max_inflight)
+        if not 0.0 < self.shed_ratio <= 1.0:
+            raise ProtocolError(
+                "shed_ratio must be in (0, 1], got %r" % self.shed_ratio)
+
+    @property
+    def soft_inflight(self) -> int:
+        """Admission level where adaptive shedding begins (>= 1)."""
+        return max(1, int(self.max_inflight * self.shed_ratio))
 
 
 @dataclass
@@ -121,7 +150,10 @@ class ServiceCounters:
     elements_queried: int = 0
     elements_added: int = 0
     overload_rejections: int = 0
+    adaptive_sheds: int = 0
+    dedup_hits: int = 0
     protocol_errors: int = 0
+    connections_dropped: int = 0
     peak_queue_depth: int = 0
 
     def as_dict(self) -> dict:
@@ -149,6 +181,52 @@ class ReplicaState:
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
+
+
+class IdempotencyWindow:
+    """Bounded LRU of recently applied ``(client_id, write_id)`` writes.
+
+    Backs ADD_IDEM's exactly-once-per-key guarantee: a retry whose
+    original actually landed finds its key here and is answered with
+    the recorded insert count instead of being applied again.  The
+    window is LRU-bounded — it protects against *retries* (seconds of
+    history), not replays from arbitrarily far in the past — and its
+    contents replicate to standbys as ``MODE_IDEM`` delta entries so
+    the guarantee survives a failover.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ConfigurationError(
+                "idempotency window capacity must be >= 1, got %r"
+                % capacity)
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, client_id: int, write_id: int) -> Optional[int]:
+        """The recorded result for a key, or ``None`` if unseen."""
+        return self._entries.get((client_id, write_id))
+
+    def put(self, client_id: int, write_id: int, result: int) -> None:
+        """Record a key, evicting the least recent beyond capacity."""
+        key = (client_id, write_id)
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def entries(self) -> List[Tuple[int, int, int]]:
+        """Snapshot as ``(client_id, write_id, result)`` triples."""
+        return [(cid, wid, result)
+                for (cid, wid), result in self._entries.items()]
+
+    def install(self, keys: Sequence[Tuple[int, int, int]]) -> None:
+        """Merge replicated keys (standby side of a MODE_IDEM entry)."""
+        for client_id, write_id, result in keys:
+            self.put(client_id, write_id, result)
 
 
 class _Coalescer:
@@ -262,6 +340,17 @@ class FilterService:
         #: Extra dict merged into STATS' ``replication`` object; set by
         #: the primary-side replicator to expose standby link state.
         self.replication_extra: Optional[Callable[[], dict]] = None
+        #: Dedup window for ADD_IDEM (see :class:`IdempotencyWindow`).
+        self.idempotency = IdempotencyWindow()
+        #: Called with ``(client_id, write_id, result)`` after every
+        #: newly applied ADD_IDEM; the replicator hooks this to ship the
+        #: key alongside the write so standbys dedup retries too.
+        self.on_idempotent: Optional[Callable[[int, int, int], None]] = None
+        #: ADD_IDEM keys whose first application is still executing:
+        #: ``(client_id, write_id) -> Future[(status, value)]``.  A
+        #: duplicate racing its original parks here instead of entering
+        #: the coalescer a second time.
+        self._idem_inflight: dict = {}
         self._inflight = 0
         self._connections: set = set()
         self._query = _Coalescer(self, self._run_query_batch)
@@ -300,6 +389,12 @@ class FilterService:
                 "max_batch": self.config.max_batch,
                 "max_delay_us": self.config.max_delay_us,
                 "max_inflight": self.config.max_inflight,
+                "adaptive_shed": self.config.adaptive_shed,
+                "shed_ratio": self.config.shed_ratio,
+            },
+            "idempotency": {
+                "window": len(self.idempotency),
+                "capacity": self.idempotency.capacity,
             },
             "counters": self.counters.as_dict(),
             "replication": self._replication_stats(),
@@ -406,7 +501,20 @@ class FilterService:
                     "replication epoch gap: standby at %d received "
                     "shard delta %d; a full resync is required"
                     % (state.epoch, epoch))
-            if not isinstance(self._target, ShardedFilterStore):
+            idem_entries = [e for e in entries
+                            if e[1] == protocol.MODE_IDEM]
+            entries = [e for e in entries
+                       if e[1] != protocol.MODE_IDEM]
+            for _, _, blob in idem_entries:
+                # Dedup-window replication: install the primary's
+                # recently applied (client, write) keys so a write
+                # retried against this standby post-promotion is
+                # absorbed, not applied a second time.
+                self.idempotency.install(
+                    protocol.decode_idempotency_keys(blob))
+                state.bytes_received += len(blob)
+            if entries and not isinstance(
+                    self._target, ShardedFilterStore):
                 raise ReplicationError(
                     "shard-level delta against a non-sharded target "
                     "(%s); only full deltas apply here"
@@ -491,6 +599,9 @@ class FilterService:
                     % (self.replica.epoch,
                        getattr(self._target, "n_items", 0))).encode("utf-8")
 
+        if op == protocol.OP_ADD_IDEM:
+            return await self._apply_add_idem(payload)
+
         elements, counts = protocol.decode_elements(payload)
 
         if op == protocol.OP_ADD:
@@ -537,6 +648,59 @@ class FilterService:
 
         raise ProtocolError("unknown opcode %d" % op)
 
+    async def _apply_add_idem(self, payload: bytes) -> bytes:
+        """Execute one ADD_IDEM exactly once per ``(client, write)`` key.
+
+        Three cases: the key is in the dedup window (the original
+        landed; answer its recorded count), the key's first application
+        is still in flight (a duplicate raced it; await the same
+        outcome), or the key is new (apply, record, and journal it for
+        replication).  Outcomes park in the in-flight future as
+        ``(status, value)`` pairs rather than exceptions so an
+        unobserved failure never trips asyncio's never-retrieved
+        warning.
+        """
+        client_id, write_id, elements, counts = (
+            protocol.decode_add_idem(payload))
+        if self.replica.role == "standby":
+            raise StandbyReadOnlyError(
+                "this server is a standby following a primary; writes "
+                "must go to the primary (or PROMOTE this standby after "
+                "a failover)")
+        recorded = self.idempotency.get(client_id, write_id)
+        if recorded is not None:
+            self.counters.dedup_hits += 1
+            return protocol._U32.pack(recorded)
+        key = (client_id, write_id)
+        racing = self._idem_inflight.get(key)
+        if racing is not None:
+            status, value = await asyncio.shield(racing)
+            if status == "err":
+                raise value
+            self.counters.dedup_hits += 1
+            return protocol._U32.pack(value)
+        outcome = asyncio.get_running_loop().create_future()
+        self._idem_inflight[key] = outcome
+        try:
+            if elements:
+                if self.config.max_batch <= 1:
+                    self._scalar_add(elements, counts)
+                else:
+                    await self._add.submit(elements, counts)
+            result = len(elements)
+        except Exception as exc:
+            if not outcome.done():
+                outcome.set_result(("err", exc))
+            raise
+        finally:
+            self._idem_inflight.pop(key, None)
+        self.idempotency.put(client_id, write_id, result)
+        if self.on_idempotent is not None:
+            self.on_idempotent(client_id, write_id, result)
+        if not outcome.done():
+            outcome.set_result(("ok", result))
+        return protocol._U32.pack(result)
+
     async def _handle_request(
         self,
         writer: asyncio.StreamWriter,
@@ -580,25 +744,60 @@ class FilterService:
         """
         tasks = set()
         self._connections.add(writer)
+        peer = writer.get_extra_info("peername")
         try:
             while True:
                 try:
                     frame = await protocol.read_frame(reader)
-                except ProtocolError:
+                except ProtocolError as exc:
+                    # Framing sync is lost (truncated prefix, a body cut
+                    # short by a dying client, an oversized length):
+                    # nothing after this point on the stream can be
+                    # trusted, so drop this connection — and only this
+                    # one — with a logged reason.
                     self.counters.protocol_errors += 1
-                    break  # framing sync is lost; drop the connection
+                    self.counters.connections_dropped += 1
+                    logger.warning(
+                        "dropping connection %s: %s", peer, exc)
+                    break
                 if frame is None:
                     break
                 request_id, op, payload = frame
                 self.counters.requests_total += 1
-                if self._inflight >= self.config.max_inflight:
-                    self.counters.overload_rejections += 1
-                    exc = ServiceOverloadedError(
-                        "server at max_inflight=%d admitted requests; "
-                        "retry after backoff" % self.config.max_inflight)
+                if op not in protocol._KNOWN_OPS:
+                    # An opcode we never defined means the peer is not
+                    # speaking this protocol (or the stream is damaged
+                    # in a way the length prefix happened to survive);
+                    # answer with a typed error, then drop it.
+                    self.counters.protocol_errors += 1
+                    self.counters.connections_dropped += 1
+                    exc = ProtocolError("unknown opcode %d" % op)
+                    logger.warning(
+                        "dropping connection %s: %s", peer, exc)
                     writer.write(protocol.encode_frame(
                         request_id, protocol.STATUS_ERR,
                         protocol.encode_error(exc)))
+                    await writer.drain()
+                    break
+                config = self.config
+                shed = None
+                if self._inflight >= config.max_inflight:
+                    shed = ServiceOverloadedError(
+                        "server at max_inflight=%d admitted requests; "
+                        "retry after backoff" % config.max_inflight)
+                elif (config.adaptive_shed and op in _SHEDDABLE_OPS
+                        and self._inflight >= config.soft_inflight):
+                    self.counters.adaptive_sheds += 1
+                    shed = ServiceOverloadedError(
+                        "server shedding reads at %d/%d admitted "
+                        "requests (adaptive shed); retry reads against "
+                        "a standby" % (self._inflight,
+                                       config.max_inflight))
+                if shed is not None:
+                    self.counters.overload_rejections += 1
+                    writer.write(protocol.encode_frame(
+                        request_id, protocol.STATUS_ERR,
+                        protocol.encode_error(shed)))
                     await writer.drain()
                     continue
                 self._inflight += 1

@@ -19,6 +19,7 @@ from repro.workloads.association import (
     AssociationWorkload,
     build_association_workload,
 )
+from repro.workloads.chaos import ChaosWorkload, build_chaos_workload
 from repro.workloads.membership import (
     MembershipWorkload,
     build_membership_workload,
@@ -41,11 +42,13 @@ from repro.workloads.sharded import partition_by_shard, shard_load_factors
 
 __all__ = [
     "AssociationWorkload",
+    "ChaosWorkload",
     "MembershipWorkload",
     "MultiplicityWorkload",
     "ReplicationWorkload",
     "ServiceWorkload",
     "build_association_workload",
+    "build_chaos_workload",
     "build_membership_workload",
     "build_multiplicity_workload",
     "build_replication_workload",

@@ -1,0 +1,95 @@
+"""Seeded op sequences for chaos drills.
+
+A chaos drill differs from a failover drill in shape: there is no
+scripted kill point, because the :class:`~repro.chaos.proxy.ChaosProxy`
+injects the failures.  What the drill needs instead is a **verifiable
+op sequence** — writes interleaved with reads whose expected verdicts
+are computable from the same seed — so that after the run, every
+answer the hardened client produced under faults can be checked
+against a fault-free reference replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro._util import require_positive
+from repro.workloads.replication import (
+    ReplicationWorkload,
+    build_replication_workload,
+)
+from repro.workloads.service import chop_requests
+
+__all__ = ["ChaosWorkload", "build_chaos_workload"]
+
+
+@dataclass(frozen=True)
+class ChaosWorkload:
+    """A reproducible write/read script for a chaos drill.
+
+    Wraps a :class:`~repro.workloads.replication.ReplicationWorkload`
+    universe (members + disjoint absent elements) and linearises it
+    into the op sequence the drill client executes.  Reads trail the
+    writes batch by batch, so every queried member was already
+    acknowledged when the query is issued — any ``False`` verdict
+    under faults is therefore a real correctness violation, not a
+    race with replication.
+
+    Attributes:
+        base: the seeded element universe.
+        per_batch: elements per ADD batch (and reads per read burst).
+    """
+
+    base: ReplicationWorkload
+    per_batch: int
+
+    @property
+    def members(self) -> Tuple[bytes, ...]:
+        return self.base.members
+
+    @property
+    def absent(self) -> Tuple[bytes, ...]:
+        return self.base.absent
+
+    @property
+    def seed(self) -> int:
+        return self.base.seed
+
+    def op_sequence(self) -> Iterator[Tuple[str, List[bytes]]]:
+        """Yield ``("add", batch)`` / ``("query", batch)`` ops in order.
+
+        After each write batch comes one read burst interleaving the
+        just-written members with an equal slice of absent elements —
+        expected verdicts are ``True`` for even indices, the reference
+        filter's answer for odd ones (false positives included).
+        """
+        batches = chop_requests(list(self.members), self.per_batch)
+        absent = list(self.absent)
+        cursor = 0
+        for batch in batches:
+            yield "add", list(batch)
+            mixed: List[bytes] = []
+            for i, member in enumerate(batch):
+                mixed.append(member)
+                mixed.append(absent[(cursor + i) % len(absent)])
+            cursor += len(batch)
+            yield "query", mixed
+
+    def n_ops(self) -> int:
+        """Total ops :meth:`op_sequence` will yield."""
+        n_batches = -(-len(self.members) // self.per_batch)
+        return 2 * n_batches
+
+
+def build_chaos_workload(
+    n: int,
+    per_batch: int = 40,
+    seed: int = 0,
+) -> ChaosWorkload:
+    """Seeded chaos-drill script over the 13-byte flow-ID universe."""
+    require_positive("n", n)
+    require_positive("per_batch", per_batch)
+    base = build_replication_workload(
+        n, failover_at=n, n_absent=n, seed=seed)
+    return ChaosWorkload(base=base, per_batch=per_batch)

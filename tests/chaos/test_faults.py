@@ -1,0 +1,125 @@
+"""Fault spec parsing, schedule matching, and replay determinism."""
+
+import pytest
+
+from repro.chaos.faults import (
+    FaultSchedule,
+    FaultSpec,
+    default_drill_schedule,
+)
+from repro.errors import ConfigurationError
+from repro.service import protocol
+
+
+class TestFaultSpec:
+    def test_parse_full_spec(self):
+        spec = FaultSpec.parse(
+            "latency:delay_ms=30,jitter_ms=20,op=QUERY,count=5,after=2")
+        assert spec.kind == "latency"
+        assert spec.delay_ms == 30.0
+        assert spec.jitter_ms == 20.0
+        assert spec.op == "QUERY"
+        assert spec.op_code == protocol.OP_QUERY
+        assert spec.count == 5
+        assert spec.after == 2
+
+    def test_parse_defaults(self):
+        spec = FaultSpec.parse("reset")
+        assert spec.kind == "reset"
+        assert spec.direction == "both"
+        assert spec.op is None and spec.op_code is None
+        assert spec.after == 0 and spec.count == 1
+
+    def test_parse_unlimited_count(self):
+        spec = FaultSpec.parse("latency:delay_ms=1,count=none")
+        assert spec.count is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            FaultSpec.parse("explode:delay_ms=1")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConfigurationError, match="wire op"):
+            FaultSpec(kind="reset", op="NOPE")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ConfigurationError, match="option"):
+            FaultSpec.parse("reset:frobnicate=1")
+
+    def test_non_numeric_option_rejected(self):
+        with pytest.raises(ConfigurationError, match="not a number"):
+            FaultSpec.parse("latency:delay_ms=fast")
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ConfigurationError, match="direction"):
+            FaultSpec(kind="reset", direction="up")
+
+    def test_latency_needs_a_delay(self):
+        with pytest.raises(ConfigurationError, match="latency"):
+            FaultSpec(kind="latency")
+
+    def test_throttle_needs_a_rate(self):
+        with pytest.raises(ConfigurationError, match="rate_kbps"):
+            FaultSpec(kind="throttle")
+
+
+class TestFaultSchedule:
+    def test_first_eligible_spec_fires(self):
+        sched = FaultSchedule([
+            FaultSpec(kind="latency", op="QUERY", delay_ms=5, count=2),
+            FaultSpec(kind="reset", op="QUERY", after=2, count=1),
+        ])
+        kinds = []
+        for _ in range(4):
+            fired = sched.fire("s2c", protocol.OP_QUERY)
+            kinds.append(fired[0].kind if fired else None)
+        assert kinds == ["latency", "latency", "reset", None]
+
+    def test_direction_and_op_filtering(self):
+        sched = FaultSchedule([
+            FaultSpec(kind="reset", direction="c2s", op="ADD")])
+        assert sched.fire("s2c", protocol.OP_ADD) is None
+        assert sched.fire("c2s", protocol.OP_QUERY) is None
+        fired = sched.fire("c2s", protocol.OP_ADD)
+        assert fired is not None and fired[0].kind == "reset"
+
+    def test_after_skips_matching_frames(self):
+        sched = FaultSchedule([FaultSpec(kind="reset", after=3)])
+        hits = [sched.fire("c2s", None) is not None for _ in range(5)]
+        assert hits == [False, False, False, True, False]
+
+    def test_jitter_is_seed_deterministic(self):
+        def delays(seed):
+            sched = FaultSchedule([FaultSpec(
+                kind="latency", jitter_ms=50, count=None)], seed=seed)
+            return [sched.fire("c2s", None)[1] for _ in range(10)]
+
+        assert delays(11) == delays(11)
+        assert delays(11) != delays(12)
+
+    def test_reset_replays_identically(self):
+        sched = FaultSchedule([FaultSpec(
+            kind="latency", jitter_ms=50, count=None)], seed=5)
+        first = [sched.fire("c2s", None)[1] for _ in range(5)]
+        sched.reset()
+        assert [sched.fire("c2s", None)[1] for _ in range(5)] == first
+
+    def test_injected_summary_counts(self):
+        sched = FaultSchedule([FaultSpec(kind="reset", after=1, count=1)])
+        for _ in range(4):
+            sched.fire("c2s", None)
+        (entry,) = sched.injected()
+        assert entry["matched"] == 4
+        assert entry["fired"] == 1
+        assert entry["kind"] == "reset"
+
+    def test_parse_list(self):
+        sched = FaultSchedule.parse(
+            ["latency:delay_ms=1", "reset:op=ADD"], seed=9)
+        assert [s.kind for s in sched.specs] == ["latency", "reset"]
+        assert sched.seed == 9
+
+    def test_default_drill_schedule_covers_three_classes(self):
+        sched = default_drill_schedule(seed=0)
+        assert [s.kind for s in sched.specs] == [
+            "latency", "stall", "reset"]

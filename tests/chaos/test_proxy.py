@@ -1,0 +1,203 @@
+"""ChaosProxy behaviour against a live FilterService.
+
+Each test runs one ``asyncio.run`` (no pytest-asyncio in the
+toolchain): service on an ephemeral port, proxy in front of it,
+client pointed at the proxy.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.chaos.faults import FaultSchedule, FaultSpec
+from repro.chaos.proxy import ChaosProxy
+from repro.core.membership import ShiftingBloomFilter
+from repro.errors import DeadlineExceededError, ReproError
+from repro.service.client import ServiceClient
+from repro.service.server import FilterService
+
+
+def proxy_run(scenario, specs=(), seed=0, op_timeout=0.4):
+    """Run ``scenario(client, proxy, service)`` through a fault proxy."""
+
+    async def main():
+        service = FilterService(ShiftingBloomFilter(m=4096, k=4))
+        server = await service.start(port=0)
+        port = server.sockets[0].getsockname()[1]
+        proxy = ChaosProxy("127.0.0.1", port,
+                           FaultSchedule(specs, seed=seed))
+        await proxy.start()
+        client = await ServiceClient.connect(
+            "127.0.0.1", proxy.port, op_timeout=op_timeout)
+        try:
+            return await scenario(client, proxy, service)
+        finally:
+            await client.close()
+            await proxy.close()
+            server.close()
+            await server.wait_closed()
+
+    return asyncio.run(main())
+
+
+class TestTransparentRelay:
+    def test_roundtrip_without_faults(self):
+        async def scenario(client, proxy, service):
+            assert await client.add([b"a", b"b"]) == 2
+            verdicts = await client.query([b"a", b"b", b"zz-absent"])
+            assert list(verdicts[:2]) == [True, True]
+            assert (await client.stats())["n_items"] == 2
+            return proxy.report()
+
+        report = proxy_run(scenario)
+        assert report["connections_opened"] == 1
+        # 3 requests + 3 responses relayed, nothing dropped.
+        assert report["frames_forwarded"] == 6
+        assert report["frames_dropped"] == 0
+
+
+class TestLatency:
+    def test_latency_fault_delays_matching_op_only(self):
+        specs = [FaultSpec(kind="latency", direction="s2c", op="QUERY",
+                           delay_ms=120, count=1)]
+
+        async def scenario(client, proxy, service):
+            await client.add([b"a"])  # ADD unaffected
+            start = time.monotonic()
+            await client.query([b"a"])
+            slow = time.monotonic() - start
+            start = time.monotonic()
+            await client.query([b"a"])  # count=1 exhausted
+            fast = time.monotonic() - start
+            return slow, fast
+
+        slow, fast = proxy_run(scenario, specs)
+        assert slow >= 0.110
+        assert fast < 0.110
+
+
+class TestStall:
+    def test_stall_trips_client_deadline(self):
+        specs = [FaultSpec(kind="stall", direction="s2c", op="QUERY")]
+
+        async def scenario(client, proxy, service):
+            await client.add([b"a"])
+            with pytest.raises(DeadlineExceededError):
+                await client.query([b"a"])
+            return proxy.report()
+
+        report = proxy_run(scenario, specs)
+        assert report["frames_dropped"] >= 1
+
+    def test_stall_silences_direction_for_good(self):
+        specs = [FaultSpec(kind="stall", direction="s2c", op="QUERY")]
+
+        async def scenario(client, proxy, service):
+            await client.add([b"a"])
+            with pytest.raises(DeadlineExceededError):
+                await client.query([b"a"])
+            # Same connection: later responses stay swallowed too.
+            with pytest.raises(DeadlineExceededError):
+                await client.ping(timeout=0.2)
+
+        proxy_run(scenario, specs)
+
+
+class TestReset:
+    def test_reset_aborts_the_connection(self):
+        specs = [FaultSpec(kind="reset", direction="c2s", op="QUERY")]
+
+        async def scenario(client, proxy, service):
+            await client.add([b"a"])
+            with pytest.raises((ConnectionError, OSError, ReproError)):
+                await client.query([b"a"])
+            return proxy.report()
+
+        report = proxy_run(scenario, specs)
+        assert report["connections_aborted"] == 1
+
+    def test_fresh_connection_is_unaffected(self):
+        specs = [FaultSpec(kind="reset", direction="c2s", op="QUERY")]
+
+        async def scenario(client, proxy, service):
+            await client.add([b"a"])
+            with pytest.raises((ConnectionError, OSError, ReproError)):
+                await client.query([b"a"])
+            retry = await ServiceClient.connect(
+                "127.0.0.1", proxy.port, op_timeout=0.4)
+            try:
+                verdicts = await retry.query([b"a"])
+                assert bool(verdicts[0])
+            finally:
+                await retry.close()
+
+        proxy_run(scenario, specs)
+
+
+class TestCorrupt:
+    def test_corrupted_request_rejected_not_misapplied(self):
+        # Flipping payload bytes of an ADD must never add the wrong
+        # element silently *and* succeed: the server either rejects the
+        # mangled frame or applies a decodable (mutated) batch; the
+        # original element must not appear.
+        specs = [FaultSpec(kind="corrupt", direction="c2s", op="ADD",
+                           flip_bytes=4)]
+
+        async def scenario(client, proxy, service):
+            try:
+                await client.add([b"precious-element"])
+            except (ConnectionError, OSError, ReproError):
+                pass
+            return bool(service.target.query(b"precious-element"))
+
+        assert proxy_run(scenario, specs) is False
+
+
+class TestTruncate:
+    def test_truncated_frame_kills_connection_server_survives(self):
+        specs = [FaultSpec(kind="truncate", direction="c2s", op="ADD")]
+
+        async def scenario(client, proxy, service):
+            with pytest.raises((ConnectionError, OSError, ReproError,
+                                DeadlineExceededError)):
+                await client.add([b"a"])
+            # Server-side: the torn connection was dropped with a
+            # protocol error, and fresh clients are served normally.
+            fresh = await ServiceClient.connect(
+                "127.0.0.1", proxy.port, op_timeout=0.4)
+            try:
+                assert await fresh.add([b"b"]) == 1
+            finally:
+                await fresh.close()
+            return service.counters.protocol_errors
+
+        assert proxy_run(scenario, specs) >= 1
+
+
+class TestBlackhole:
+    def test_blackhole_swallows_both_directions(self):
+        specs = [FaultSpec(kind="blackhole", direction="c2s", op="PING")]
+
+        async def scenario(client, proxy, service):
+            with pytest.raises(DeadlineExceededError):
+                await client.ping()
+            with pytest.raises(DeadlineExceededError):
+                await client.ping(timeout=0.2)
+
+        proxy_run(scenario, specs)
+
+
+class TestThrottle:
+    def test_throttle_paces_forwarding(self):
+        # 4 KiB/s on the response direction: even a tiny response takes
+        # at least one full chunk interval.
+        specs = [FaultSpec(kind="throttle", direction="s2c", op="PING",
+                           rate_kbps=4, count=1)]
+
+        async def scenario(client, proxy, service):
+            start = time.monotonic()
+            await client.ping(timeout=5.0)
+            return time.monotonic() - start
+
+        assert proxy_run(scenario, specs, op_timeout=5.0) >= 0.2

@@ -1,0 +1,164 @@
+"""BackoffPolicy, RetryBudget and call_with_retries."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    RetryBudgetExceededError,
+    remote_error,
+)
+from repro.retry import BackoffPolicy, RetryBudget, call_with_retries
+
+
+class TestBackoffPolicy:
+    def test_unjittered_delays_are_capped_exponential(self):
+        policy = BackoffPolicy(base=0.1, cap=0.5, multiplier=2.0,
+                               jitter="none")
+        assert [policy.delay(n) for n in range(4)] == [
+            0.1, 0.2, 0.4, 0.5]
+
+    def test_full_jitter_stays_under_the_envelope(self):
+        policy = BackoffPolicy(base=0.1, cap=2.0, multiplier=2.0)
+        rng = random.Random(0)
+        for attempt in range(6):
+            envelope = min(2.0, 0.1 * 2.0 ** attempt)
+            for _ in range(50):
+                assert 0.0 <= policy.delay(attempt, rng) <= envelope
+
+    def test_jitter_is_seed_deterministic(self):
+        policy = BackoffPolicy()
+        a = [policy.delay(n, random.Random(4)) for n in range(5)]
+        b = [policy.delay(n, random.Random(4)) for n in range(5)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(base=-1.0)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(jitter="decorrelated")
+
+
+class TestRetryBudget:
+    def test_capacity_then_exhaustion(self):
+        now = [0.0]
+        budget = RetryBudget(capacity=3, refill_per_s=0.0,
+                             clock=lambda: now[0])
+        for _ in range(3):
+            budget.spend()
+        with pytest.raises(RetryBudgetExceededError):
+            budget.spend()
+        assert budget.spent == 3
+
+    def test_tokens_refill_over_time(self):
+        now = [0.0]
+        budget = RetryBudget(capacity=2, refill_per_s=1.0,
+                             clock=lambda: now[0])
+        budget.spend()
+        budget.spend()
+        with pytest.raises(RetryBudgetExceededError):
+            budget.spend()
+        now[0] = 1.5
+        budget.spend()  # 1.5 tokens refilled
+        assert budget.available() < 1.0
+
+    def test_refill_never_exceeds_capacity(self):
+        now = [0.0]
+        budget = RetryBudget(capacity=2, refill_per_s=10.0,
+                             clock=lambda: now[0])
+        now[0] = 100.0
+        assert budget.available() == 2.0
+
+
+class TestCallWithRetries:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_retries_until_success(self):
+        attempts = []
+
+        async def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ConnectionResetError("boom")
+            return "done"
+
+        result = self.run(call_with_retries(
+            flaky, policy=BackoffPolicy(base=0.0, jitter="none")))
+        assert result == "done"
+        assert len(attempts) == 3
+
+    def test_gives_up_after_max_attempts(self):
+        attempts = []
+
+        async def always_down():
+            attempts.append(1)
+            raise ConnectionResetError("boom")
+
+        with pytest.raises(ConnectionResetError):
+            self.run(call_with_retries(
+                always_down,
+                policy=BackoffPolicy(base=0.0, jitter="none",
+                                     max_attempts=2)))
+        assert len(attempts) == 3  # initial call + 2 retries
+
+    def test_remote_errors_never_retried(self):
+        # A remote-stamped error means the peer is alive and said no;
+        # even a retryable type must not be retried.
+        attempts = []
+
+        async def rejected():
+            attempts.append(1)
+            exc = ConnectionResetError("server said no")
+            exc.remote = True
+            raise exc
+
+        with pytest.raises(ConnectionResetError):
+            self.run(call_with_retries(rejected))
+        assert len(attempts) == 1
+
+    def test_remote_error_helper_stamps_the_flag(self):
+        exc = remote_error("ConfigurationError", "bad k")
+        assert exc.remote is True
+        assert isinstance(exc, ConfigurationError)
+
+    def test_unlisted_errors_pass_through(self):
+        async def bug():
+            raise ValueError("not a transport problem")
+
+        with pytest.raises(ValueError):
+            self.run(call_with_retries(bug))
+
+    def test_budget_bounds_retries(self):
+        now = [0.0]
+        budget = RetryBudget(capacity=1, refill_per_s=0.0,
+                             clock=lambda: now[0])
+
+        async def always_down():
+            raise ConnectionResetError("boom")
+
+        with pytest.raises(RetryBudgetExceededError):
+            self.run(call_with_retries(
+                always_down, budget=budget,
+                policy=BackoffPolicy(base=0.0, jitter="none",
+                                     max_attempts=5)))
+        assert budget.spent == 1
+
+    def test_on_retry_callback_sees_each_failure(self):
+        seen = []
+
+        async def flaky():
+            if len(seen) < 2:
+                raise ConnectionResetError("boom")
+            return "ok"
+
+        self.run(call_with_retries(
+            flaky, policy=BackoffPolicy(base=0.0, jitter="none"),
+            on_retry=lambda attempt, exc: seen.append(
+                (attempt, type(exc).__name__))))
+        assert seen == [(0, "ConnectionResetError"),
+                        (1, "ConnectionResetError")]
