@@ -1,0 +1,339 @@
+"""Operate a shard-mapped filter cluster from the command line.
+
+Subcommands::
+
+    bootstrap  write an epoch-1 shard-map JSON file for a fresh fleet
+    serve      host one cluster node (ownership-enforcing service)
+    status     per-node STATS across the whole map
+    reshard    migrate one shard live to a new owner (epoch + 1)
+    drill      run the seeded migration-invariant drill
+
+A minimal 2-node cluster, by hand::
+
+    python -m repro.cluster bootstrap --shards 8 \\
+        --node 127.0.0.1:4100 --node 127.0.0.1:4101 --output map.json
+    python -m repro.cluster serve --map map.json --self 127.0.0.1:4100 &
+    python -m repro.cluster serve --map map.json --self 127.0.0.1:4101 &
+    python -m repro.cluster status --map map.json
+    python -m repro.cluster reshard --map map.json --shard 3 \\
+        --target 127.0.0.1:4101
+
+``reshard`` rewrites the map file with the successor map on success, so
+the file stays the fleet's bootstrap source of truth.  ``drill`` boots
+its own in-process cluster by default; with ``--external`` it drives
+the live nodes named by the map file instead (CI's cluster-smoke job
+does exactly that across real processes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.cluster.coordinator import (
+    cluster_status,
+    fetch_live_map,
+    migrate_shard,
+)
+from repro.cluster.drill import ClusterDrillConfig, run_cluster_drill
+from repro.cluster.node import ClusterState
+from repro.cluster.shardmap import ShardMap, bootstrap_map
+from repro.core import ShiftingAssociationFilter, ShiftingBloomFilter
+from repro.errors import ReproError
+from repro.hashing.family import FAMILY_KINDS, make_family
+from repro.replication.failover import parse_endpoint
+from repro.service.server import CoalescerConfig, FilterService
+from repro.store.router import DEFAULT_ROUTER_SEED
+from repro.store.sharded import ShardedFilterStore
+from repro.workloads.service import build_service_workload
+from repro.workloads.sharded import partition_by_shard
+
+
+def _read_map(path: str) -> ShardMap:
+    with open(path, "r", encoding="utf-8") as handle:
+        return ShardMap.from_json(handle.read())
+
+
+def _write_map(path: str, shard_map: ShardMap) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(shard_map.to_json() + "\n")
+
+
+def _bootstrap(args: argparse.Namespace) -> int:
+    shard_map = bootstrap_map(
+        args.shards, args.node,
+        router_seed=args.router_seed, router_family=args.family)
+    if args.output:
+        _write_map(args.output, shard_map)
+        print("wrote %s: epoch 1, %d shards over %d nodes"
+              % (args.output, shard_map.n_shards,
+                 len(shard_map.nodes())))
+    else:
+        print(shard_map.to_json())
+    return 0
+
+
+def _build_node_store(args: argparse.Namespace,
+                      shard_map: ShardMap) -> ShardedFilterStore:
+    """A full-width store for one node, preloaded on owned shards only."""
+    probe_family = make_family(args.family, seed=0)
+    if args.structure == "association":
+        factory = lambda shard: ShiftingAssociationFilter(  # noqa: E731
+            m=args.m, k=args.k, family=probe_family)
+    else:
+        factory = lambda shard: ShiftingBloomFilter(  # noqa: E731
+            m=args.m, k=args.k, family=probe_family)
+    store = ShardedFilterStore(
+        factory, n_shards=shard_map.n_shards,
+        router=shard_map.make_router())
+    if args.preload > 0:
+        owned = set(shard_map.shards_of(args.self))
+        workload = build_service_workload(args.preload, seed=args.seed)
+        members = list(workload.members)
+        parts = partition_by_shard(members, store.router)
+        if args.structure == "association":
+            # Alternate members between the two sets so QUERY_MULTI
+            # exercises every answer region.
+            in_second = set(members[::2])
+            for shard_id in owned:
+                part = parts[shard_id]
+                store.shards[shard_id].build_batch(
+                    part, [e for e in part if e in in_second])
+        else:
+            for shard_id in owned:
+                if parts[shard_id]:
+                    store.shards[shard_id].add_batch(parts[shard_id])
+    return store
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    shard_map = _read_map(args.map)
+    parse_endpoint(args.self)
+    if args.self not in shard_map.assignments and not args.standby:
+        print("endpoint %s owns no shard in %s; pass --standby to host "
+              "an empty node awaiting its first migration"
+              % (args.self, args.map), file=sys.stderr)
+        return 2
+    if args.family != shard_map.router_family:
+        # One spec rules the fleet: the map's. A mismatched flag here
+        # would build shards the cluster cannot migrate onto.
+        args.family = shard_map.router_family
+    store = _build_node_store(args, shard_map)
+    service = FilterService(store, CoalescerConfig(
+        max_batch=args.max_batch,
+        max_delay_us=args.max_delay_us,
+        max_inflight=args.max_inflight,
+    ))
+    ClusterState(shard_map, args.self).attach(service)
+    host, port = parse_endpoint(args.self)
+    server = await service.start(host, port)
+    bound = server.sockets[0].getsockname()[1]
+    print("repro.cluster node %s listening on %s:%d (epoch %d, owns %s, "
+          "%s, n_items=%d)"
+          % (args.self, host, bound, shard_map.epoch,
+             list(service.cluster.owned_shards), args.structure,
+             store.n_items), flush=True)
+    async with server:
+        await server.serve_forever()
+    return 0
+
+
+async def _status(args: argparse.Namespace) -> int:
+    shard_map = _read_map(args.map)
+    stats = await cluster_status(
+        shard_map, connect_timeout=args.connect_timeout,
+        op_timeout=args.op_timeout)
+    summary = {
+        "map_epoch": shard_map.epoch,
+        "n_shards": shard_map.n_shards,
+        "nodes": stats,
+    }
+    print(json.dumps(summary, indent=2, sort_keys=True, default=str))
+    return 0 if all("error" not in s for s in stats.values()) else 1
+
+
+async def _reshard(args: argparse.Namespace) -> int:
+    # The file is a bootstrap hint; the fleet's live epoch wins (a
+    # prior reshard may have advanced past what the file records).
+    shard_map = await fetch_live_map(
+        _read_map(args.map), connect_timeout=args.connect_timeout,
+        op_timeout=args.op_timeout)
+    successor, report = await migrate_shard(
+        shard_map, args.shard, args.target,
+        connect_timeout=args.connect_timeout,
+        op_timeout=args.op_timeout,
+        catchup_rounds=args.catchup_rounds)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    _write_map(args.map, successor)
+    print("map %s now at epoch %d (shard %d -> %s)"
+          % (args.map, successor.epoch, args.shard, args.target))
+    return 0
+
+
+def _drill(args: argparse.Namespace) -> int:
+    endpoints = None
+    if args.external:
+        endpoints = _read_map(args.map).nodes()
+    config = ClusterDrillConfig(
+        n_nodes=args.nodes,
+        n_shards=args.shards,
+        m=args.m,
+        k=args.k,
+        family=args.family,
+        n_members=args.members,
+        n_ops=args.ops,
+        per_request=args.per_request,
+        write_fraction=args.write_fraction,
+        migrate_after_ops=args.migrate_after,
+        stall_budget_s=args.stall_budget,
+        seed=args.seed,
+        endpoints=endpoints,
+    )
+    report = run_cluster_drill(config)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    print(text)
+    print("drill %s: wrong_verdicts=%d+%d items=%d/%d stall=%.4fs"
+          % ("OK" if report["ok"] else "FAIL",
+             report["ops"]["wrong_verdicts_live"],
+             report["ops"]["wrong_verdicts_sweep"],
+             report["writes_accounting"]["cluster_n_items"],
+             report["writes_accounting"]["reference_n_items"],
+             report["ops"]["max_stall_op_latency_s"]),
+          file=sys.stderr if not report["ok"] else sys.stdout)
+    return 0 if report["ok"] else 1
+
+
+def _add_timeout_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--op-timeout", type=float, default=30.0,
+                        help="per-request deadline in seconds")
+    parser.add_argument("--connect-timeout", type=float, default=5.0,
+                        help="TCP connect bound in seconds")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    boot = sub.add_parser(
+        "bootstrap", help="write an epoch-1 shard-map file")
+    boot.add_argument("--shards", type=int, default=8,
+                      help="global shard count the map partitions")
+    boot.add_argument("--node", action="append", required=True,
+                      help="owning endpoint host:port (repeat per node)")
+    boot.add_argument("--router-seed", type=int,
+                      default=DEFAULT_ROUTER_SEED,
+                      help="cluster-wide routing seed pinned in the map")
+    boot.add_argument("--family", default="vector64",
+                      choices=sorted(FAMILY_KINDS),
+                      help="routing hash-family kind pinned in the map")
+    boot.add_argument("--output", default="",
+                      help="map file path (prints to stdout if omitted)")
+
+    serve = sub.add_parser("serve", help="host one cluster node")
+    serve.add_argument("--map", required=True,
+                       help="shard-map JSON file (bootstrap output)")
+    serve.add_argument("--self", required=True,
+                       help="this node's endpoint as the map names it")
+    serve.add_argument("--standby", action="store_true",
+                       help="allow serving with zero owned shards "
+                            "(a fresh node awaiting a migration)")
+    serve.add_argument("--structure", default="membership",
+                       choices=("membership", "association"),
+                       help="shard filter type: ShBF_M membership or "
+                            "ShBF_A association (QUERY_MULTI)")
+    serve.add_argument("--m", type=int, default=262144,
+                       help="bits per shard filter")
+    serve.add_argument("--k", type=int, default=8)
+    serve.add_argument("--family", default="vector64",
+                       choices=sorted(FAMILY_KINDS),
+                       help="probe-hash family for the shard filters "
+                            "(overridden by the map's routing family)")
+    serve.add_argument("--preload", type=int, default=0,
+                       help="seeded catalog size; this node inserts "
+                            "only the slice routing to its owned shards")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--max-batch", type=int, default=512,
+                       help="coalescer flush threshold; 1 = uncoalesced")
+    serve.add_argument("--max-delay-us", type=int, default=200)
+    serve.add_argument("--max-inflight", type=int, default=1024)
+
+    status = sub.add_parser(
+        "status", help="per-node STATS across the map")
+    status.add_argument("--map", required=True)
+    _add_timeout_args(status)
+
+    reshard = sub.add_parser(
+        "reshard", help="migrate one shard live to a new owner")
+    reshard.add_argument("--map", required=True,
+                         help="map file; rewritten with the successor "
+                              "map on success")
+    reshard.add_argument("--shard", type=int, required=True,
+                         help="shard id to move")
+    reshard.add_argument("--target", required=True,
+                         help="destination endpoint host:port")
+    reshard.add_argument("--catchup-rounds", type=int, default=8,
+                         help="pre-flip journal drain rounds before "
+                              "flipping ownership regardless")
+    _add_timeout_args(reshard)
+
+    drill = sub.add_parser(
+        "drill", help="seeded migration drill with invariant checks")
+    drill.add_argument("--external", action="store_true",
+                       help="drive the live nodes in --map instead of "
+                            "booting an in-process cluster")
+    drill.add_argument("--map", default="",
+                       help="map file naming the external nodes")
+    drill.add_argument("--nodes", type=int, default=3,
+                       help="in-process node count")
+    drill.add_argument("--shards", type=int, default=8)
+    drill.add_argument("--m", type=int, default=1 << 15,
+                       help="bits per shard filter")
+    drill.add_argument("--k", type=int, default=4)
+    drill.add_argument("--family", default="vector64",
+                       choices=sorted(FAMILY_KINDS))
+    drill.add_argument("--members", type=int, default=3000,
+                       help="catalog size (half preloaded, half "
+                            "written live during the drill)")
+    drill.add_argument("--ops", type=int, default=80,
+                       help="request batches driven during the drill")
+    drill.add_argument("--per-request", type=int, default=64)
+    drill.add_argument("--write-fraction", type=float, default=0.35)
+    drill.add_argument("--migrate-after", type=int, default=20,
+                       help="ops completed before the migration starts")
+    drill.add_argument("--stall-budget", type=float, default=5.0,
+                       help="max tolerated op latency overlapping the "
+                            "ownership flip, in seconds")
+    drill.add_argument("--seed", type=int, default=0)
+    drill.add_argument("--output", default="",
+                       help="also write the JSON report to this file")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "drill" and args.external and not args.map:
+        build_parser().error("--external requires --map")
+    try:
+        if args.command == "bootstrap":
+            return _bootstrap(args)
+        if args.command == "drill":
+            return _drill(args)
+        runner = {"serve": _serve, "status": _status,
+                  "reshard": _reshard}[args.command]
+        return asyncio.run(runner(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 130
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

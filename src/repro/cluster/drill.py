@@ -1,0 +1,378 @@
+"""The migration drill: a live reshard proven exact under load.
+
+The headline harness of the cluster layer.  A seeded drill boots a
+cluster (in-process nodes on ephemeral ports, or external processes via
+``endpoints``), drives a continuous read+write stream through a
+:class:`~repro.cluster.client.ClusterClient`, migrates a hot shard
+*while the stream runs*, and replays every applied write into a
+fault-free single-node reference store built from the same routing spec
+and filter geometry.  Because cluster and reference hash identically,
+every verdict — false positives included — must match **bit for bit**;
+any divergence is a real protocol bug, not noise.
+
+Three invariants must hold for ``report["ok"]``:
+
+* ``zero_wrong_verdicts`` — every read during the drill and a full
+  post-drill sweep over the whole universe agree with the reference;
+* ``zero_lost_or_duplicate_writes`` — after the move, the summed
+  ``n_items`` across the fleet equals the reference count exactly (a
+  lost delta batch shows up low, a double-applied one high);
+* ``bounded_stall`` — no operation overlapping the migration window
+  took longer than the stall budget: the ownership flip may slow
+  clients (WRONG_OWNER → refresh → retry), never park them.
+
+Run it from the CLI as ``python -m repro.cluster drill`` (in-process)
+or ``--external`` against live nodes; CI's ``cluster-smoke`` job runs
+the cross-process variant.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.coordinator import fetch_live_map, migrate_shard
+from repro.cluster.node import ClusterState
+from repro.cluster.shardmap import ShardMap, bootstrap_map
+from repro.core import ShiftingBloomFilter
+from repro.errors import ConfigurationError
+from repro.hashing.family import make_family
+from repro.replication.failover import parse_endpoint
+from repro.service.client import ServiceClient
+from repro.service.server import CoalescerConfig, FilterService
+from repro.store.router import DEFAULT_ROUTER_SEED
+from repro.store.sharded import ShardedFilterStore
+from repro.workloads.service import build_service_workload, chop_requests
+
+__all__ = [
+    "ClusterDrillConfig",
+    "LocalCluster",
+    "run_cluster_drill",
+    "run_cluster_drill_async",
+    "start_local_cluster",
+]
+
+
+@dataclass(frozen=True)
+class ClusterDrillConfig:
+    """Everything a drill run depends on, seeded and explicit.
+
+    Attributes:
+        n_nodes / n_shards: cluster geometry (ignored when external
+            ``endpoints`` are given — the live map decides).
+        m / k: per-shard ShBF_M geometry; the reference store reuses it.
+        family: probe-hash family kind for the shard filters *and* the
+            router (the map pins the router side).
+        n_members: catalog size; half is preloaded, half written live.
+        n_ops: request batches driven during the drill.
+        per_request: elements per batch.
+        write_fraction: probability an op is a write while unwritten
+            catalog remains.
+        migrate_after_ops: ops completed before the migration launches.
+        stall_budget_s: bound on any op latency overlapping the window.
+        seed: seeds the workload, the op schedule and retry jitter.
+        endpoints: when set, drill these live nodes (cross-process
+            mode) instead of booting an in-process cluster.
+    """
+
+    n_nodes: int = 3
+    n_shards: int = 8
+    m: int = 1 << 15
+    k: int = 4
+    family: str = "vector64"
+    router_seed: int = DEFAULT_ROUTER_SEED
+    n_members: int = 3000
+    n_ops: int = 80
+    per_request: int = 64
+    write_fraction: float = 0.35
+    migrate_after_ops: int = 20
+    stall_budget_s: float = 5.0
+    seed: int = 0
+    endpoints: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.endpoints is None and self.n_nodes < 2:
+            raise ConfigurationError(
+                "a migration drill needs >= 2 nodes, got %d"
+                % self.n_nodes)
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ConfigurationError(
+                "write_fraction must be in [0, 1], got %r"
+                % (self.write_fraction,))
+        if self.stall_budget_s <= 0:
+            raise ConfigurationError(
+                "stall_budget_s must be > 0, got %r"
+                % (self.stall_budget_s,))
+
+
+@dataclass
+class LocalCluster:
+    """An in-process cluster: N services, their servers, and the map."""
+
+    shard_map: ShardMap
+    services: List[FilterService]
+    servers: List[asyncio.AbstractServer]
+    states: List[ClusterState] = field(default_factory=list)
+
+    @property
+    def endpoints(self) -> Tuple[str, ...]:
+        return self.shard_map.nodes()
+
+    async def close(self) -> None:
+        for server in self.servers:
+            server.close()
+            await server.wait_closed()
+        for service in self.services:
+            service.abort_connections()
+
+
+def _make_store(config: ClusterDrillConfig,
+                shard_map: ShardMap) -> ShardedFilterStore:
+    """A full-width store matching the drill geometry and map routing."""
+    probe_family = make_family(config.family, seed=0)
+    return ShardedFilterStore(
+        lambda shard: ShiftingBloomFilter(
+            m=config.m, k=config.k, family=probe_family),
+        n_shards=shard_map.n_shards,
+        router=shard_map.make_router(),
+    )
+
+
+async def start_local_cluster(
+    config: ClusterDrillConfig,
+    coalescer: Optional[CoalescerConfig] = None,
+) -> LocalCluster:
+    """Boot ``config.n_nodes`` services on ephemeral localhost ports.
+
+    Every node hosts a full-width store (unowned shards empty) and gets
+    a :class:`ClusterState` attached; the returned map is the epoch-1
+    bootstrap over the actual bound ports.
+    """
+    # Ports are unknown until bind, so boot first, then map, then
+    # attach cluster state (services refuse nothing until attached).
+    services: List[FilterService] = []
+    servers: List[asyncio.AbstractServer] = []
+    endpoints: List[str] = []
+    prototype = bootstrap_map(
+        config.n_shards, ["127.0.0.1:1"],
+        router_seed=config.router_seed, router_family=config.family)
+    for _ in range(config.n_nodes):
+        store = _make_store(config, prototype)
+        service = FilterService(target=store, config=coalescer)
+        server = await service.start("127.0.0.1", 0)
+        services.append(service)
+        servers.append(server)
+        endpoints.append(
+            "127.0.0.1:%d" % server.sockets[0].getsockname()[1])
+    shard_map = bootstrap_map(
+        config.n_shards, endpoints,
+        router_seed=config.router_seed, router_family=config.family)
+    states = [
+        ClusterState(shard_map, endpoint).attach(service)
+        for endpoint, service in zip(endpoints, services)
+    ]
+    return LocalCluster(shard_map=shard_map, services=services,
+                        servers=servers, states=states)
+
+
+async def _fetch_map(endpoints: Sequence[str]) -> ShardMap:
+    """The live map from external nodes (newest epoch wins)."""
+    last_error: Optional[Exception] = None
+    for endpoint in endpoints:
+        host, port = parse_endpoint(endpoint)
+        try:
+            conn = await ServiceClient.connect(host, port)
+            try:
+                fetched = ShardMap.from_bytes(await conn.shard_map())
+            finally:
+                await conn.close()
+        except Exception as exc:
+            last_error = exc
+            continue
+        # The first answer names the fleet; poll the rest for a newer
+        # epoch so a drill after a reshard starts current.
+        return await fetch_live_map(fetched)
+    raise last_error if last_error is not None else ConfigurationError(
+        "no external endpoints given")
+
+
+def _pick_migration(shard_map: ShardMap,
+                    members: Sequence[bytes]) -> Tuple[int, str]:
+    """The hottest shard (by member load) and its destination node.
+
+    Destination is the lightest-loaded *other* node — the move an
+    operator resharding a hot spot would make.
+    """
+    router = shard_map.make_router()
+    per_shard = np.bincount(router.route_batch(list(members)),
+                            minlength=shard_map.n_shards)
+    hot = int(per_shard.argmax())
+    source = shard_map.owner(hot)
+    candidates = [e for e in shard_map.nodes() if e != source]
+    load = {e: sum(int(per_shard[s]) for s in shard_map.shards_of(e))
+            for e in candidates}
+    return hot, min(candidates, key=lambda e: load[e])
+
+
+async def run_cluster_drill_async(config: ClusterDrillConfig) -> dict:
+    """Run one seeded migration drill; returns the invariant report."""
+    local: Optional[LocalCluster] = None
+    if config.endpoints is None:
+        local = await start_local_cluster(config)
+        shard_map = local.shard_map
+        mode = "in-process"
+    else:
+        shard_map = await _fetch_map(config.endpoints)
+        mode = "external"
+
+    reference = _make_store(config, shard_map)
+    workload = build_service_workload(config.n_members, seed=config.seed)
+    members = list(workload.members)
+    absent = list(workload.absent)
+    rng = random.Random(config.seed)
+
+    client = ClusterClient(shard_map, seed=config.seed)
+    migration_task: Optional[asyncio.Task] = None
+    migration_window: List[float] = []  # [opened, closed]
+    migration_report: Dict[str, object] = {}
+
+    async def run_migration() -> None:
+        shard_id, target = _pick_migration(client.shard_map, members)
+        migration_window.append(time.monotonic())
+        try:
+            _, report = await migrate_shard(
+                client.shard_map, shard_id, target)
+            migration_report.update(report)
+        finally:
+            migration_window.append(time.monotonic())
+
+    wrong_verdicts = 0
+    reads = writes = 0
+    op_log: List[Tuple[float, float, str]] = []  # (start, end, kind)
+    try:
+        # Preload: half the catalog through the cluster AND the
+        # reference — the drill's write stream is the other half.
+        split = len(members) // 2
+        for batch in chop_requests(members[:split], config.per_request):
+            await client.add(batch)
+            reference.add_batch(batch)
+        write_queue = chop_requests(members[split:], config.per_request)
+        written = members[:split]
+
+        for op_index in range(config.n_ops):
+            if (migration_task is None
+                    and op_index >= config.migrate_after_ops):
+                migration_task = asyncio.ensure_future(run_migration())
+            do_write = bool(write_queue) and (
+                rng.random() < config.write_fraction)
+            start = time.monotonic()
+            if do_write:
+                batch = write_queue.pop(0)
+                await client.add(batch)
+                reference.add_batch(batch)
+                written.extend(batch)
+                writes += 1
+                kind = "write"
+            else:
+                batch = [rng.choice(written) if rng.random() < 0.5
+                         else rng.choice(absent)
+                         for _ in range(config.per_request)]
+                got = await client.query(batch)
+                expected = reference.query_batch(batch)
+                wrong_verdicts += int((got != expected).sum())
+                reads += 1
+                kind = "read"
+            op_log.append((start, time.monotonic(), kind))
+            # Yield so the migration task interleaves with the stream.
+            await asyncio.sleep(0)
+
+        if migration_task is None:  # n_ops < migrate_after_ops
+            migration_task = asyncio.ensure_future(run_migration())
+        await migration_task
+        # Drain any catalog remainder post-move, then the full sweep.
+        for batch in write_queue:
+            await client.add(batch)
+            reference.add_batch(batch)
+            writes += 1
+        sweep_wrong = 0
+        universe = members + absent
+        for batch in chop_requests(universe, 512):
+            got = await client.query(batch)
+            expected = reference.query_batch(batch)
+            sweep_wrong += int((got != expected).sum())
+
+        stats = await client.stats()
+        cluster_items = sum(s["n_items"] for s in stats.values())
+        epochs = {endpoint: s["cluster"]["epoch"]
+                  for endpoint, s in stats.items()}
+        final_map = client.shard_map
+    finally:
+        if migration_task is not None and not migration_task.done():
+            migration_task.cancel()
+        await client.close()
+        if local is not None:
+            await local.close()
+
+    opened, closed = migration_window[0], migration_window[-1]
+    overlapping = [end - start for start, end, _ in op_log
+                   if end > opened and start < closed]
+    max_stall = max(overlapping) if overlapping else 0.0
+    max_latency = max((end - start for start, end, _ in op_log),
+                      default=0.0)
+
+    invariants = {
+        "zero_wrong_verdicts": wrong_verdicts == 0 and sweep_wrong == 0,
+        "zero_lost_or_duplicate_writes": (
+            cluster_items == reference.n_items),
+        "bounded_stall": max_stall <= config.stall_budget_s,
+        "epoch_advanced": all(
+            epoch >= shard_map.epoch + 1 for epoch in epochs.values()),
+    }
+    return {
+        "ok": all(invariants.values()),
+        "mode": mode,
+        "invariants": invariants,
+        "migration": migration_report,
+        "ops": {
+            "reads": reads,
+            "writes": writes,
+            "wrong_verdicts_live": wrong_verdicts,
+            "wrong_verdicts_sweep": sweep_wrong,
+            "max_op_latency_s": max_latency,
+            "max_stall_op_latency_s": max_stall,
+            "ops_overlapping_migration": len(overlapping),
+        },
+        "writes_accounting": {
+            "cluster_n_items": cluster_items,
+            "reference_n_items": int(reference.n_items),
+        },
+        "epochs": epochs,
+        "final_epoch": final_map.epoch,
+        "client_counters": dict(client.counters),
+        "config": {
+            "mode": mode,
+            "n_nodes": (len(shard_map.nodes())),
+            "n_shards": shard_map.n_shards,
+            "m": config.m,
+            "k": config.k,
+            "family": config.family,
+            "n_members": config.n_members,
+            "n_ops": config.n_ops,
+            "per_request": config.per_request,
+            "write_fraction": config.write_fraction,
+            "stall_budget_s": config.stall_budget_s,
+            "seed": config.seed,
+        },
+    }
+
+
+def run_cluster_drill(config: Optional[ClusterDrillConfig] = None) -> dict:
+    """Synchronous wrapper: one fresh event loop per drill."""
+    return asyncio.run(run_cluster_drill_async(
+        config if config is not None else ClusterDrillConfig()))

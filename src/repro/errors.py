@@ -141,6 +141,41 @@ class FailoverExhaustedError(ReplicationError):
     """
 
 
+class ClusterError(ReproError, RuntimeError):
+    """A multi-node cluster operation failed.
+
+    Base class for the cluster layer (:mod:`repro.cluster`): shard-map
+    versioning violations, misdirected requests and migration protocol
+    errors all derive from here so callers can fence off "the fleet
+    disagrees about ownership" from single-node serving failures.
+    """
+
+
+class WrongOwnerError(ClusterError):
+    """A request touched a shard this node does not own.
+
+    The cluster's correctness contract is *refuse, never misroute*: a
+    node checks every ADD/ADD_IDEM/QUERY/QUERY_MULTI batch against its
+    installed shard map and rejects batches containing elements it does
+    not own — silently serving them would answer from an empty shard
+    (wrong verdicts) or strand writes on a non-owner (lost writes).  A
+    client seeing this error holds a stale shard map: it should refresh
+    the map (SHARD_MAP), re-split the batch per the new ownership and
+    retry.  The message carries the node's current map epoch.
+    """
+
+
+class StaleShardMapError(ClusterError):
+    """A SHARD_MAP install carried an epoch at or below the current one.
+
+    Shard-map epochs only move forward: accepting an older map would
+    resurrect retired ownership and route writes to nodes that already
+    shipped their shards away.  Installs of the *identical* current map
+    are acknowledged idempotently; anything older is refused with this
+    error so a lagging coordinator learns it lost the race.
+    """
+
+
 def remote_error(name: str, message: str) -> ReproError:
     """Materialise a server-reported error as a local exception.
 

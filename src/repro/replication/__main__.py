@@ -56,7 +56,7 @@ def _add_geometry_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--m", type=int, default=262144,
                         help="bits per shard filter")
     parser.add_argument("--k", type=int, default=8)
-    parser.add_argument("--family", default="blake2b",
+    parser.add_argument("--family", default="vector64",
                         choices=sorted(FAMILY_KINDS),
                         help="probe-hash family kind; shipped snapshots "
                              "carry it, so standbys hash identically")
@@ -87,7 +87,7 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _build_target(args: argparse.Namespace):
-    family = make_family(getattr(args, "family", "blake2b"), seed=0)
+    family = make_family(getattr(args, "family", "vector64"), seed=0)
     if args.shards <= 0:
         return ShiftingBloomFilter(m=args.m, k=args.k, family=family)
     return ShardedFilterStore(

@@ -46,7 +46,7 @@ def _add_timeout_args(parser: argparse.ArgumentParser) -> None:
                         help="TCP connect bound in seconds")
 
 
-def _build_target(shards: int, m: int, k: int, family_kind: str = "blake2b"):
+def _build_target(shards: int, m: int, k: int, family_kind: str = "vector64"):
     """The hosted structure: an N-shard ShBF_M store, or one filter.
 
     The probe-hash family is resolved from the registry once and shared
@@ -196,10 +196,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--preload", type=int, default=0,
                        help="insert this many seeded catalog items")
     serve.add_argument("--seed", type=int, default=0)
-    serve.add_argument("--family", default="blake2b",
+    serve.add_argument("--family", default="vector64",
                        choices=sorted(FAMILY_KINDS),
                        help="probe-hash family kind for the hosted "
-                            "filters (vector64 = vectorised mixers)")
+                            "filters (vector64 = vetted vectorised "
+                            "mixers; blake2b = cryptographic lanes)")
 
     ping = sub.add_parser("ping", help="liveness probe with retries")
     _add_endpoint_args(ping)

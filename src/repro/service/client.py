@@ -270,6 +270,33 @@ class ServiceClient:
         payload = await self._request(protocol.OP_PROMOTE, timeout=timeout)
         return payload.decode("utf-8")
 
+    # --- cluster ops (shard-map publication / live migration) ---------
+    async def shard_map(self, blob: bytes = b"", timeout=_UNSET) -> bytes:
+        """Fetch (empty *blob*) or install the node's shard map.
+
+        Returns the node's installed map as JSON bytes
+        (:meth:`repro.cluster.ShardMap.from_bytes` decodes it).  An
+        install of an older epoch fails typed with
+        :class:`~repro.errors.StaleShardMapError`.
+        """
+        return await self._request(
+            protocol.OP_SHARD_MAP, blob, timeout=timeout)
+
+    async def migrate(self, action: int, shard_id: int,
+                      body: bytes = b"", timeout=_UNSET) -> bytes:
+        """One step of the MIGRATE protocol against this node.
+
+        *action* is a ``protocol.MIGRATE_*`` constant; the response
+        payload is action-dependent (shard blob, journalled batches,
+        key table, or a u32 count) — see
+        :mod:`repro.service.protocol`.  Driven by
+        :func:`repro.cluster.coordinator.migrate_shard`.
+        """
+        return await self._request(
+            protocol.OP_MIGRATE,
+            protocol.encode_migrate(action, shard_id, body),
+            timeout=timeout)
+
     async def close(self) -> None:
         """Close the connection and stop the reader task."""
         if self._closed:

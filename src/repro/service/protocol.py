@@ -32,6 +32,8 @@ DELTA      9     replication delta (see below)     u32 item count after apply
 PROMOTE    10    empty                             server banner (utf-8)
 ADD_IDEM   11    u64 client id + u64 write id      u32 number added
 ..               + elements [+ counts]
+SHARD_MAP  12    empty (get) or map JSON (install) shard map JSON (utf-8)
+MIGRATE    13    u8 action + u32 shard id + body   action-dependent (below)
 ========== ===== ================================= =========================
 
 A response's code is a status: ``OK`` (0) or ``ERR`` (1); error payloads
@@ -69,6 +71,37 @@ a bounded dedup window — a duplicate (a retry whose original actually
 landed) answers with the originally recorded count instead of inserting
 twice.
 
+SHARD_MAP and MIGRATE are the cluster ops (:mod:`repro.cluster`).
+SHARD_MAP with an empty payload returns the node's installed
+epoch-stamped shard map as JSON; a non-empty payload installs a newer
+map (same-epoch identical maps are acknowledged idempotently, older
+epochs are refused with :class:`~repro.errors.StaleShardMapError`).
+MIGRATE drives one live shard move; its ``u8 action`` selects a step of
+the migration protocol:
+
+* ``MIGRATE_BEGIN`` (0, source): atomically start journalling writes to
+  the shard and return its ``SHBF`` snapshot blob;
+* ``MIGRATE_DELTA`` (1, source): flush pending coalesced writes, drain
+  the journal, return the journalled write batches (see
+  :func:`encode_element_batches`) — the exact catch-up stream;
+* ``MIGRATE_KEYS`` (2, source): return the node's ADD_IDEM dedup window
+  (:func:`encode_idempotency_keys`) so retries stay exactly-once across
+  the ownership flip;
+* ``MIGRATE_END`` (3, source): flush, drain the final residual batches,
+  stop journalling and retire the local shard copy (an ``empty_like``
+  clone takes its place);
+* ``MIGRATE_INSTALL_REPLACE`` (4, target): body is a shard blob;
+  swapped in via ``replace_shard``, answers the shard's u32 item count;
+* ``MIGRATE_INSTALL_MERGE`` (5, target): body is journalled write
+  batches, replayed through the shard's own ``add_batch`` — exact
+  element-for-element application, so item counts never inflate;
+* ``MIGRATE_INSTALL_KEYS`` (6, target): body is a dedup-window table,
+  merged into the target's ADD_IDEM window.
+
+A request misdirected under a stale map is refused with
+:class:`~repro.errors.WrongOwnerError` (the WRONG_OWNER signal; it
+crosses the wire typed, like every error) — never silently served.
+
 Decoding is strict: declared lengths must match the bytes present, and
 frames above :data:`MAX_FRAME_BYTES` are rejected before allocation, so
 a corrupt or hostile peer produces a :class:`~repro.errors.ProtocolError`
@@ -91,17 +124,26 @@ __all__ = [
     "DELTA_FULL",
     "DELTA_SHARDS",
     "MAX_FRAME_BYTES",
+    "MIGRATE_BEGIN",
+    "MIGRATE_DELTA",
+    "MIGRATE_END",
+    "MIGRATE_INSTALL_KEYS",
+    "MIGRATE_INSTALL_MERGE",
+    "MIGRATE_INSTALL_REPLACE",
+    "MIGRATE_KEYS",
     "MODE_IDEM",
     "MODE_MERGE",
     "MODE_REPLACE",
     "OP_ADD",
     "OP_ADD_IDEM",
     "OP_DELTA",
+    "OP_MIGRATE",
     "OP_PING",
     "OP_PROMOTE",
     "OP_QUERY",
     "OP_QUERY_MULTI",
     "OP_RESTORE",
+    "OP_SHARD_MAP",
     "OP_SNAPSHOT",
     "OP_STATS",
     "OP_SUBSCRIBE",
@@ -111,19 +153,23 @@ __all__ = [
     "decode_association_answers",
     "decode_counts",
     "decode_delta",
+    "decode_element_batches",
     "decode_elements",
     "decode_idempotency_keys",
     "decode_error",
     "decode_frame",
+    "decode_migrate",
     "decode_subscribe",
     "decode_verdicts",
     "encode_add_idem",
     "encode_association_answers",
     "encode_delta",
+    "encode_element_batches",
     "encode_elements",
     "encode_error",
     "encode_idempotency_keys",
     "encode_frame",
+    "encode_migrate",
     "encode_subscribe",
     "encode_verdicts",
     "read_frame",
@@ -141,6 +187,8 @@ OP_SUBSCRIBE = 8
 OP_DELTA = 9
 OP_PROMOTE = 10
 OP_ADD_IDEM = 11
+OP_SHARD_MAP = 12
+OP_MIGRATE = 13
 
 STATUS_OK = 0
 STATUS_ERR = 1
@@ -149,6 +197,21 @@ _KNOWN_OPS = frozenset((
     OP_PING, OP_ADD, OP_QUERY, OP_QUERY_MULTI,
     OP_SNAPSHOT, OP_RESTORE, OP_STATS,
     OP_SUBSCRIBE, OP_DELTA, OP_PROMOTE, OP_ADD_IDEM,
+    OP_SHARD_MAP, OP_MIGRATE,
+))
+
+# --- migration protocol actions (first byte of a MIGRATE payload) -----
+MIGRATE_BEGIN = 0
+MIGRATE_DELTA = 1
+MIGRATE_KEYS = 2
+MIGRATE_END = 3
+MIGRATE_INSTALL_REPLACE = 4
+MIGRATE_INSTALL_MERGE = 5
+MIGRATE_INSTALL_KEYS = 6
+
+_MIGRATE_ACTIONS = frozenset((
+    MIGRATE_BEGIN, MIGRATE_DELTA, MIGRATE_KEYS, MIGRATE_END,
+    MIGRATE_INSTALL_REPLACE, MIGRATE_INSTALL_MERGE, MIGRATE_INSTALL_KEYS,
 ))
 
 # --- replication delta kinds and shard-entry apply modes --------------
@@ -597,6 +660,82 @@ def decode_delta(
         raise ProtocolError(
             "%d trailing bytes after shard delta" % (len(body) - cursor))
     return epoch, None, entries
+
+
+# ----------------------------------------------------------------------
+# Cluster migration (MIGRATE)
+# ----------------------------------------------------------------------
+_MIGRATE_HEAD = struct.Struct("!BI")     # action + shard id
+
+
+def encode_migrate(action: int, shard_id: int, body: bytes = b"") -> bytes:
+    """MIGRATE payload: ``u8 action, u32 shard_id`` + action body.
+
+    The body is a shard snapshot blob (``INSTALL_REPLACE``), journalled
+    write batches (``INSTALL_MERGE``), an idempotency-key table
+    (``INSTALL_KEYS``) or empty (the source-side actions).
+    """
+    if action not in _MIGRATE_ACTIONS:
+        raise ProtocolError("unknown MIGRATE action %d" % action)
+    return _MIGRATE_HEAD.pack(action, shard_id) + body
+
+
+def decode_migrate(payload: bytes) -> Tuple[int, int, bytes]:
+    """Invert :func:`encode_migrate`: ``(action, shard_id, body)``."""
+    if len(payload) < _MIGRATE_HEAD.size:
+        raise ProtocolError("MIGRATE payload truncated inside its header")
+    action, shard_id = _MIGRATE_HEAD.unpack_from(payload)
+    if action not in _MIGRATE_ACTIONS:
+        raise ProtocolError("unknown MIGRATE action %d" % action)
+    return action, shard_id, payload[_MIGRATE_HEAD.size:]
+
+
+def encode_element_batches(
+    batches: Sequence[Tuple[Sequence[ElementLike], Optional[Sequence[int]]]],
+) -> bytes:
+    """Encode a sequence of ``(elements, counts-or-None)`` write batches.
+
+    Layout: ``u32 n_batches`` then per batch ``u32 length`` + an
+    :func:`encode_elements` block.  This is the migration journal's wire
+    shape: each journalled write ships with its own counts vector (or
+    none), so the target replays the exact write stream through
+    ``add_batch`` — counts-carrying and countless writes never merge.
+    """
+    parts = [_U32.pack(len(batches))]
+    for elements, counts in batches:
+        block = encode_elements(elements, counts)
+        parts.append(_U32.pack(len(block)))
+        parts.append(block)
+    return b"".join(parts)
+
+
+def decode_element_batches(
+    payload: bytes,
+) -> List[Tuple[List[bytes], Optional[List[int]]]]:
+    """Invert :func:`encode_element_batches`."""
+    if len(payload) < 4:
+        raise ProtocolError("batch sequence truncated inside its count")
+    (count,) = _U32.unpack_from(payload)
+    cursor = 4
+    batches: List[Tuple[List[bytes], Optional[List[int]]]] = []
+    for _ in range(count):
+        if cursor + 4 > len(payload):
+            raise ProtocolError(
+                "batch sequence truncated: %d batches promised, ran out "
+                "at batch %d" % (count, len(batches)))
+        (size,) = _U32.unpack_from(payload, cursor)
+        cursor += 4
+        if cursor + size > len(payload):
+            raise ProtocolError(
+                "batch %d declares %d bytes but only %d remain"
+                % (len(batches), size, len(payload) - cursor))
+        batches.append(decode_elements(payload[cursor : cursor + size]))
+        cursor += size
+    if cursor != len(payload):
+        raise ProtocolError(
+            "%d trailing bytes after batch sequence"
+            % (len(payload) - cursor))
+    return batches
 
 
 # ----------------------------------------------------------------------

@@ -351,6 +351,11 @@ class FilterService:
         #: duplicate racing its original parks here instead of entering
         #: the coalescer a second time.
         self._idem_inflight: dict = {}
+        #: Cluster membership, or ``None`` for a standalone node.  Set
+        #: by :meth:`repro.cluster.node.ClusterState.attach`; when
+        #: present, every element-carrying op is ownership-checked and
+        #: the SHARD_MAP / MIGRATE ops are delegated to it.
+        self.cluster = None
         self._inflight = 0
         self._connections: set = set()
         self._query = _Coalescer(self, self._run_query_batch)
@@ -398,6 +403,8 @@ class FilterService:
             },
             "counters": self.counters.as_dict(),
             "replication": self._replication_stats(),
+            "cluster": (self.cluster.stats_dict()
+                        if self.cluster is not None else None),
             "access": access_stats_dict(target.memory.stats),
         }
 
@@ -433,6 +440,20 @@ class FilterService:
         if self.on_write is not None:
             self.on_write(elements, counts)
         return [None] * len(elements)
+
+    def flush_pending(self) -> None:
+        """Force-flush every coalescer immediately (synchronously).
+
+        The migration protocol's exactness hinge: a write admitted
+        before an ownership flip may still be parked in the add
+        coalescer when the coordinator drains the migration journal.
+        Flushing here applies (and journals) it first, so the drained
+        journal is complete; queued reads flush too, answering from the
+        still-complete shard copy before it is retired.
+        """
+        self._add._flush()
+        self._query._flush()
+        self._query_multi._flush()
 
     # --- scalar fallbacks (max_batch=1: the uncoalesced baseline) -----
     def _scalar_query(self, elements):
@@ -599,10 +620,30 @@ class FilterService:
                     % (self.replica.epoch,
                        getattr(self._target, "n_items", 0))).encode("utf-8")
 
+        if op == protocol.OP_SHARD_MAP:
+            if self.cluster is None:
+                raise UnsupportedOperationError(
+                    "this server is not a cluster node; start it via "
+                    "python -m repro.cluster serve to install a shard "
+                    "map")
+            return self.cluster.handle_shard_map(payload)
+
+        if op == protocol.OP_MIGRATE:
+            if self.cluster is None:
+                raise UnsupportedOperationError(
+                    "this server is not a cluster node; MIGRATE only "
+                    "applies under an installed shard map")
+            return self.cluster.handle_migrate(payload)
+
         if op == protocol.OP_ADD_IDEM:
             return await self._apply_add_idem(payload)
 
         elements, counts = protocol.decode_elements(payload)
+        if self.cluster is not None:
+            # The ownership contract: refuse (typed WrongOwnerError, so
+            # the client refreshes its map), never silently serve an
+            # element from a shard this node does not own.
+            self.cluster.check_elements(elements)
 
         if op == protocol.OP_ADD:
             if self.replica.role == "standby":
@@ -662,6 +703,8 @@ class FilterService:
         """
         client_id, write_id, elements, counts = (
             protocol.decode_add_idem(payload))
+        if self.cluster is not None:
+            self.cluster.check_elements(elements)
         if self.replica.role == "standby":
             raise StandbyReadOnlyError(
                 "this server is a standby following a primary; writes "

@@ -3,8 +3,10 @@
 A fleet of filters only behaves like one big filter if every element is
 routed to the *same* shard on insert and on query, on every node, for
 the lifetime of the deployment.  :class:`ShardRouter` pins that mapping
-to a seeded routing hash — any registered family kind, BLAKE2b lanes by
-default: ``shard(e) = h_route(e) % n_shards``, with the routing hash
+to a seeded routing hash — any registered family kind, the vetted
+vectorised ``vector64`` mixers by default (statistically screened
+against BLAKE2b by the hash-vetting harness; see ``BENCH_hash.json``):
+``shard(e) = h_route(e) % n_shards``, with the routing hash
 drawn from its **own** family so routing decisions stay statistically
 independent of the probe positions inside each shard.
 
@@ -32,7 +34,7 @@ DEFAULT_ROUTER_SEED = 0x5A17
 
 
 class ShardRouter:
-    """Deterministic element → shard mapping via a seeded BLAKE2b hash.
+    """Deterministic element → shard mapping via a seeded routing hash.
 
     Args:
         n_shards: number of shards in the store.
@@ -40,10 +42,11 @@ class ShardRouter:
             ``(n_shards, family_kind, seed)`` route identically — the
             compatibility unit for store merges and snapshot restores.
         family_kind: registered hash-family kind for the routing hash
-            (:data:`repro.hashing.FAMILY_KINDS`); BLAKE2b lanes by
-            default, ``"vector64"`` for a fully vectorised routing
-            pass.  Persisted in ``SHBS`` containers so restored stores
-            route identically.
+            (:data:`repro.hashing.FAMILY_KINDS`); the fully vectorised
+            ``"vector64"`` mixers by default, ``"blake2b"`` for the
+            cryptographic lanes.  Persisted in ``SHBS`` containers so
+            restored stores route identically (legacy blobs without
+            the field default to ``"blake2b"``).
 
     Example:
         >>> router = ShardRouter(n_shards=4)
@@ -52,7 +55,7 @@ class ShardRouter:
     """
 
     def __init__(self, n_shards: int, seed: int = DEFAULT_ROUTER_SEED,
-                 family_kind: str = "blake2b"):
+                 family_kind: str = "vector64"):
         require_positive("n_shards", n_shards)
         require_non_negative("seed", seed)
         self._n_shards = n_shards

@@ -1,0 +1,109 @@
+"""The ``python -m repro.cluster`` entry points.
+
+``bootstrap`` and ``drill`` run for real (the drill boots its own
+in-process cluster); ``status``/``reshard`` error paths run against
+dead endpoints so the operator-facing failure modes stay typed and
+non-zero.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.__main__ import build_parser, main
+from repro.cluster.shardmap import ShardMap
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv, command in [
+            (["bootstrap", "--node", "a:1"], "bootstrap"),
+            (["serve", "--map", "m.json", "--self", "a:1"], "serve"),
+            (["status", "--map", "m.json"], "status"),
+            (["reshard", "--map", "m.json", "--shard", "0",
+              "--target", "b:2"], "reshard"),
+            (["drill"], "drill"),
+        ]:
+            assert parser.parse_args(argv).command == command
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["drill"])
+        assert args.nodes == 3
+        assert args.shards == 8
+        assert args.family == "vector64"
+        assert args.stall_budget == 5.0
+
+    def test_serve_structure_is_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--map", "m", "--self", "a:1",
+                 "--structure", "btree"])
+
+
+class TestBootstrap:
+    def test_writes_a_loadable_map(self, tmp_path, capsys):
+        path = tmp_path / "map.json"
+        code = main(["bootstrap", "--shards", "6",
+                     "--node", "127.0.0.1:4100",
+                     "--node", "127.0.0.1:4101",
+                     "--output", str(path)])
+        assert code == 0
+        shard_map = ShardMap.from_json(path.read_text())
+        assert shard_map.epoch == 1
+        assert shard_map.n_shards == 6
+        assert set(shard_map.nodes()) \
+            == {"127.0.0.1:4100", "127.0.0.1:4101"}
+
+    def test_prints_to_stdout_without_output(self, capsys):
+        assert main(["bootstrap", "--node", "127.0.0.1:4100"]) == 0
+        shard_map = ShardMap.from_json(capsys.readouterr().out)
+        assert shard_map.epoch == 1
+
+    def test_duplicate_nodes_refused(self, capsys):
+        code = main(["bootstrap", "--node", "a:1", "--node", "a:1"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDrillCommand:
+    def test_drill_passes_and_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "drill.json"
+        code = main(["drill", "--nodes", "2", "--shards", "4",
+                     "--m", "8192", "--members", "300", "--ops", "12",
+                     "--migrate-after", "4", "--per-request", "32",
+                     "--output", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["ok"]
+        assert report["mode"] == "in-process"
+        assert "drill OK" in capsys.readouterr().out
+
+    def test_external_requires_map(self):
+        with pytest.raises(SystemExit):
+            main(["drill", "--external"])
+
+
+class TestOperatorErrorPaths:
+    def test_status_with_dead_nodes_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "map.json"
+        main(["bootstrap", "--shards", "2", "--node", "127.0.0.1:9",
+              "--output", str(path)])
+        capsys.readouterr()  # drop the bootstrap confirmation line
+        code = main(["status", "--map", str(path),
+                     "--connect-timeout", "0.2"])
+        assert code == 1
+        # Unreachable nodes surface as error entries, not a crash.
+        payload = json.loads(capsys.readouterr().out)
+        assert "error" in payload["nodes"]["127.0.0.1:9"]
+
+    def test_reshard_against_dead_cluster_errors(self, tmp_path, capsys):
+        path = tmp_path / "map.json"
+        main(["bootstrap", "--shards", "2", "--node", "127.0.0.1:9",
+              "--node", "127.0.0.1:10", "--output", str(path)])
+        code = main(["reshard", "--map", str(path), "--shard", "0",
+                     "--target", "127.0.0.1:10",
+                     "--connect-timeout", "0.2"])
+        assert code == 1

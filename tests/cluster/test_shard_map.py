@@ -1,0 +1,198 @@
+"""Property suite for the versioned shard map.
+
+Hypothesis drives randomized split/merge/drain sequences (every
+reshape is a :meth:`ShardMap.move`) and checks the structural
+invariants the cluster's correctness rests on: ownership is always a
+total partition of the shard ids, epochs only move forward, and
+serialisation round-trips exactly.  The installation rules — stale
+epochs refused, identical same-epoch maps acked, conflicting
+same-epoch maps refused as split-brain — are exercised against a real
+:class:`ClusterState`.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.node import ClusterState
+from repro.cluster.shardmap import ShardMap, bootstrap_map
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    StaleShardMapError,
+)
+
+ENDPOINT_POOL = tuple("10.0.0.%d:4000" % i for i in range(1, 9))
+
+
+def endpoints_strategy(min_size=1, max_size=4):
+    return st.lists(st.sampled_from(ENDPOINT_POOL), min_size=min_size,
+                    max_size=max_size, unique=True)
+
+
+@st.composite
+def map_with_moves(draw):
+    """A bootstrap map plus a random reshape sequence applied to it."""
+    n_shards = draw(st.integers(min_value=1, max_value=24))
+    nodes = draw(endpoints_strategy())
+    base = bootstrap_map(n_shards, nodes)
+    n_moves = draw(st.integers(min_value=0, max_value=6))
+    current = base
+    for _ in range(n_moves):
+        shard_ids = draw(st.lists(
+            st.integers(min_value=0, max_value=n_shards - 1),
+            min_size=1, max_size=n_shards))
+        target = draw(st.sampled_from(ENDPOINT_POOL))
+        current = current.move(shard_ids, target)
+    return base, current, n_moves
+
+
+class TestPartitionInvariant:
+    @given(map_with_moves())
+    @settings(max_examples=60, deadline=None)
+    def test_ownership_is_a_total_partition(self, data):
+        _, shard_map, _ = data
+        claimed = [shard
+                   for endpoint in shard_map.nodes()
+                   for shard in shard_map.shards_of(endpoint)]
+        # Union covers every id exactly once: total and disjoint.
+        assert sorted(claimed) == list(range(shard_map.n_shards))
+        for shard_id in range(shard_map.n_shards):
+            assert shard_map.owner(shard_id) \
+                == shard_map.assignments[shard_id]
+
+    @given(map_with_moves())
+    @settings(max_examples=60, deadline=None)
+    def test_epochs_only_move_forward(self, data):
+        base, shard_map, n_moves = data
+        assert base.epoch == 1
+        assert shard_map.epoch == 1 + n_moves
+        assert base.same_cluster(shard_map)
+
+    @given(map_with_moves())
+    @settings(max_examples=60, deadline=None)
+    def test_serialisation_round_trips(self, data):
+        _, shard_map, _ = data
+        assert ShardMap.from_json(shard_map.to_json()) == shard_map
+        assert ShardMap.from_bytes(shard_map.to_bytes()) == shard_map
+
+    @given(map_with_moves())
+    @settings(max_examples=40, deadline=None)
+    def test_move_is_pure(self, data):
+        _, shard_map, _ = data
+        before = tuple(shard_map.assignments)
+        successor = shard_map.move([0], ENDPOINT_POOL[0])
+        assert shard_map.assignments == before
+        assert successor.owner(0) == ENDPOINT_POOL[0]
+        assert successor.epoch == shard_map.epoch + 1
+
+
+class TestInstallationRules:
+    def setup_method(self):
+        self.base = bootstrap_map(8, list(ENDPOINT_POOL[:3]))
+        self.state = ClusterState(self.base, ENDPOINT_POOL[0])
+
+    def test_get_returns_installed_map(self):
+        assert ShardMap.from_bytes(
+            self.state.handle_shard_map(b"")) == self.base
+
+    def test_newer_epoch_installs(self):
+        successor = self.base.move([0], ENDPOINT_POOL[1])
+        self.state.handle_shard_map(successor.to_bytes())
+        assert self.state.map == successor
+        assert 0 not in self.state.owned_shards
+
+    def test_stale_epoch_refused(self):
+        successor = self.base.move([0], ENDPOINT_POOL[1])
+        self.state.handle_shard_map(successor.to_bytes())
+        with pytest.raises(StaleShardMapError):
+            self.state.handle_shard_map(self.base.to_bytes())
+
+    def test_identical_same_epoch_acked(self):
+        answer = self.state.handle_shard_map(self.base.to_bytes())
+        assert ShardMap.from_bytes(answer) == self.base
+        assert self.state.counters["maps_installed"] == 0
+
+    def test_conflicting_same_epoch_refused_as_split_brain(self):
+        conflicting = ShardMap(
+            epoch=self.base.epoch,
+            assignments=tuple(reversed(self.base.assignments)),
+            router_seed=self.base.router_seed,
+            router_family=self.base.router_family)
+        with pytest.raises(StaleShardMapError):
+            self.state.handle_shard_map(conflicting.to_bytes())
+
+    def test_foreign_cluster_refused(self):
+        foreign = bootstrap_map(8, list(ENDPOINT_POOL[:3]),
+                                router_seed=self.base.router_seed + 1)
+        with pytest.raises(ConfigurationError):
+            self.state.handle_shard_map(foreign.to_bytes())
+
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_randomized_install_sequences_end_at_max_epoch(self, moves):
+        state = ClusterState(self.base, ENDPOINT_POOL[0])
+        current = self.base
+        history = [current]
+        for i in range(moves):
+            current = current.move(
+                [i % current.n_shards],
+                ENDPOINT_POOL[i % len(ENDPOINT_POOL)])
+            history.append(current)
+        state.handle_shard_map(current.to_bytes())
+        for old in history[:-1]:
+            with pytest.raises(StaleShardMapError):
+                state.handle_shard_map(old.to_bytes())
+        assert state.map.epoch == current.epoch
+
+
+class TestValidation:
+    def test_epoch_below_one_refused(self):
+        with pytest.raises(ConfigurationError):
+            ShardMap(epoch=0, assignments=(ENDPOINT_POOL[0],))
+
+    def test_empty_assignments_refused(self):
+        with pytest.raises(ConfigurationError):
+            ShardMap(epoch=1, assignments=())
+
+    def test_malformed_endpoint_refused(self):
+        with pytest.raises(ProtocolError):
+            ShardMap(epoch=1, assignments=("no-port",))
+
+    def test_bootstrap_round_robin(self):
+        shard_map = bootstrap_map(5, list(ENDPOINT_POOL[:2]))
+        assert shard_map.assignments == (
+            ENDPOINT_POOL[0], ENDPOINT_POOL[1], ENDPOINT_POOL[0],
+            ENDPOINT_POOL[1], ENDPOINT_POOL[0])
+
+    def test_bootstrap_duplicate_endpoints_refused(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_map(4, [ENDPOINT_POOL[0], ENDPOINT_POOL[0]])
+
+    def test_move_out_of_range_refused(self):
+        shard_map = bootstrap_map(4, [ENDPOINT_POOL[0]])
+        with pytest.raises(ConfigurationError):
+            shard_map.move([4], ENDPOINT_POOL[1])
+
+    @pytest.mark.parametrize("text", [
+        "not json", "[]", '{"type": "other"}',
+        '{"type": "shard_map", "epoch": 1}',
+        '{"type": "shard_map", "epoch": 1, "router_seed": 0, '
+        '"router_family": "vector64", "assignments": [1, 2]}',
+    ])
+    def test_bad_json_refused(self, text):
+        with pytest.raises(ConfigurationError):
+            ShardMap.from_json(text)
+
+    def test_router_pin(self):
+        shard_map = bootstrap_map(6, [ENDPOINT_POOL[0]],
+                                  router_seed=7, router_family="blake2b")
+        router = shard_map.make_router()
+        assert router.n_shards == 6
+        assert router.seed == 7
+        assert router.family_kind == "blake2b"
+        assert not shard_map.same_cluster(
+            bootstrap_map(6, [ENDPOINT_POOL[0]], router_seed=8,
+                          router_family="blake2b"))

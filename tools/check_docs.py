@@ -13,7 +13,10 @@ references to things that aren't defined:
   pytest/pip whose flags the docs legitimately mention);
 * **protocol ops**: every ``OP_NAME`` token, and every UPPERCASE first
   cell of a wire-protocol markdown table row, must be a real opcode
-  constant in ``repro/service/protocol.py``.
+  constant in ``repro/service/protocol.py``;
+* **error types**: every ``SomethingError`` token must be a class
+  defined in ``repro/errors.py`` or a Python builtin — docs promising
+  a typed refusal must name a refusal that exists.
 
 Checked files: ``docs/*.md`` and ``README.md``.  Exit status 0 when
 clean, 1 with a ``file:line`` listing otherwise::
@@ -43,6 +46,8 @@ _DOC_OP = re.compile(r"\b(OP_[A-Z_]+)\b")
 #: A wire-table row: first cell is the op name (UPPERCASE + underscore),
 #: second cell is its numeric code.
 _TABLE_OP_ROW = re.compile(r"^\|\s*`?([A-Z][A-Z_]+)`?\s*\|\s*(\d+)\s*\|")
+_ERROR_CLASS = re.compile(r"^class\s+(\w+Error)\b", re.MULTILINE)
+_DOC_ERROR = re.compile(r"\b([A-Z][A-Za-z]*Error)\b")
 
 
 def known_flags() -> set:
@@ -64,6 +69,17 @@ def known_ops() -> set:
     return ops
 
 
+def known_errors() -> set:
+    import builtins
+
+    errors = set(
+        _ERROR_CLASS.findall(
+            (REPO / "src" / "repro" / "errors.py").read_text()))
+    errors.update(name for name in dir(builtins)
+                  if name.endswith("Error"))
+    return errors
+
+
 def doc_files() -> list:
     docs = sorted((REPO / "docs").glob("*.md")) if (
         REPO / "docs").is_dir() else []
@@ -76,6 +92,7 @@ def doc_files() -> list:
 def check() -> list:
     flags = known_flags()
     ops = known_ops()
+    errors = known_errors()
     problems = []
     for path in doc_files():
         rel = path.relative_to(REPO)
@@ -89,6 +106,11 @@ def check() -> list:
                 if name not in ops:
                     problems.append(
                         "%s:%d: unknown protocol op %s"
+                        % (rel, lineno, name))
+            for name in _DOC_ERROR.findall(line):
+                if name not in errors:
+                    problems.append(
+                        "%s:%d: unknown error type %s"
                         % (rel, lineno, name))
             row = _TABLE_OP_ROW.match(line.strip())
             if row and row.group(1) not in ops:
@@ -107,8 +129,10 @@ def main() -> int:
         for problem in problems:
             print("  " + problem, file=sys.stderr)
         return 1
-    print("docs consistent: %d file(s), %d known flags, %d known ops"
-          % (len(docs), len(known_flags()), len(known_ops())))
+    print("docs consistent: %d file(s), %d known flags, %d known ops, "
+          "%d known error types"
+          % (len(docs), len(known_flags()), len(known_ops()),
+             len(known_errors())))
     return 0
 
 
