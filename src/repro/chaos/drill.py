@@ -39,6 +39,7 @@ import numpy as np
 from repro.chaos.faults import FaultSchedule, default_drill_schedule
 from repro.chaos.proxy import ChaosProxy
 from repro.core.membership import ShiftingBloomFilter
+from repro.obs.metrics import Histogram
 from repro.replication.failover import FailoverClient
 from repro.replication.replicator import (
     ReplicatedFilterService,
@@ -152,6 +153,10 @@ async def run_drill(config: DrillConfig = DrillConfig()) -> dict:
     ops_run = 0
     slowest_op_s = 0.0
     deadline_violations = 0
+    # Full per-op latency distribution under faults — the report's
+    # histogram shares the live METRICS format, so drill artifacts and
+    # scrapes merge/compare with the same tooling.
+    op_latency = Histogram()
     op_budget = config.op_timeout + config.failover_budget
     try:
         for kind, batch in workload.op_sequence():
@@ -167,6 +172,7 @@ async def run_drill(config: DrillConfig = DrillConfig()) -> dict:
                 wrong_verdicts += int(np.sum(verdicts != expected))
             elapsed = time.monotonic() - start
             ops_run += 1
+            op_latency.observe(elapsed)
             slowest_op_s = max(slowest_op_s, elapsed)
             # Shipping rides inside the add's timing window; it is part
             # of what the op budget must absorb under faults.
@@ -205,6 +211,7 @@ async def run_drill(config: DrillConfig = DrillConfig()) -> dict:
             "slowest_op_s": slowest_op_s,
             "op_budget_s": op_budget,
         },
+        "op_latency": op_latency.to_dict(),
         "client": client.counters_dict(),
         "server": {
             "primary": server_counters,

@@ -176,7 +176,10 @@ class ChaosProxy:
                     if writer.can_write_eof():
                         writer.write_eof()
                 return
-            request_id, code, payload = frame
+            # The trace id (if any) is carried through every fault kind
+            # below: a storm must never strip a request's trace — the
+            # whole point of tracing is explaining faulted paths.
+            request_id, code, payload, trace_id = frame
             if direction == "c2s":
                 op_code: Optional[int] = code
                 conn.op_by_id[request_id] = code
@@ -190,26 +193,30 @@ class ChaosProxy:
                 continue
             if fired is None:
                 await self._forward(conn, writer, request_id, code,
-                                    payload)
+                                    payload, trace_id)
                 continue
             spec, delay_s = fired
             done = await self._apply(conn, direction, writer, spec,
-                                     delay_s, request_id, code, payload)
+                                     delay_s, request_id, code, payload,
+                                     trace_id)
             if done:
                 return
 
     async def _apply(self, conn: _Connection, direction: str,
                      writer: asyncio.StreamWriter, spec: FaultSpec,
                      delay_s: float, request_id: int, code: int,
-                     payload: bytes) -> bool:
+                     payload: bytes,
+                     trace_id: Optional[int] = None) -> bool:
         """Apply one fired fault; ``True`` means this pump is finished."""
         if spec.kind == "latency":
             if delay_s > 0:
                 await asyncio.sleep(delay_s)
-            await self._forward(conn, writer, request_id, code, payload)
+            await self._forward(conn, writer, request_id, code, payload,
+                                trace_id)
             return False
         if spec.kind == "throttle":
-            encoded = protocol.encode_frame(request_id, code, payload)
+            encoded = protocol.encode_frame(request_id, code, payload,
+                                            trace_id)
             interval = _THROTTLE_CHUNK / (spec.rate_kbps * 1024.0)
             try:
                 # Pace *before* each chunk: the bytes arrive at the
@@ -230,7 +237,8 @@ class ChaosProxy:
             self.frames_dropped += 1
             return False
         if spec.kind == "truncate":
-            encoded = protocol.encode_frame(request_id, code, payload)
+            encoded = protocol.encode_frame(request_id, code, payload,
+                                            trace_id)
             cut = min(len(encoded), 4 + _TRUNCATE_BODY_BYTES)
             with contextlib.suppress(ConnectionError, OSError):
                 writer.write(encoded[:cut])
@@ -245,11 +253,13 @@ class ChaosProxy:
                 for i in range(min(spec.flip_bytes, len(mutated))):
                     mutated[i] ^= 0xFF
                 await self._forward(conn, writer, request_id, code,
-                                    bytes(mutated))
+                                    bytes(mutated), trace_id)
             else:
-                # No payload to flip: corrupt the code byte instead.
+                # No payload to flip: corrupt the code byte instead
+                # (low seven bits only, so a flipped frame still parses
+                # as a frame rather than growing a phantom trace field).
                 await self._forward(conn, writer, request_id,
-                                    code ^ 0xFF, payload)
+                                    code ^ 0x7F, payload, trace_id)
             return False
         if spec.kind == "reset":
             self.frames_dropped += 1
@@ -260,9 +270,11 @@ class ChaosProxy:
 
     async def _forward(self, conn: _Connection,
                        writer: asyncio.StreamWriter, request_id: int,
-                       code: int, payload: bytes) -> None:
+                       code: int, payload: bytes,
+                       trace_id: Optional[int] = None) -> None:
         try:
-            writer.write(protocol.encode_frame(request_id, code, payload))
+            writer.write(protocol.encode_frame(request_id, code, payload,
+                                               trace_id))
             await writer.drain()
         except (ConnectionError, OSError):
             conn.abort()

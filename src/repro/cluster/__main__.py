@@ -43,7 +43,9 @@ from repro.cluster.shardmap import ShardMap, bootstrap_map
 from repro.core import ShiftingAssociationFilter, ShiftingBloomFilter
 from repro.errors import ReproError
 from repro.hashing.family import FAMILY_KINDS, make_family
+from repro.obs.tracing import Tracer
 from repro.replication.failover import parse_endpoint
+from repro.service.__main__ import open_trace_log
 from repro.service.server import CoalescerConfig, FilterService
 from repro.store.router import DEFAULT_ROUTER_SEED
 from repro.store.sharded import ShardedFilterStore
@@ -121,11 +123,14 @@ async def _serve(args: argparse.Namespace) -> int:
         # would build shards the cluster cannot migrate onto.
         args.family = shard_map.router_family
     store = _build_node_store(args, shard_map)
+    trace_sink = open_trace_log(args.trace_log)
+    tracer = (Tracer(component="node:%s" % args.self, sink=trace_sink)
+              if trace_sink is not None else None)
     service = FilterService(store, CoalescerConfig(
         max_batch=args.max_batch,
         max_delay_us=args.max_delay_us,
         max_inflight=args.max_inflight,
-    ))
+    ), tracer=tracer)
     ClusterState(shard_map, args.self).attach(service)
     host, port = parse_endpoint(args.self)
     server = await service.start(host, port)
@@ -263,6 +268,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="coalescer flush threshold; 1 = uncoalesced")
     serve.add_argument("--max-delay-us", type=int, default=200)
     serve.add_argument("--max-inflight", type=int, default=1024)
+    serve.add_argument("--trace-log", default="",
+                       help="append JSON span records of traced "
+                            "requests to this file (read back with "
+                            "python -m repro.obs tail)")
 
     status = sub.add_parser(
         "status", help="per-node STATS across the map")

@@ -29,6 +29,7 @@ the target before the flip.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import itertools
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -39,6 +40,9 @@ from repro._util import ElementLike, to_bytes
 from repro.cluster.shardmap import ShardMap
 from repro.core.association_types import AssociationAnswer
 from repro.errors import WrongOwnerError
+from repro.obs import names as metric_names
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.replication.failover import parse_endpoint
 from repro.retry import BackoffPolicy
 from repro.service.client import (
@@ -69,6 +73,14 @@ class ClusterClient:
             flips (each retry refreshes the map first).
         backoff: delay policy between those retries.
         seed: seeds the backoff jitter for replayable retry timing.
+        metrics: a :class:`~repro.obs.MetricsRegistry` to count requests,
+            retries and map refreshes in (``None`` = don't measure; the
+            plain ``counters`` dict is always maintained).
+        tracer: a :class:`~repro.obs.Tracer`; when set, every public
+            call mints a trace id, stamps it into each sub-request's
+            wire frames and emits ``client.request`` /
+            ``client.sub_request`` spans, so the whole fan-out is
+            reconstructable from span logs.
     """
 
     def __init__(
@@ -80,6 +92,8 @@ class ClusterClient:
         max_map_refreshes: int = 8,
         backoff: Optional[BackoffPolicy] = None,
         seed: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self._map = shard_map
         self._router = shard_map.make_router()
@@ -99,6 +113,20 @@ class ClusterClient:
             "map_refreshes": 0,
             "sub_requests": 0,
         }
+        registry = metrics if metrics is not None else MetricsRegistry(
+            enabled=False)
+        self.metrics = registry
+        self.tracer = tracer
+        self._m_reads = registry.counter(
+            metric_names.CLIENT_REQUESTS, kind="read")
+        self._m_writes = registry.counter(
+            metric_names.CLIENT_REQUESTS, kind="write")
+        self._m_subs = registry.counter(
+            metric_names.CLIENT_REQUESTS, kind="sub_request")
+        self._m_wrong_owner = registry.counter(
+            metric_names.CLIENT_RETRIES, reason="wrong_owner")
+        self._m_map_refreshes = registry.counter(
+            metric_names.CLIENT_MAP_REFRESHES)
 
     # ------------------------------------------------------------------
     # Map and connections
@@ -156,8 +184,23 @@ class ClusterClient:
                 raise last_error if last_error is not None else (
                     ConnectionError("no cluster node reachable"))
             self.counters["map_refreshes"] += 1
+            self._m_map_refreshes.inc()
             self._map = best
             return best
+
+    # ------------------------------------------------------------------
+    # Telemetry helpers
+    # ------------------------------------------------------------------
+    def _new_trace(self) -> Optional[int]:
+        """A trace id for one public call (``None`` when untraced)."""
+        if self.tracer is None:
+            return None
+        return self.tracer.new_trace_id()
+
+    def _span(self, name: str, trace_id: Optional[int], **fields):
+        if self.tracer is not None and trace_id is not None:
+            return self.tracer.span(name, trace_id, **fields)
+        return contextlib.nullcontext()
 
     # ------------------------------------------------------------------
     # Fan-out core
@@ -173,30 +216,38 @@ class ClusterClient:
             groups.setdefault(assignments[shard_id], []).append(pair)
         return groups
 
-    async def _scatter(self, pairs, submit, out, attempt: int = 0) -> None:
+    async def _scatter(self, pairs, submit, out, attempt: int = 0,
+                       trace_id: Optional[int] = None) -> None:
         """Fan ``pairs`` out per owner; re-split and retry on staleness.
 
-        *submit(conn, elements)* returns one result per element; results
-        land in ``out`` at each pair's slot, so the caller reassembles
-        request order for free.  A WRONG_OWNER refusal of a sub-batch
-        refreshes the map and recurses on just that sub-batch — other
-        owners' work is never repeated.
+        *submit(conn, elements, trace_id)* returns one result per
+        element; results land in ``out`` at each pair's slot, so the
+        caller reassembles request order for free.  A WRONG_OWNER
+        refusal of a sub-batch refreshes the map and recurses on just
+        that sub-batch — other owners' work is never repeated.
         """
         groups = self._group_by_owner(pairs)
 
         async def run(owner: str, group) -> None:
             self.counters["sub_requests"] += 1
+            self._m_subs.inc()
             try:
-                conn = await self._conn(owner)
-                results = await submit(conn, [e for _, e in group])
+                with self._span("client.sub_request", trace_id,
+                                owner=owner, n_elements=len(group),
+                                attempt=attempt):
+                    conn = await self._conn(owner)
+                    results = await submit(
+                        conn, [e for _, e in group], trace_id)
             except WrongOwnerError:
                 if attempt >= self._max_map_refreshes:
                     raise
                 self.counters["wrong_owner_retries"] += 1
+                self._m_wrong_owner.inc()
                 await asyncio.sleep(
                     self._backoff.delay(attempt, self._rng))
                 await self.refresh_map()
-                await self._scatter(group, submit, out, attempt + 1)
+                await self._scatter(group, submit, out, attempt + 1,
+                                    trace_id)
                 return
             for (slot, _), value in zip(group, results):
                 out[slot] = value
@@ -214,10 +265,15 @@ class ClusterClient:
             return np.zeros(0, dtype=bool)
         out: List[object] = [None] * len(data)
 
-        async def submit(conn: ServiceClient, chunk):
-            return list(await conn.query(chunk))
+        async def submit(conn: ServiceClient, chunk, trace_id):
+            return list(await conn.query(chunk, trace_id=trace_id))
 
-        await self._scatter(list(enumerate(data)), submit, out)
+        self._m_reads.inc()
+        trace_id = self._new_trace()
+        with self._span("client.request", trace_id, kind="query",
+                        n_elements=len(data)):
+            await self._scatter(list(enumerate(data)), submit, out,
+                                trace_id=trace_id)
         first = out[0]
         if isinstance(first, (bool, np.bool_)):
             return np.asarray(out, dtype=bool)
@@ -230,10 +286,15 @@ class ClusterClient:
         data = [to_bytes(e) for e in elements]
         out: List[object] = [None] * len(data)
 
-        async def submit(conn: ServiceClient, chunk):
-            return await conn.query_multi(chunk)
+        async def submit(conn: ServiceClient, chunk, trace_id):
+            return await conn.query_multi(chunk, trace_id=trace_id)
 
-        await self._scatter(list(enumerate(data)), submit, out)
+        self._m_reads.inc()
+        trace_id = self._new_trace()
+        with self._span("client.request", trace_id, kind="query_multi",
+                        n_elements=len(data)):
+            await self._scatter(list(enumerate(data)), submit, out,
+                                trace_id=trace_id)
         return out  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -254,35 +315,47 @@ class ClusterClient:
         count_by_slot = None if counts is None else dict(
             zip(range(len(data)), counts))
         applied: List[object] = [None] * len(data)
+        self._m_writes.inc()
+        trace_id = self._new_trace()
         # Writes need per-sub-batch idempotency keys and count slices,
         # so they use a dedicated scatter instead of `_scatter`.
-        await self._scatter_write(
-            list(enumerate(data)), count_by_slot, applied, 0)
+        with self._span("client.request", trace_id, kind="add",
+                        n_elements=len(data)):
+            await self._scatter_write(
+                list(enumerate(data)), count_by_slot, applied, 0,
+                trace_id)
         return sum(1 for v in applied if v is not None)
 
     async def _scatter_write(self, pairs, count_by_slot, applied,
-                             attempt: int) -> None:
+                             attempt: int,
+                             trace_id: Optional[int] = None) -> None:
         groups = self._group_by_owner(pairs)
 
         async def run(owner: str, group) -> None:
             self.counters["sub_requests"] += 1
+            self._m_subs.inc()
             chunk = [e for _, e in group]
             chunk_counts = None if count_by_slot is None else [
                 count_by_slot[slot] for slot, _ in group]
             write_id = next(self._write_seq)
             try:
-                conn = await self._conn(owner)
-                await conn.add_idem(
-                    self._client_id, write_id, chunk, chunk_counts)
+                with self._span("client.sub_request", trace_id,
+                                owner=owner, n_elements=len(group),
+                                attempt=attempt):
+                    conn = await self._conn(owner)
+                    await conn.add_idem(
+                        self._client_id, write_id, chunk, chunk_counts,
+                        trace_id=trace_id)
             except WrongOwnerError:
                 if attempt >= self._max_map_refreshes:
                     raise
                 self.counters["wrong_owner_retries"] += 1
+                self._m_wrong_owner.inc()
                 await asyncio.sleep(
                     self._backoff.delay(attempt, self._rng))
                 await self.refresh_map()
                 await self._scatter_write(
-                    group, count_by_slot, applied, attempt + 1)
+                    group, count_by_slot, applied, attempt + 1, trace_id)
                 return
             for slot, _ in group:
                 applied[slot] = True

@@ -46,6 +46,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.shardmap import ShardMap
 from repro.errors import ClusterError, ConfigurationError
+from repro.obs import names as metric_names
+from repro.obs.metrics import MetricsRegistry
 from repro.replication.failover import parse_endpoint
 from repro.service import protocol
 from repro.service.client import (
@@ -124,6 +126,7 @@ async def migrate_shard(
     connect_timeout: Optional[float] = DEFAULT_CONNECT_TIMEOUT,
     op_timeout: Optional[float] = DEFAULT_OP_TIMEOUT,
     catchup_rounds: int = DEFAULT_CATCHUP_ROUNDS,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Tuple[ShardMap, dict]:
     """Move *shard_id* to *target* live; returns (successor map, report).
 
@@ -131,7 +134,9 @@ async def migrate_shard(
     node's SHARD_MAP answer); the successor — epoch + 1, the shard
     owned by *target* — is installed fleet-wide before returning.  The
     report records per-phase element counts and the measured ownership
-    flip window.
+    flip window.  With *metrics*, the flip window lands in the
+    ``repro_migration_stall_seconds`` histogram and the completed move
+    bumps ``repro_migration_moves_total``.
     """
     parse_endpoint(target)
     source = shard_map.owner(shard_id)
@@ -193,6 +198,10 @@ async def migrate_shard(
                        if e not in (source, target)],
             connect_timeout=connect_timeout, op_timeout=op_timeout)
 
+        if metrics is not None:
+            metrics.histogram(metric_names.MIGRATION_STALL).observe(
+                flip_closed - flip_open)
+            metrics.counter(metric_names.MIGRATION_MOVES).inc()
         report = {
             "shard_id": shard_id,
             "source": source,

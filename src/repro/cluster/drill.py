@@ -43,6 +43,9 @@ from repro.cluster.shardmap import ShardMap, bootstrap_map
 from repro.core import ShiftingBloomFilter
 from repro.errors import ConfigurationError
 from repro.hashing.family import make_family
+from repro.obs import names as metric_names
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.replication.failover import parse_endpoint
 from repro.service.client import ServiceClient
 from repro.service.server import CoalescerConfig, FilterService
@@ -147,12 +150,15 @@ def _make_store(config: ClusterDrillConfig,
 async def start_local_cluster(
     config: ClusterDrillConfig,
     coalescer: Optional[CoalescerConfig] = None,
+    trace_sink=None,
 ) -> LocalCluster:
     """Boot ``config.n_nodes`` services on ephemeral localhost ports.
 
     Every node hosts a full-width store (unowned shards empty) and gets
     a :class:`ClusterState` attached; the returned map is the epoch-1
-    bootstrap over the actual bound ports.
+    bootstrap over the actual bound ports.  With *trace_sink* (any
+    :class:`~repro.obs.Tracer` sink) every node emits span records
+    there, components named by endpoint.
     """
     # Ports are unknown until bind, so boot first, then map, then
     # attach cluster state (services refuse nothing until attached).
@@ -168,8 +174,13 @@ async def start_local_cluster(
         server = await service.start("127.0.0.1", 0)
         services.append(service)
         servers.append(server)
-        endpoints.append(
-            "127.0.0.1:%d" % server.sockets[0].getsockname()[1])
+        endpoint = "127.0.0.1:%d" % server.sockets[0].getsockname()[1]
+        endpoints.append(endpoint)
+        if trace_sink is not None:
+            # The component name needs the bound port, so the tracer is
+            # attached after start; the service reads it per request.
+            service.tracer = Tracer(
+                component="node:%s" % endpoint, sink=trace_sink)
     shard_map = bootstrap_map(
         config.n_shards, endpoints,
         router_seed=config.router_seed, router_family=config.family)
@@ -220,11 +231,21 @@ def _pick_migration(shard_map: ShardMap,
     return hot, min(candidates, key=lambda e: load[e])
 
 
-async def run_cluster_drill_async(config: ClusterDrillConfig) -> dict:
-    """Run one seeded migration drill; returns the invariant report."""
+async def run_cluster_drill_async(
+    config: ClusterDrillConfig,
+    span_sink: Optional[List[dict]] = None,
+) -> dict:
+    """Run one seeded migration drill; returns the invariant report.
+
+    With *span_sink* (a list), every span record of the drill — the
+    client's, and in in-process mode every node's — is appended to it,
+    so a caller can :func:`~repro.obs.reconstruct` any request's full
+    client → node → coalescer path after the run.
+    """
+    spans: List[dict] = span_sink if span_sink is not None else []
     local: Optional[LocalCluster] = None
     if config.endpoints is None:
-        local = await start_local_cluster(config)
+        local = await start_local_cluster(config, trace_sink=spans)
         shard_map = local.shard_map
         mode = "in-process"
     else:
@@ -237,7 +258,10 @@ async def run_cluster_drill_async(config: ClusterDrillConfig) -> dict:
     absent = list(workload.absent)
     rng = random.Random(config.seed)
 
-    client = ClusterClient(shard_map, seed=config.seed)
+    registry = MetricsRegistry()
+    tracer = Tracer(component="client", sink=spans, seed=config.seed)
+    client = ClusterClient(shard_map, seed=config.seed,
+                           metrics=registry, tracer=tracer)
     migration_task: Optional[asyncio.Task] = None
     migration_window: List[float] = []  # [opened, closed]
     migration_report: Dict[str, object] = {}
@@ -247,7 +271,7 @@ async def run_cluster_drill_async(config: ClusterDrillConfig) -> dict:
         migration_window.append(time.monotonic())
         try:
             _, report = await migrate_shard(
-                client.shard_map, shard_id, target)
+                client.shard_map, shard_id, target, metrics=registry)
             migration_report.update(report)
         finally:
             migration_window.append(time.monotonic())
@@ -326,6 +350,17 @@ async def run_cluster_drill_async(config: ClusterDrillConfig) -> dict:
     max_latency = max((end - start for start, end, _ in op_log),
                       default=0.0)
 
+    # The report's latency sections share the live METRICS histogram
+    # format, so drill artifacts merge/compare with scrape tooling.
+    op_latency = registry.histogram(
+        metric_names.DRILL_OP_LATENCY, drill="cluster")
+    for start, end, _ in op_log:
+        op_latency.observe(end - start)
+    stall_latency = registry.histogram(
+        metric_names.DRILL_STALL, drill="cluster")
+    for dur in overlapping:
+        stall_latency.observe(dur)
+
     invariants = {
         "zero_wrong_verdicts": wrong_verdicts == 0 and sweep_wrong == 0,
         "zero_lost_or_duplicate_writes": (
@@ -351,6 +386,12 @@ async def run_cluster_drill_async(config: ClusterDrillConfig) -> dict:
         "writes_accounting": {
             "cluster_n_items": cluster_items,
             "reference_n_items": int(reference.n_items),
+        },
+        "op_latency": op_latency.to_dict(),
+        "stall_latency": stall_latency.to_dict(),
+        "tracing": {
+            "spans_recorded": len(spans),
+            "traces": len({r.get("trace") for r in spans}),
         },
         "epochs": epochs,
         "final_epoch": final_map.epoch,

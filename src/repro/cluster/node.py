@@ -37,6 +37,8 @@ import numpy as np
 
 from repro import persistence
 from repro.cluster.shardmap import ShardMap
+from repro.obs import names as metric_names
+from repro.obs.metrics import MetricsRegistry
 from repro.errors import (
     ConfigurationError,
     StaleShardMapError,
@@ -78,6 +80,12 @@ class ClusterState:
             "shards_installed": 0,
             "elements_caught_up": 0,
         }
+        # Re-resolved against the hosting service's registry in
+        # :meth:`attach`; null instruments until then.
+        _null = MetricsRegistry(enabled=False)
+        self._m_wrong_owner = _null.counter(metric_names.NODE_WRONG_OWNER)
+        self._m_maps_installed = _null.counter(
+            metric_names.NODE_MAPS_INSTALLED)
 
     def _mask_for(self, shard_map: ShardMap) -> np.ndarray:
         mask = np.zeros(shard_map.n_shards, dtype=bool)
@@ -114,6 +122,10 @@ class ClusterState:
                    self.map.router_seed, self.map.router_family))
         self._service = service
         service.cluster = self
+        self._m_wrong_owner = service.metrics.counter(
+            metric_names.NODE_WRONG_OWNER)
+        self._m_maps_installed = service.metrics.counter(
+            metric_names.NODE_MAPS_INSTALLED)
         prior = service.on_write
 
         def hook(elements: Sequence[bytes],
@@ -142,6 +154,7 @@ class ClusterState:
         bad = ~self._owned_mask[routed]
         if bad.any():
             self.counters["wrong_owner_rejections"] += 1
+            self._m_wrong_owner.inc()
             offending = sorted(set(int(s) for s in routed[bad]))
             raise WrongOwnerError(
                 "node %s does not own shard(s) %s at map epoch %d; "
@@ -174,6 +187,7 @@ class ClusterState:
         self.map = incoming
         self._owned_mask = self._mask_for(incoming)
         self.counters["maps_installed"] += 1
+        self._m_maps_installed.inc()
         return incoming.to_bytes()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,47 @@
+"""Unified telemetry for the serving stack: metrics, histograms, traces.
+
+Three pieces, all stdlib-only:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges and log-bucketed :class:`Histogram` s (p50/p90/p99/p999,
+  exactly mergeable across processes);
+* :mod:`repro.obs.tracing` — :class:`Tracer`: u64 trace ids stamped
+  into wire frames, span records as JSON log lines, and offline path
+  reconstruction;
+* :mod:`repro.obs.names` — the catalog of every metric name the stack
+  emits, cross-checked against ``docs/OPERATIONS.md`` by
+  ``tools/check_docs.py``.
+
+Scrape a live server with the ``METRICS`` wire op
+(:meth:`repro.service.client.ServiceClient.metrics`) or from a shell::
+
+    python -m repro.obs scrape --port 4000
+    python -m repro.obs tail --log node.log --last
+    python -m repro.obs top --port 4000 --rounds 3
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import (
+    Tracer,
+    format_trace_id,
+    parse_trace_id,
+    reconstruct,
+    render_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "format_trace_id",
+    "parse_trace_id",
+    "reconstruct",
+    "render_trace",
+]

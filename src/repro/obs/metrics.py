@@ -1,0 +1,434 @@
+"""Zero-dependency metrics primitives: counters, gauges, histograms.
+
+The serving stack (PR 3–7) measures itself with ad-hoc integer tallies
+(:class:`~repro.service.server.ServiceCounters`, per-client counter
+dicts) and hand-rolled ``time.monotonic()`` subtraction in the drills.
+None of that answers the questions a deployment actually asks: *what is
+p99 QUERY latency*, *how long do requests wait in the coalescer*, *how
+far behind is the standby* — distributions and live values, not lifetime
+sums.  This module is the missing primitive layer, built to the same
+house rules as the rest of the repo: stdlib only, no background threads,
+no global mutable state unless explicitly asked for.
+
+Three instrument kinds:
+
+* :class:`Counter` — a monotonic float/int tally (``inc``);
+* :class:`Gauge` — a point-in-time value, either ``set()`` explicitly or
+  backed by a zero-argument callable evaluated at scrape time (so
+  "current replication lag" never goes stale);
+* :class:`Histogram` — **log-bucketed**: observations land in power-of-
+  two buckets of a configurable base ``resolution``, so the whole
+  distribution is ~64 integers regardless of volume, quantile estimates
+  (p50/p90/p99/p999) are bounded by one bucket width (a factor of 2),
+  and two histograms — from two processes, or a drill artifact and a
+  live scrape — **merge exactly** by adding bucket counts.
+
+A :class:`MetricsRegistry` names and owns instruments.  Identity is
+``(name, sorted label items)``: asking twice returns the same object,
+which is what makes instrumentation sites cheap — resolve once, hold the
+reference.  A registry constructed with ``enabled=False`` hands out
+shared no-op instruments; the serve benchmark uses that to measure the
+true cost of instrumentation (the overhead gate in
+``benchmarks/bench_service.py``).
+
+Rendering: :meth:`MetricsRegistry.render_prometheus` emits the standard
+text exposition format (histograms as cumulative ``_bucket{le=...}``
+series); :meth:`MetricsRegistry.to_dict` emits JSON-ready dicts, and
+:func:`Histogram.from_dict` round-trips them — which is how drill
+reports and the ``METRICS`` wire op share one format.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.names import CATALOG as _catalog
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Hard cap on bucket index: resolution * 2**63 covers any observable
+#: value (for the 1 µs default, ~292k years of latency).
+_MAX_BUCKETS = 64
+
+#: Quantiles every histogram summary reports, in exposition order.
+_QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99),
+              ("p999", 0.999))
+
+
+class Counter:
+    """A monotonic tally.  ``inc()`` only goes up."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                "counters are monotonic; cannot inc by %r" % (amount,))
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value: set explicitly, or computed at scrape time.
+
+    ``set_fn`` installs a zero-argument callable evaluated on every
+    read, so gauges like "standby lag" or "requests in flight" track the
+    live quantity instead of the last time someone remembered to call
+    ``set()``.  A callable that raises yields ``nan`` rather than
+    failing the whole scrape.
+    """
+
+    __slots__ = ("_value", "_fn")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self._fn = None
+        self._value = value
+
+    def set_fn(self, fn: Callable[[], float]) -> None:
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            try:
+                return float(self._fn())
+            except Exception:
+                return float("nan")
+        return self._value
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Log-bucketed distribution with exact merge and bounded quantiles.
+
+    Bucket ``i`` holds observations in
+    ``(resolution * 2**(i-1), resolution * 2**i]`` (bucket 0 holds
+    everything at or below *resolution*, including zero).  The index is
+    one ``int.bit_length()`` on the hot path — no floats, no search —
+    which is what keeps ``observe`` cheap enough for per-request use.
+
+    *resolution* is the smallest distinguishable value: ``1e-6`` (the
+    default) gives microsecond floors for latencies in seconds; use
+    ``1.0`` for integer-valued distributions like batch sizes.
+    """
+
+    __slots__ = ("resolution", "count", "sum", "min", "max", "_buckets")
+
+    def __init__(self, resolution: float = 1e-6) -> None:
+        if resolution <= 0:
+            raise ValueError(
+                "histogram resolution must be > 0, got %r" % (resolution,))
+        self.resolution = resolution
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._buckets: List[int] = [0]
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= self.resolution:
+            index = 0
+        else:
+            # ceil(value / resolution) without an FP ceil: bit_length of
+            # the integer multiple, clamped to the fixed bucket range.
+            index = min(
+                int(math.ceil(value / self.resolution) - 1).bit_length(),
+                _MAX_BUCKETS - 1)
+        buckets = self._buckets
+        if index >= len(buckets):
+            buckets.extend([0] * (index + 1 - len(buckets)))
+        buckets[index] += 1
+
+    def bucket_upper_bound(self, index: int) -> float:
+        """The inclusive upper edge of bucket *index*."""
+        return self.resolution * (1 << index)
+
+    def quantile(self, q: float) -> float:
+        """The upper edge of the bucket holding the *q*-quantile.
+
+        An upper bound within one bucket width (2x) of the true value;
+        ``0.0`` when the histogram is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1], got %r" % (q,))
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, n in enumerate(self._buckets):
+            seen += n
+            if seen >= rank:
+                # Never report a bound beyond the observed extreme: the
+                # top bucket's edge can be up to 2x the true max.
+                return min(self.bucket_upper_bound(index), self.max)
+        return self.max
+
+    def merge(self, other: "Histogram") -> None:
+        """Add *other*'s observations into this histogram, exactly."""
+        if other.resolution != self.resolution:
+            raise ValueError(
+                "cannot merge histograms with resolutions %g and %g"
+                % (self.resolution, other.resolution))
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        if len(other._buckets) > len(self._buckets):
+            self._buckets.extend(
+                [0] * (len(other._buckets) - len(self._buckets)))
+        for index, n in enumerate(other._buckets):
+            self._buckets[index] += n
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary + full buckets (drill-report format)."""
+        out = {
+            "type": "histogram",
+            "resolution": self.resolution,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {str(i): n for i, n in enumerate(self._buckets)
+                        if n},
+        }
+        for label, q in _QUANTILES:
+            out[label] = self.quantile(q)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        """Rebuild a histogram from :meth:`to_dict` output (mergeable)."""
+        hist = cls(resolution=data["resolution"])
+        hist.count = int(data["count"])
+        hist.sum = float(data["sum"])
+        hist.min = math.inf if data.get("min") is None else float(
+            data["min"])
+        hist.max = -math.inf if data.get("max") is None else float(
+            data["max"])
+        if data["buckets"]:
+            top = max(int(i) for i in data["buckets"])
+            hist._buckets = [0] * (top + 1)
+            for index, n in data["buckets"].items():
+                hist._buckets[int(index)] = int(n)
+        return hist
+
+
+class _NullCounter(Counter):
+    """Shared no-op counter handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_fn(self, fn: Callable[[], float]) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+def _label_key(labels: dict) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: Tuple[Tuple[str, str], ...]) -> str:
+    if not key:
+        return ""
+    return "{%s}" % ",".join(
+        '%s="%s"' % (k, v.replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in key)
+
+
+class MetricsRegistry:
+    """Named, labelled instruments with get-or-create identity.
+
+    ``counter``/``gauge``/``histogram`` return the same object for the
+    same ``(name, labels)``, so call sites may either resolve once and
+    hold the instrument or look it up per use.  A *disabled* registry
+    (``enabled=False``) returns shared no-op instruments and renders
+    empty — the measured-zero baseline for the instrumentation
+    overhead gate.
+
+    Names should come from the catalog in :mod:`repro.obs.names`; the
+    registry does not enforce that (tests register scratch names), but
+    the docs checker and the schema-stability test do.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        #: name -> (kind, help, {label_key -> instrument})
+        self._families: "Dict[str, tuple]" = {}
+
+    def _get(self, kind: str, name: str, help_text: str, labels: dict):
+        if not self.enabled:
+            return {"counter": _NULL_COUNTER, "gauge": _NULL_GAUGE,
+                    "histogram": _NULL_HISTOGRAM}[kind]
+        family = self._families.get(name)
+        if family is None:
+            if not help_text:
+                # Catalogued names carry their help text with them, so
+                # call sites never repeat (or drift from) the docs.
+                help_text = _catalog.get(name, {}).get("help", "")
+            family = (kind, help_text, {})
+            self._families[name] = family
+        elif family[0] != kind:
+            raise ValueError(
+                "metric %r already registered as a %s, asked for a %s"
+                % (name, family[0], kind))
+        key = _label_key(labels)
+        instrument = family[2].get(key)
+        if instrument is None:
+            instrument = _TYPES[kind]()
+            family[2][key] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get("counter", name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get("gauge", name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  resolution: float = 1e-6, **labels) -> Histogram:
+        hist = self._get("histogram", name, help, labels)
+        if (not isinstance(hist, _NullHistogram)
+                and hist.count == 0 and hist.resolution != resolution):
+            hist.resolution = resolution
+        return hist
+
+    def names(self) -> List[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._families)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot: ``{"metrics": [series...]}``.
+
+        One entry per ``(name, labels)`` series; histogram entries carry
+        the full mergeable bucket dict (see :meth:`Histogram.to_dict`).
+        """
+        series = []
+        for name in sorted(self._families):
+            kind, _, children = self._families[name]
+            for key in sorted(children):
+                entry = {"name": name, "labels": dict(key)}
+                entry.update(children[key].to_dict())
+                series.append(entry)
+        return {"metrics": series}
+
+    def render_prometheus(self) -> str:
+        """The text exposition format, one block per metric family."""
+        lines: List[str] = []
+        for name in sorted(self._families):
+            kind, help_text, children = self._families[name]
+            if help_text:
+                lines.append("# HELP %s %s" % (name, help_text))
+            lines.append("# TYPE %s %s" % (name, kind))
+            for key in sorted(children):
+                instrument = children[key]
+                if kind == "histogram":
+                    lines.extend(
+                        self._render_histogram(name, key, instrument))
+                else:
+                    lines.append("%s%s %s" % (
+                        name, _render_labels(key),
+                        _format_value(instrument.value)))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @staticmethod
+    def _render_histogram(name, key, hist) -> List[str]:
+        lines = []
+        cumulative = 0
+        for index, n in enumerate(hist._buckets):
+            if not n:
+                continue
+            cumulative += n
+            le = _format_value(hist.bucket_upper_bound(index))
+            lines.append('%s_bucket%s %d' % (
+                name,
+                _render_labels(key + (("le", le),)),
+                cumulative))
+        lines.append('%s_bucket%s %d' % (
+            name, _render_labels(key + (("le", "+Inf"),)), hist.count))
+        lines.append("%s_sum%s %s" % (
+            name, _render_labels(key), _format_value(hist.sum)))
+        lines.append("%s_count%s %d" % (
+            name, _render_labels(key), hist.count))
+        return lines
+
+    # ------------------------------------------------------------------
+    # Merge (cross-process aggregation)
+    # ------------------------------------------------------------------
+    def merge_dict(self, snapshot: dict) -> None:
+        """Fold a :meth:`to_dict` snapshot from another process in.
+
+        Counters and histograms add; gauges take the incoming value
+        (last write wins — a merged gauge is a point sample anyway).
+        """
+        for entry in snapshot.get("metrics", ()):
+            labels = entry.get("labels", {})
+            kind = entry["type"]
+            if kind == "counter":
+                self.counter(entry["name"], **labels).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(entry["name"], **labels).set(entry["value"])
+            else:
+                hist = self.histogram(
+                    entry["name"], resolution=entry["resolution"],
+                    **labels)
+                hist.merge(Histogram.from_dict(entry))
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number formatting: integers stay integral."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)

@@ -1,0 +1,101 @@
+"""The metric-name catalog: every metric the stack emits, in one place.
+
+Instrumentation sites import these constants instead of typing string
+literals, so a metric cannot be renamed in code without this file — and
+therefore the docs table in ``docs/OPERATIONS.md`` — changing with it.
+``tools/check_docs.py`` parses this module *textually* (the ``"name":
+_spec(...)`` lines below follow a fixed shape on purpose; the checker
+runs on bare Python with no imports) and cross-checks the documented
+table both ways: every documented metric must exist here, and every
+catalog entry must be documented.
+
+The schema-stability test (``tests/obs/test_schema_stability.py``)
+pins the catalog keys as a golden set: renaming or dropping a metric
+breaks scrapers, so it must fail a test, not slip through review.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = ["CATALOG", "spec_for"]
+
+
+def _spec(kind: str, labels: Tuple[str, ...], subsystem: str,
+          help_text: str) -> dict:
+    return {"type": kind, "labels": labels, "subsystem": subsystem,
+            "help": help_text}
+
+
+# --- server request path ----------------------------------------------
+SERVER_REQUESTS = "repro_server_requests_total"
+SERVER_ERRORS = "repro_server_errors_total"
+SERVER_OP_LATENCY = "repro_server_op_latency_seconds"
+SERVER_OP_ELEMENTS = "repro_server_op_elements"
+SERVER_INFLIGHT = "repro_server_inflight"
+SERVER_SHEDS = "repro_server_sheds_total"
+SERVER_DEDUP_HITS = "repro_server_dedup_hits_total"
+
+# --- coalescer --------------------------------------------------------
+COALESCER_BATCH_ELEMENTS = "repro_coalescer_batch_elements"
+COALESCER_WAIT = "repro_coalescer_wait_seconds"
+COALESCER_FLUSHES = "repro_coalescer_flushes_total"
+
+# --- replication ------------------------------------------------------
+REPLICATION_LAG = "repro_replication_lag_epochs"
+REPLICATION_SHIPS = "repro_replication_ships_total"
+REPLICATION_BYTES = "repro_replication_bytes_sent_total"
+
+# --- cluster node / coordinator --------------------------------------
+NODE_WRONG_OWNER = "repro_node_wrong_owner_rejections_total"
+NODE_MAPS_INSTALLED = "repro_node_maps_installed_total"
+MIGRATION_STALL = "repro_migration_stall_seconds"
+MIGRATION_MOVES = "repro_migration_moves_total"
+
+# --- clients (failover + cluster fan-out) -----------------------------
+CLIENT_REQUESTS = "repro_client_requests_total"
+CLIENT_RETRIES = "repro_client_retries_total"
+CLIENT_MAP_REFRESHES = "repro_client_map_refreshes_total"
+CLIENT_DEADLINE_TIMEOUTS = "repro_client_deadline_timeouts_total"
+CLIENT_BREAKER_OPENS = "repro_client_breaker_opens_total"
+CLIENT_FAILOVERS = "repro_client_failovers_total"
+
+# --- drills (artifacts share the live histogram format) ---------------
+DRILL_OP_LATENCY = "repro_drill_op_latency_seconds"
+DRILL_STALL = "repro_drill_stall_seconds"
+
+#: name -> {"type", "labels", "subsystem", "help"}.  One entry per line,
+#: shaped as ``"name": _spec("kind", ...)`` — tools/check_docs.py greps
+#: exactly this shape.
+CATALOG: Dict[str, dict] = {
+    "repro_server_requests_total": _spec("counter", ("op",), "service", "Requests received, by wire op."),
+    "repro_server_errors_total": _spec("counter", ("op",), "service", "Requests answered with an ERR frame, by wire op."),
+    "repro_server_op_latency_seconds": _spec("histogram", ("op",), "service", "Server-side request latency (decode to response frame), by wire op."),
+    "repro_server_op_elements": _spec("histogram", ("op",), "service", "Elements per request, by element-carrying wire op."),
+    "repro_server_inflight": _spec("gauge", (), "service", "Admitted requests currently in flight (coalescer-parked included)."),
+    "repro_server_sheds_total": _spec("counter", ("kind",), "service", "Requests refused by backpressure: kind=hard (max_inflight) or adaptive."),
+    "repro_server_dedup_hits_total": _spec("counter", (), "service", "ADD_IDEM retries absorbed by the dedup window."),
+    "repro_coalescer_batch_elements": _spec("histogram", ("kind",), "service", "Elements per executed coalescer batch, by op kind."),
+    "repro_coalescer_wait_seconds": _spec("histogram", ("kind",), "service", "Time a request waited parked in the coalescer before its flush."),
+    "repro_coalescer_flushes_total": _spec("counter", ("kind", "cause"), "service", "Coalescer flushes by op kind and trigger: cause=size, timer or forced."),
+    "repro_replication_lag_epochs": _spec("gauge", ("standby",), "replication", "Primary epoch minus the standby's acknowledged epoch, per link."),
+    "repro_replication_ships_total": _spec("counter", ("kind",), "replication", "Delta ships from the primary: kind=shards or full."),
+    "repro_replication_bytes_sent_total": _spec("counter", ("standby",), "replication", "Replication payload bytes shipped, per standby link."),
+    "repro_node_wrong_owner_rejections_total": _spec("counter", (), "cluster", "Batches refused with WrongOwnerError under the ownership contract."),
+    "repro_node_maps_installed_total": _spec("counter", (), "cluster", "Shard-map installs accepted (epoch advances)."),
+    "repro_migration_stall_seconds": _spec("histogram", (), "cluster", "Write-stall window per shard migration (journal drain to epoch flip)."),
+    "repro_migration_moves_total": _spec("counter", (), "cluster", "Completed shard migrations driven by this coordinator."),
+    "repro_client_requests_total": _spec("counter", ("kind",), "client", "Client-issued requests: kind=read, write or sub_request."),
+    "repro_client_retries_total": _spec("counter", ("reason",), "client", "Client retries, by reason: wrong_owner or failover."),
+    "repro_client_map_refreshes_total": _spec("counter", (), "client", "Shard-map refresh waves triggered by WRONG_OWNER refusals."),
+    "repro_client_deadline_timeouts_total": _spec("counter", (), "client", "Requests failed client-side by their deadline."),
+    "repro_client_breaker_opens_total": _spec("counter", (), "client", "Circuit-breaker opens against an endpoint."),
+    "repro_client_failovers_total": _spec("counter", (), "client", "Reads re-routed to another endpoint after a failure."),
+    "repro_drill_op_latency_seconds": _spec("histogram", ("drill",), "drills", "Per-op latency distribution recorded by a chaos or migration drill."),
+    "repro_drill_stall_seconds": _spec("histogram", ("drill",), "drills", "Client-visible stall (ops overlapping a migration) in the cluster drill."),
+}
+
+
+def spec_for(name: str) -> dict:
+    """The catalog entry for *name* (KeyError for uncatalogued names)."""
+    return CATALOG[name]

@@ -62,6 +62,8 @@ from typing import Awaitable, Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro._util import ElementLike
+from repro.obs import names as metric_names
+from repro.obs.metrics import MetricsRegistry
 from repro.errors import (
     DeadlineExceededError,
     FailoverExhaustedError,
@@ -158,6 +160,10 @@ class FailoverClient:
             drills).
         rng: randomness source for backoff jitter (seed for replay).
         clock: monotonic time source (injectable for breaker tests).
+        metrics: a :class:`~repro.obs.MetricsRegistry` mirroring the
+            resilience counters (failovers, retries, breaker opens,
+            deadline timeouts) as ``repro_client_*`` series; ``None``
+            keeps only the plain integer attributes.
 
     Example::
 
@@ -185,6 +191,7 @@ class FailoverClient:
         client_id: Optional[int] = None,
         rng: Optional[random.Random] = None,
         clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         parsed = [parse_endpoint(spec) for spec in endpoints]
         if not parsed:
@@ -226,6 +233,17 @@ class FailoverClient:
         self.breaker_opens = 0
         #: Attempts that failed by missing their op deadline.
         self.deadline_timeouts = 0
+        registry = metrics if metrics is not None else MetricsRegistry(
+            enabled=False)
+        self.metrics = registry
+        self._m_failovers = registry.counter(
+            metric_names.CLIENT_FAILOVERS)
+        self._m_retries = registry.counter(
+            metric_names.CLIENT_RETRIES, reason="failover")
+        self._m_breaker_opens = registry.counter(
+            metric_names.CLIENT_BREAKER_OPENS)
+        self._m_deadline_timeouts = registry.counter(
+            metric_names.CLIENT_DEADLINE_TIMEOUTS)
 
     # ------------------------------------------------------------------
     # Connection plumbing
@@ -287,6 +305,7 @@ class FailoverClient:
             if not state.is_open(self._clock()):
                 if state.failures_row == self._breaker_failures:
                     self.breaker_opens += 1
+                    self._m_breaker_opens.inc()
             state.open_until = self._clock() + self._breaker_reset_s
 
     def _order(self) -> List[int]:
@@ -342,6 +361,7 @@ class FailoverClient:
                     raise
                 if isinstance(exc, DeadlineExceededError):
                     self.deadline_timeouts += 1
+                    self._m_deadline_timeouts.inc()
                 errors.append("%s:%d %s: %s" % (
                     *self._endpoints[index], type(exc).__name__, exc))
                 self._record_failure(index)
@@ -357,6 +377,7 @@ class FailoverClient:
             if index != self._preferred:
                 self._preferred = index
                 self.failovers += 1
+                self._m_failovers.inc()
             return result
         raise FailoverExhaustedError(
             "read failed on all %d endpoints: %s"
@@ -373,6 +394,7 @@ class FailoverClient:
                 if self._budget is not None:
                     self._budget.spend()
                 self.retries += 1
+                self._m_retries.inc()
                 await asyncio.sleep(
                     self._backoff.delay(attempt, self._rng))
 
@@ -408,6 +430,7 @@ class FailoverClient:
                     raise  # a live server's verdict, not a dead link
                 if isinstance(exc, DeadlineExceededError):
                     self.deadline_timeouts += 1
+                    self._m_deadline_timeouts.inc()
                 errors.append("%s:%d %s: %s" % (
                     *self._endpoints[index], type(exc).__name__, exc))
                 self._record_failure(index)
@@ -422,6 +445,7 @@ class FailoverClient:
             if index != self._preferred:
                 self._preferred = index
                 self.failovers += 1
+                self._m_failovers.inc()
             return result
         if allow_promote and self._auto_promote:
             await self.promote()

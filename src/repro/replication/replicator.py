@@ -42,6 +42,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro import persistence
 from repro.errors import ConfigurationError
+from repro.obs import names as metric_names
 from repro.service import protocol
 from repro.service.client import ServiceClient
 from repro.service.server import FilterService
@@ -169,6 +170,30 @@ class ReplicatedFilterService:
         service.on_write = self._on_write
         service.on_idempotent = self._on_idempotent
         service.replication_extra = self._extra_stats
+        # Replication telemetry lands in the wrapped service's registry,
+        # so one METRICS scrape of the primary covers its links too.
+        registry = service.metrics
+        self._m_ships_full = registry.counter(
+            metric_names.REPLICATION_SHIPS, kind="full")
+        self._m_ships_shards = registry.counter(
+            metric_names.REPLICATION_SHIPS, kind="shards")
+
+    def _register_link_metrics(self, link: StandbyLink) -> None:
+        """Lag gauge + bytes counter for one standby endpoint.
+
+        The lag gauge is scrape-time evaluated (shipped epoch minus the
+        link's acknowledged epoch), so it can never go stale; a detached
+        link's gauge freezes at its last reading.
+        """
+        endpoint = "%s:%d" % (link.host, link.port)
+        self.service.metrics.gauge(
+            metric_names.REPLICATION_LAG, standby=endpoint,
+        ).set_fn(lambda: self._epoch - link.epoch_acked)
+
+    def _m_bytes(self, link: StandbyLink):
+        return self.service.metrics.counter(
+            metric_names.REPLICATION_BYTES,
+            standby="%s:%d" % (link.host, link.port))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -308,6 +333,9 @@ class ReplicatedFilterService:
         link.epoch_acked = self._epoch
         link.full_snapshots_sent += 1
         link.bytes_sent += len(blob)
+        self._register_link_metrics(link)
+        self._m_ships_full.inc()
+        self._m_bytes(link).inc(len(blob))
         return link
 
     async def detach_standby(self, link: StandbyLink) -> None:
@@ -462,11 +490,15 @@ class ReplicatedFilterService:
                 await link.client.subscribe(epoch, full_blob)
                 link.full_snapshots_sent += 1
                 link.bytes_sent += len(full_blob)
+                self._m_ships_full.inc()
+                self._m_bytes(link).inc(len(full_blob))
             else:
                 await link.client.delta(epoch, entries=entries)
                 link.deltas_sent += 1
-                link.bytes_sent += sum(
-                    len(blob) for _, _, blob in entries)
+                sent = sum(len(blob) for _, _, blob in entries)
+                link.bytes_sent += sent
+                self._m_ships_shards.inc()
+                self._m_bytes(link).inc(sent)
         except Exception as exc:  # noqa: BLE001 - recorded, self-heals
             link.needs_full = True
             link.last_error = "%s: %s" % (type(exc).__name__, exc)

@@ -27,6 +27,7 @@ import time
 from repro.core.membership import ShiftingBloomFilter
 from repro.errors import ReproError
 from repro.hashing.family import FAMILY_KINDS, make_family
+from repro.obs.tracing import Tracer
 from repro.retry import BackoffPolicy
 from repro.service.client import ServiceClient
 from repro.service.server import CoalescerConfig, FilterService
@@ -61,18 +62,29 @@ def _build_target(shards: int, m: int, k: int, family_kind: str = "vector64"):
         n_shards=shards)
 
 
+def open_trace_log(path: str):
+    """A line-buffered span sink, or ``None`` when *path* is empty."""
+    if not path:
+        return None
+    return open(path, "a", buffering=1)
+
+
 async def _serve(args: argparse.Namespace) -> int:
     target = _build_target(args.shards, args.m, args.k, args.family)
     if args.preload > 0:
         workload = build_service_workload(args.preload, seed=args.seed)
         target.add_batch(list(workload.members))
+    trace_sink = open_trace_log(args.trace_log)
+    tracer = (Tracer(component="service:%s:%d" % (args.host, args.port),
+                     sink=trace_sink)
+              if trace_sink is not None else None)
     service = FilterService(target, CoalescerConfig(
         max_batch=args.max_batch,
         max_delay_us=args.max_delay_us,
         max_inflight=args.max_inflight,
         adaptive_shed=args.adaptive_shed,
         shed_ratio=args.shed_ratio,
-    ))
+    ), tracer=tracer)
     server = await service.start(args.host, args.port)
     port = server.sockets[0].getsockname()[1]
     print("repro.service listening on %s:%d (%s, n_items=%d, "
@@ -201,6 +213,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="probe-hash family kind for the hosted "
                             "filters (vector64 = vetted vectorised "
                             "mixers; blake2b = cryptographic lanes)")
+    serve.add_argument("--trace-log", default="",
+                       help="append JSON span records of traced "
+                            "requests to this file (read back with "
+                            "python -m repro.obs tail)")
 
     ping = sub.add_parser("ping", help="liveness probe with retries")
     _add_endpoint_args(ping)

@@ -117,7 +117,7 @@ class ServiceClient:
                 frame = await protocol.read_frame(self._reader)
                 if frame is None:
                     break
-                request_id, status, payload = frame
+                request_id, status, payload, _trace_id = frame
                 future = self._pending.pop(request_id, None)
                 if future is None or future.done():
                     continue  # cancelled caller; drop the late response
@@ -145,7 +145,8 @@ class ServiceClient:
                 % (op, request_id, deadline)))
 
     async def _request(self, op: int, payload: bytes = b"",
-                       timeout=_UNSET) -> bytes:
+                       timeout=_UNSET,
+                       trace_id: Optional[int] = None) -> bytes:
         if self._closed:
             raise ProtocolError("client is closed")
         deadline = self._op_timeout if timeout is _UNSET else timeout
@@ -164,7 +165,7 @@ class ServiceClient:
                 deadline, self._expire, request_id, op, deadline)
         try:
             self._writer.write(
-                protocol.encode_frame(request_id, op, payload))
+                protocol.encode_frame(request_id, op, payload, trace_id))
             await self._writer.drain()
             return await future
         finally:
@@ -182,17 +183,19 @@ class ServiceClient:
 
     async def add(self, elements: Sequence[ElementLike],
                   counts: Optional[Sequence[int]] = None,
-                  timeout=_UNSET) -> int:
+                  timeout=_UNSET,
+                  trace_id: Optional[int] = None) -> int:
         """Insert a batch (with optional multiplicities); returns count."""
         payload = await self._request(
             protocol.OP_ADD, protocol.encode_elements(elements, counts),
-            timeout=timeout)
+            timeout=timeout, trace_id=trace_id)
         return int.from_bytes(payload, "big")
 
     async def add_idem(self, client_id: int, write_id: int,
                        elements: Sequence[ElementLike],
                        counts: Optional[Sequence[int]] = None,
-                       timeout=_UNSET) -> int:
+                       timeout=_UNSET,
+                       trace_id: Optional[int] = None) -> int:
         """Idempotent insert: a retry with the same key applies once.
 
         ``(client_id, write_id)`` must be reused verbatim on retry; the
@@ -202,24 +205,26 @@ class ServiceClient:
         payload = await self._request(
             protocol.OP_ADD_IDEM,
             protocol.encode_add_idem(client_id, write_id, elements, counts),
-            timeout=timeout)
+            timeout=timeout, trace_id=trace_id)
         return int.from_bytes(payload, "big")
 
     async def query(self, elements: Sequence[ElementLike],
-                    timeout=_UNSET) -> np.ndarray:
+                    timeout=_UNSET,
+                    trace_id: Optional[int] = None) -> np.ndarray:
         """Batch verdicts: bool array (membership) or int64 (counts)."""
         payload = await self._request(
             protocol.OP_QUERY, protocol.encode_elements(elements),
-            timeout=timeout)
+            timeout=timeout, trace_id=trace_id)
         return protocol.decode_verdicts(payload)
 
     async def query_multi(
         self, elements: Sequence[ElementLike], timeout=_UNSET,
+        trace_id: Optional[int] = None,
     ) -> List[AssociationAnswer]:
         """ShBF_A association answers, one per element."""
         payload = await self._request(
             protocol.OP_QUERY_MULTI, protocol.encode_elements(elements),
-            timeout=timeout)
+            timeout=timeout, trace_id=trace_id)
         return protocol.decode_association_answers(payload)
 
     async def snapshot(self, timeout=_UNSET) -> bytes:
@@ -236,6 +241,25 @@ class ServiceClient:
         """Server-side queue, coalescer and access accounting."""
         payload = await self._request(protocol.OP_STATS, timeout=timeout)
         return json.loads(payload.decode("utf-8"))
+
+    async def metrics(self, format: str = "text", timeout=_UNSET):
+        """Scrape the server's metrics registry (METRICS op).
+
+        ``format="text"`` returns the Prometheus exposition as a
+        string; ``format="json"`` returns the registry snapshot dict —
+        the form :meth:`repro.obs.MetricsRegistry.merge_dict` folds
+        into a cross-process aggregate.
+        """
+        if format == "text":
+            payload = await self._request(
+                protocol.OP_METRICS, timeout=timeout)
+            return payload.decode("utf-8")
+        if format == "json":
+            payload = await self._request(
+                protocol.OP_METRICS, b"json", timeout=timeout)
+            return json.loads(payload.decode("utf-8"))
+        raise ValueError(
+            "metrics format must be 'text' or 'json', got %r" % (format,))
 
     # --- replication ops (primary-side replicator / operator tools) ---
     async def subscribe(self, epoch: int, blob: bytes) -> int:
@@ -401,6 +425,9 @@ class SyncServiceClient:
 
     def stats(self) -> dict:
         return self._call(self._client.stats())
+
+    def metrics(self, format: str = "text"):
+        return self._call(self._client.metrics(format))
 
     def promote(self) -> str:
         return self._call(self._client.promote())

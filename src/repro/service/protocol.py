@@ -15,6 +15,14 @@ by the client and echoed verbatim in the response, which is what makes
 **pipelining** work: a client may have many requests in flight on one
 connection and match responses out of order.
 
+One optional field rides on the code byte: when its high bit
+(:data:`TRACE_FLAG`, ``0x80``) is set, a **u64 trace id** sits between
+the code and the payload and the code is the low seven bits.  A traced
+request is followable across the fleet (:mod:`repro.obs.tracing`); an
+untraced frame is byte-identical to the pre-tracing wire format, so old
+peers are unaffected.  Servers echo the request's trace id on the
+response frame.
+
 Request opcodes and response payloads:
 
 ========== ===== ================================= =========================
@@ -34,7 +42,12 @@ ADD_IDEM   11    u64 client id + u64 write id      u32 number added
 ..               + elements [+ counts]
 SHARD_MAP  12    empty (get) or map JSON (install) shard map JSON (utf-8)
 MIGRATE    13    u8 action + u32 shard id + body   action-dependent (below)
+METRICS    14    empty (text) or ``json``          metrics exposition
 ========== ===== ================================= =========================
+
+METRICS serves the node's :class:`repro.obs.MetricsRegistry`: an empty
+payload answers the Prometheus text exposition format, the payload
+``json`` answers the registry's JSON snapshot (the mergeable form).
 
 A response's code is a status: ``OK`` (0) or ``ERR`` (1); error payloads
 carry ``(exception type name, message)`` so the client can re-raise the
@@ -137,7 +150,9 @@ __all__ = [
     "OP_ADD",
     "OP_ADD_IDEM",
     "OP_DELTA",
+    "OP_METRICS",
     "OP_MIGRATE",
+    "OP_NAMES",
     "OP_PING",
     "OP_PROMOTE",
     "OP_QUERY",
@@ -149,6 +164,7 @@ __all__ = [
     "OP_SUBSCRIBE",
     "STATUS_ERR",
     "STATUS_OK",
+    "TRACE_FLAG",
     "decode_add_idem",
     "decode_association_answers",
     "decode_counts",
@@ -189,16 +205,41 @@ OP_PROMOTE = 10
 OP_ADD_IDEM = 11
 OP_SHARD_MAP = 12
 OP_MIGRATE = 13
+OP_METRICS = 14
 
 STATUS_OK = 0
 STATUS_ERR = 1
+
+#: High bit of the frame code byte: set iff a u64 trace id follows the
+#: code (see :mod:`repro.obs.tracing`).  Frames without it are
+#: byte-identical to the pre-tracing format.
+TRACE_FLAG = 0x80
 
 _KNOWN_OPS = frozenset((
     OP_PING, OP_ADD, OP_QUERY, OP_QUERY_MULTI,
     OP_SNAPSHOT, OP_RESTORE, OP_STATS,
     OP_SUBSCRIBE, OP_DELTA, OP_PROMOTE, OP_ADD_IDEM,
-    OP_SHARD_MAP, OP_MIGRATE,
+    OP_SHARD_MAP, OP_MIGRATE, OP_METRICS,
 ))
+
+#: Opcode -> canonical name, used by metric labels, trace spans and
+#: tooling output.  Every :data:`_KNOWN_OPS` member has an entry.
+OP_NAMES = {
+    OP_PING: "PING",
+    OP_ADD: "ADD",
+    OP_QUERY: "QUERY",
+    OP_QUERY_MULTI: "QUERY_MULTI",
+    OP_SNAPSHOT: "SNAPSHOT",
+    OP_RESTORE: "RESTORE",
+    OP_STATS: "STATS",
+    OP_SUBSCRIBE: "SUBSCRIBE",
+    OP_DELTA: "DELTA",
+    OP_PROMOTE: "PROMOTE",
+    OP_ADD_IDEM: "ADD_IDEM",
+    OP_SHARD_MAP: "SHARD_MAP",
+    OP_MIGRATE: "MIGRATE",
+    OP_METRICS: "METRICS",
+}
 
 # --- migration protocol actions (first byte of a MIGRATE payload) -----
 MIGRATE_BEGIN = 0
@@ -228,6 +269,7 @@ MAX_FRAME_BYTES = 256 * 1024 * 1024
 
 _HEADER = struct.Struct("!I")          # frame length (rest of frame)
 _FRAME_META = struct.Struct("!IB")     # request id + code
+_TRACE_ID = struct.Struct("!Q")        # optional trace id (TRACE_FLAG)
 _U32 = struct.Struct("!I")
 _IDEM_HEAD = struct.Struct("!QQ")      # client id + write id
 _IDEM_KEY = struct.Struct("!QQI")      # client id + write id + result
@@ -248,9 +290,20 @@ _VERDICT_INT64 = 1
 # ----------------------------------------------------------------------
 # Framing
 # ----------------------------------------------------------------------
-def encode_frame(request_id: int, code: int, payload: bytes = b"") -> bytes:
-    """One wire frame: length prefix, request id, code, payload."""
-    body = _FRAME_META.pack(request_id, code) + payload
+def encode_frame(request_id: int, code: int, payload: bytes = b"",
+                 trace_id: Optional[int] = None) -> bytes:
+    """One wire frame: length prefix, request id, code, payload.
+
+    A non-``None`` *trace_id* sets :data:`TRACE_FLAG` on the code byte
+    and inserts the id as a u64 before the payload; ``trace_id=None``
+    produces a frame byte-identical to the pre-tracing format.
+    """
+    if trace_id is None:
+        body = _FRAME_META.pack(request_id, code) + payload
+    else:
+        body = (_FRAME_META.pack(request_id, code | TRACE_FLAG)
+                + _TRACE_ID.pack(trace_id & 0xFFFFFFFFFFFFFFFF)
+                + payload)
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError(
             "frame payload of %d bytes exceeds the %d-byte frame limit"
@@ -259,11 +312,28 @@ def encode_frame(request_id: int, code: int, payload: bytes = b"") -> bytes:
     return _HEADER.pack(len(body)) + body
 
 
-def decode_frame(frame: bytes) -> Tuple[int, int, bytes]:
-    """Invert :func:`encode_frame`: ``(request_id, code, payload)``.
+def _split_body(body: bytes) -> Tuple[int, int, bytes, Optional[int]]:
+    """Shared tail of frame decoding: meta (+ trace id) + payload."""
+    request_id, code = _FRAME_META.unpack_from(body)
+    if not code & TRACE_FLAG:
+        return request_id, code, body[_FRAME_META.size:], None
+    if len(body) < _FRAME_META.size + _TRACE_ID.size:
+        raise ProtocolError(
+            "frame flags a trace id but its body is %d bytes"
+            % len(body))
+    (trace_id,) = _TRACE_ID.unpack_from(body, _FRAME_META.size)
+    return (request_id, code & ~TRACE_FLAG,
+            body[_FRAME_META.size + _TRACE_ID.size:], trace_id)
 
-    Used by tests and by any non-asyncio transport; the server and
-    client read frames incrementally via :func:`read_frame` instead.
+
+def decode_frame(frame: bytes) -> Tuple[int, int, bytes, Optional[int]]:
+    """Invert :func:`encode_frame`:
+    ``(request_id, code, payload, trace_id)``.
+
+    ``trace_id`` is ``None`` for untraced frames; the returned code has
+    :data:`TRACE_FLAG` stripped.  Used by tests and by any non-asyncio
+    transport; the server and client read frames incrementally via
+    :func:`read_frame` instead.
     """
     if len(frame) < _HEADER.size + _FRAME_META.size:
         raise ProtocolError(
@@ -277,17 +347,19 @@ def decode_frame(frame: bytes) -> Tuple[int, int, bytes]:
             "frame declares %d body bytes but carries %d"
             % (length, len(body))
         )
-    request_id, code = _FRAME_META.unpack_from(body)
-    return request_id, code, body[_FRAME_META.size:]
+    return _split_body(body)
 
 
 async def read_frame(
     reader: asyncio.StreamReader,
-) -> Optional[Tuple[int, int, bytes]]:
+) -> Optional[Tuple[int, int, bytes, Optional[int]]]:
     """Read one frame from *reader*; ``None`` on clean EOF.
 
-    Raises :class:`~repro.errors.ProtocolError` on a truncated frame or
-    a length prefix beyond :data:`MAX_FRAME_BYTES` — the connection is
+    Returns ``(request_id, code, payload, trace_id)`` with
+    :data:`TRACE_FLAG` stripped from the code (``trace_id`` is ``None``
+    for untraced frames).  Raises
+    :class:`~repro.errors.ProtocolError` on a truncated frame or a
+    length prefix beyond :data:`MAX_FRAME_BYTES` — the connection is
     unrecoverable after either, since framing sync is lost.
     """
     prefix = await reader.read(_HEADER.size)
@@ -311,8 +383,7 @@ async def read_frame(
             "connection closed mid-frame (%d of %d bytes)"
             % (len(exc.partial), exc.expected)
         ) from exc
-    request_id, code = _FRAME_META.unpack_from(body)
-    return request_id, code, body[_FRAME_META.size:]
+    return _split_body(body)
 
 
 def require_known_op(code: int) -> int:

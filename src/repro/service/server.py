@@ -51,6 +51,7 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -68,6 +69,9 @@ from repro.errors import (
     UnsupportedOperationError,
 )
 from repro.harness.metrics import access_stats_dict
+from repro.obs import names as metric_names
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.service import protocol
 from repro.store.sharded import ShardedFilterStore
 
@@ -239,12 +243,25 @@ class _Coalescer:
     untouched, so coalescing is invisible to clients.
     """
 
-    def __init__(self, service: "FilterService", run_batch):
+    def __init__(self, service: "FilterService", run_batch, kind: str):
         self._service = service
         self._run_batch = run_batch
-        self._pending: List[tuple] = []  # (elements, counts, future)
+        self._kind = kind
+        # (elements, counts, future, trace_id, enqueue perf_counter)
+        self._pending: List[tuple] = []
         self._n_queued = 0
         self._timer: Optional[asyncio.TimerHandle] = None
+        registry = service.metrics
+        self._m_batch = registry.histogram(
+            metric_names.COALESCER_BATCH_ELEMENTS,
+            resolution=1.0, kind=kind)
+        self._m_wait = registry.histogram(
+            metric_names.COALESCER_WAIT, kind=kind)
+        self._m_flushes = {
+            cause: registry.counter(
+                metric_names.COALESCER_FLUSHES, kind=kind, cause=cause)
+            for cause in ("size", "timer", "forced")
+        }
 
     @property
     def queued_elements(self) -> int:
@@ -252,22 +269,24 @@ class _Coalescer:
         return self._n_queued
 
     def submit(self, elements: Sequence[bytes],
-               counts: Optional[Sequence[int]]) -> "asyncio.Future":
+               counts: Optional[Sequence[int]],
+               trace_id: Optional[int] = None) -> "asyncio.Future":
         loop = asyncio.get_running_loop()
         future = loop.create_future()
         if len(self._pending) > 0:
             self._service.counters.coalesced_requests += 1
-        self._pending.append((elements, counts, future))
+        enqueued = time.perf_counter() if self._service.observing else 0.0
+        self._pending.append((elements, counts, future, trace_id, enqueued))
         self._n_queued += len(elements)
         config = self._service.config
         if self._n_queued >= config.max_batch:
-            self._flush()
+            self._flush("size")
         elif self._timer is None:
             self._timer = loop.call_later(
                 config.max_delay_us / 1e6, self._flush)
         return future
 
-    def _flush(self) -> None:
+    def _flush(self, cause: str = "timer") -> None:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
@@ -275,6 +294,13 @@ class _Coalescer:
         self._n_queued = 0
         if not pending:
             return
+        observing = self._service.observing
+        tracer = self._service.tracer
+        if observing:
+            self._m_flushes[cause].inc()
+            now = time.perf_counter()
+            for entry in pending:
+                self._m_wait.observe(now - entry[4])
         # Countless and counts-carrying requests execute as separate
         # batches: merging them would force everyone through the counts
         # signature, so one client's malformed counts request (or a
@@ -290,21 +316,43 @@ class _Coalescer:
             elements: List[bytes] = []
             counts: List[int] = []
             with_counts = group[0][1] is not None
-            for chunk, chunk_counts, _ in group:
+            for chunk, chunk_counts, _, _, _ in group:
                 elements.extend(chunk)
                 if with_counts:
                     counts.extend(chunk_counts)
+            traced = (tracer is not None
+                      and any(entry[3] is not None for entry in group))
+            start_wall = time.time() if traced else 0.0
+            exec_t0 = time.perf_counter() if (observing or traced) else 0.0
             try:
                 results = self._run_batch(
                     elements, counts if with_counts else None)
             except Exception as exc:  # delivered per request
-                for _, _, future in group:
+                for _, _, future, _, _ in group:
                     if not future.done():
                         future.set_exception(exc)
                 continue
+            if observing:
+                self._m_batch.observe(len(elements))
+            if traced:
+                # One coalescer span per *traced* member of the batch:
+                # each carries its own queue wait plus the shared batch
+                # shape and kernel time, so a reconstructed path shows
+                # both "how long did I wait" and "what executed me".
+                exec_s = time.perf_counter() - exec_t0
+                for chunk, _, _, trace_id, enqueued in group:
+                    if trace_id is None:
+                        continue
+                    tracer.emit(
+                        "coalescer.batch", trace_id, start_wall, exec_s,
+                        kind=self._kind, n_elements=len(chunk),
+                        batch_elements=len(elements),
+                        batch_requests=len(group),
+                        wait_s=max(0.0, exec_t0 - enqueued)
+                        if enqueued else 0.0)
             self._service.counters.batches_executed += 1
             cursor = 0
-            for chunk, _, future in group:
+            for chunk, _, future, _, _ in group:
                 if not future.done():
                     future.set_result(
                         results[cursor : cursor + len(chunk)])
@@ -319,6 +367,14 @@ class FilterService:
             filter exposing ``add``/``query`` plus the batch twins.
         config: coalescer window and admission bounds.
         banner: PING response text (defaults to a structure summary).
+        metrics: the :class:`~repro.obs.MetricsRegistry` this service
+            instruments and serves over the METRICS op.  Defaults to a
+            fresh enabled registry; pass ``MetricsRegistry(
+            enabled=False)`` for a measured-zero baseline (hot-path
+            timing calls are skipped entirely, not just discarded).
+        tracer: a :class:`~repro.obs.Tracer` for span emission on
+            traced requests, or ``None`` (the default) to skip spans —
+            trace ids still echo on responses either way.
     """
 
     def __init__(
@@ -326,12 +382,16 @@ class FilterService:
         target,
         config: Optional[CoalescerConfig] = None,
         banner: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self._target = target
         self.config = config if config is not None else CoalescerConfig()
         self._banner = banner
         self.counters = ServiceCounters()
         self.replica = ReplicaState()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
         #: Called with ``(elements, counts)`` after every successful
         #: write batch; :class:`repro.replication.ReplicatedFilterService`
         #: hooks this to journal writes for the next delta ship.
@@ -358,9 +418,42 @@ class FilterService:
         self.cluster = None
         self._inflight = 0
         self._connections: set = set()
-        self._query = _Coalescer(self, self._run_query_batch)
-        self._query_multi = _Coalescer(self, self._run_query_multi_batch)
-        self._add = _Coalescer(self, self._run_add_batch)
+        #: Cached JSON fragment of the STATS fields that only change
+        #: when the hosted target is swapped, keyed by its identity.
+        self._stats_static: Optional[Tuple[tuple, bytes]] = None
+        # Instruments resolved once: per-request work is a list index
+        # plus an int add, and skipped wholesale (`observing` False)
+        # when the registry is disabled.
+        registry = self.metrics
+        self.observing = registry.enabled
+        self._m_requests = {
+            op: registry.counter(metric_names.SERVER_REQUESTS, op=label)
+            for op, label in protocol.OP_NAMES.items()}
+        self._m_errors = {
+            op: registry.counter(metric_names.SERVER_ERRORS, op=label)
+            for op, label in protocol.OP_NAMES.items()}
+        self._m_latency = {
+            op: registry.histogram(
+                metric_names.SERVER_OP_LATENCY, op=label)
+            for op, label in protocol.OP_NAMES.items()}
+        self._m_elements = {
+            op: registry.histogram(
+                metric_names.SERVER_OP_ELEMENTS, resolution=1.0,
+                op=protocol.OP_NAMES[op])
+            for op in (protocol.OP_ADD, protocol.OP_QUERY,
+                       protocol.OP_QUERY_MULTI, protocol.OP_ADD_IDEM)}
+        self._m_shed_hard = registry.counter(
+            metric_names.SERVER_SHEDS, kind="hard")
+        self._m_shed_adaptive = registry.counter(
+            metric_names.SERVER_SHEDS, kind="adaptive")
+        self._m_dedup_hits = registry.counter(
+            metric_names.SERVER_DEDUP_HITS)
+        registry.gauge(metric_names.SERVER_INFLIGHT).set_fn(
+            lambda: self._inflight)
+        self._query = _Coalescer(self, self._run_query_batch, "query")
+        self._query_multi = _Coalescer(
+            self, self._run_query_multi_batch, "query_multi")
+        self._add = _Coalescer(self, self._run_add_batch, "add")
 
     # ------------------------------------------------------------------
     # Introspection
@@ -377,19 +470,13 @@ class FilterService:
         separately as ``queued_elements``."""
         return self._inflight
 
-    def stats(self) -> dict:
-        """The STATS payload: structure, queue and access accounting."""
+    def _static_stats(self) -> dict:
+        """STATS fields fixed for the lifetime of one hosted target."""
         target = self._target
         return {
             "structure": type(target).__name__,
-            "n_items": int(getattr(target, "n_items", 0)),
-            "size_bits": int(getattr(target, "size_bits", 0)),
             "n_shards": (target.n_shards
                          if isinstance(target, ShardedFilterStore) else None),
-            "queue_depth": self.queue_depth,
-            "queued_elements": (self._query.queued_elements
-                                + self._query_multi.queued_elements
-                                + self._add.queued_elements),
             "coalescer": {
                 "max_batch": self.config.max_batch,
                 "max_delay_us": self.config.max_delay_us,
@@ -397,6 +484,18 @@ class FilterService:
                 "adaptive_shed": self.config.adaptive_shed,
                 "shed_ratio": self.config.shed_ratio,
             },
+        }
+
+    def _dynamic_stats(self) -> dict:
+        """STATS fields that move per request (rebuilt every call)."""
+        target = self._target
+        return {
+            "n_items": int(getattr(target, "n_items", 0)),
+            "size_bits": int(getattr(target, "size_bits", 0)),
+            "queue_depth": self.queue_depth,
+            "queued_elements": (self._query.queued_elements
+                                + self._query_multi.queued_elements
+                                + self._add.queued_elements),
             "idempotency": {
                 "window": len(self.idempotency),
                 "capacity": self.idempotency.capacity,
@@ -407,6 +506,30 @@ class FilterService:
                         if self.cluster is not None else None),
             "access": access_stats_dict(target.memory.stats),
         }
+
+    def stats(self) -> dict:
+        """The STATS payload: structure, queue and access accounting."""
+        out = self._static_stats()
+        out.update(self._dynamic_stats())
+        return out
+
+    def stats_json(self) -> bytes:
+        """STATS as JSON, with the static section serialised once.
+
+        The structure/config fragment only changes when RESTORE or
+        SUBSCRIBE swaps the hosted target (or the config object is
+        replaced), so it is cached as pre-serialised bytes keyed on
+        both identities and spliced with the freshly serialised dynamic
+        counters — STATS probing pays for what actually changed.
+        """
+        key = (id(self._target), id(self.config))
+        if self._stats_static is None or self._stats_static[0] != key:
+            fragment = json.dumps(
+                self._static_stats(), sort_keys=True)[1:-1]
+            self._stats_static = (key, fragment.encode("utf-8"))
+        dynamic = json.dumps(self._dynamic_stats(), sort_keys=True)[1:-1]
+        return (b"{" + self._stats_static[1] + b","
+                + dynamic.encode("utf-8") + b"}")
 
     def _replication_stats(self) -> dict:
         info = self.replica.as_dict()
@@ -451,9 +574,9 @@ class FilterService:
         journal is complete; queued reads flush too, answering from the
         still-complete shard copy before it is retired.
         """
-        self._add._flush()
-        self._query._flush()
-        self._query_multi._flush()
+        self._add._flush("forced")
+        self._query._flush("forced")
+        self._query_multi._flush("forced")
 
     # --- scalar fallbacks (max_batch=1: the uncoalesced baseline) -----
     def _scalar_query(self, elements):
@@ -575,7 +698,20 @@ class FilterService:
     # ------------------------------------------------------------------
     # Request dispatch
     # ------------------------------------------------------------------
-    async def _dispatch(self, op: int, payload: bytes) -> bytes:
+    def _check_ownership(self, elements: Sequence[bytes],
+                         trace_id: Optional[int]) -> None:
+        """Cluster ownership contract, as a traced hop when asked."""
+        if self.cluster is None:
+            return
+        if trace_id is not None and self.tracer is not None:
+            with self.tracer.span("node.ownership_check", trace_id,
+                                  n_elements=len(elements)):
+                self.cluster.check_elements(elements)
+        else:
+            self.cluster.check_elements(elements)
+
+    async def _dispatch(self, op: int, payload: bytes,
+                        trace_id: Optional[int] = None) -> bytes:
         """Execute one request; returns the OK-response payload."""
         if op == protocol.OP_PING:
             banner = self._banner or (
@@ -586,7 +722,17 @@ class FilterService:
             return banner.encode("utf-8")
 
         if op == protocol.OP_STATS:
-            return json.dumps(self.stats(), sort_keys=True).encode("utf-8")
+            return self.stats_json()
+
+        if op == protocol.OP_METRICS:
+            if payload == b"json":
+                return json.dumps(
+                    self.metrics.to_dict(), sort_keys=True).encode("utf-8")
+            if payload not in (b"", b"text"):
+                raise ProtocolError(
+                    "METRICS accepts an empty payload (text exposition) "
+                    "or b'json', got %d unexpected bytes" % len(payload))
+            return self.metrics.render_prometheus().encode("utf-8")
 
         if op == protocol.OP_SNAPSHOT:
             if isinstance(self._target, ShardedFilterStore):
@@ -636,14 +782,15 @@ class FilterService:
             return self.cluster.handle_migrate(payload)
 
         if op == protocol.OP_ADD_IDEM:
-            return await self._apply_add_idem(payload)
+            return await self._apply_add_idem(payload, trace_id)
 
         elements, counts = protocol.decode_elements(payload)
-        if self.cluster is not None:
-            # The ownership contract: refuse (typed WrongOwnerError, so
-            # the client refreshes its map), never silently serve an
-            # element from a shard this node does not own.
-            self.cluster.check_elements(elements)
+        if self.observing:
+            self._m_elements[op].observe(len(elements))
+        # The ownership contract: refuse (typed WrongOwnerError, so
+        # the client refreshes its map), never silently serve an
+        # element from a shard this node does not own.
+        self._check_ownership(elements, trace_id)
 
         if op == protocol.OP_ADD:
             if self.replica.role == "standby":
@@ -656,7 +803,7 @@ class FilterService:
             if self.config.max_batch <= 1:
                 self._scalar_add(elements, counts)
             else:
-                await self._add.submit(elements, counts)
+                await self._add.submit(elements, counts, trace_id)
             return protocol._U32.pack(len(elements))
 
         if op == protocol.OP_QUERY:
@@ -666,7 +813,8 @@ class FilterService:
             if self.config.max_batch <= 1:
                 verdicts = self._scalar_query(elements)
             else:
-                verdicts = await self._query.submit(elements, None)
+                verdicts = await self._query.submit(
+                    elements, None, trace_id)
             verdicts = np.asarray(verdicts)
             return protocol.encode_verdicts(verdicts)
 
@@ -684,12 +832,14 @@ class FilterService:
                 self.counters.elements_queried += len(elements)
                 self.counters.batches_executed += 1
             else:
-                answers = await self._query_multi.submit(elements, None)
+                answers = await self._query_multi.submit(
+                    elements, None, trace_id)
             return protocol.encode_association_answers(list(answers))
 
         raise ProtocolError("unknown opcode %d" % op)
 
-    async def _apply_add_idem(self, payload: bytes) -> bytes:
+    async def _apply_add_idem(self, payload: bytes,
+                              trace_id: Optional[int] = None) -> bytes:
         """Execute one ADD_IDEM exactly once per ``(client, write)`` key.
 
         Three cases: the key is in the dedup window (the original
@@ -703,8 +853,9 @@ class FilterService:
         """
         client_id, write_id, elements, counts = (
             protocol.decode_add_idem(payload))
-        if self.cluster is not None:
-            self.cluster.check_elements(elements)
+        if self.observing:
+            self._m_elements[protocol.OP_ADD_IDEM].observe(len(elements))
+        self._check_ownership(elements, trace_id)
         if self.replica.role == "standby":
             raise StandbyReadOnlyError(
                 "this server is a standby following a primary; writes "
@@ -713,6 +864,7 @@ class FilterService:
         recorded = self.idempotency.get(client_id, write_id)
         if recorded is not None:
             self.counters.dedup_hits += 1
+            self._m_dedup_hits.inc()
             return protocol._U32.pack(recorded)
         key = (client_id, write_id)
         racing = self._idem_inflight.get(key)
@@ -721,6 +873,7 @@ class FilterService:
             if status == "err":
                 raise value
             self.counters.dedup_hits += 1
+            self._m_dedup_hits.inc()
             return protocol._U32.pack(value)
         outcome = asyncio.get_running_loop().create_future()
         self._idem_inflight[key] = outcome
@@ -729,7 +882,7 @@ class FilterService:
                 if self.config.max_batch <= 1:
                     self._scalar_add(elements, counts)
                 else:
-                    await self._add.submit(elements, counts)
+                    await self._add.submit(elements, counts, trace_id)
             result = len(elements)
         except Exception as exc:
             if not outcome.done():
@@ -750,24 +903,39 @@ class FilterService:
         request_id: int,
         op: int,
         payload: bytes,
+        trace_id: Optional[int] = None,
     ) -> None:
         """Run one admitted request and write its response frame.
 
         No write lock is needed: ``StreamWriter.write`` appends the whole
         frame to the transport buffer synchronously on the single-threaded
         loop, so concurrent request tasks cannot interleave frame bytes.
+        The request's trace id (if any) is echoed on the response frame.
         """
+        started = time.perf_counter() if self.observing else 0.0
         try:
-            body = await self._dispatch(op, payload)
+            if trace_id is not None and self.tracer is not None:
+                with self.tracer.span(
+                        "server.request", trace_id,
+                        op=protocol.OP_NAMES.get(op, str(op))):
+                    body = await self._dispatch(op, payload, trace_id)
+            else:
+                body = await self._dispatch(op, payload, trace_id)
             frame = protocol.encode_frame(
-                request_id, protocol.STATUS_OK, body)
+                request_id, protocol.STATUS_OK, body, trace_id)
         except Exception as exc:
             if isinstance(exc, ProtocolError):
                 self.counters.protocol_errors += 1
+            if self.observing:
+                self._m_errors[op].inc()
             frame = protocol.encode_frame(
-                request_id, protocol.STATUS_ERR, protocol.encode_error(exc))
+                request_id, protocol.STATUS_ERR, protocol.encode_error(exc),
+                trace_id)
         finally:
             self._inflight -= 1
+            if self.observing:
+                self._m_latency[op].observe(
+                    time.perf_counter() - started)
         writer.write(frame)
         try:
             await writer.drain()
@@ -805,7 +973,7 @@ class FilterService:
                     break
                 if frame is None:
                     break
-                request_id, op, payload = frame
+                request_id, op, payload, trace_id = frame
                 self.counters.requests_total += 1
                 if op not in protocol._KNOWN_OPS:
                     # An opcode we never defined means the peer is not
@@ -822,15 +990,19 @@ class FilterService:
                         protocol.encode_error(exc)))
                     await writer.drain()
                     break
+                if self.observing:
+                    self._m_requests[op].inc()
                 config = self.config
                 shed = None
                 if self._inflight >= config.max_inflight:
+                    self._m_shed_hard.inc()
                     shed = ServiceOverloadedError(
                         "server at max_inflight=%d admitted requests; "
                         "retry after backoff" % config.max_inflight)
                 elif (config.adaptive_shed and op in _SHEDDABLE_OPS
                         and self._inflight >= config.soft_inflight):
                     self.counters.adaptive_sheds += 1
+                    self._m_shed_adaptive.inc()
                     shed = ServiceOverloadedError(
                         "server shedding reads at %d/%d admitted "
                         "requests (adaptive shed); retry reads against "
@@ -840,14 +1012,14 @@ class FilterService:
                     self.counters.overload_rejections += 1
                     writer.write(protocol.encode_frame(
                         request_id, protocol.STATUS_ERR,
-                        protocol.encode_error(shed)))
+                        protocol.encode_error(shed), trace_id))
                     await writer.drain()
                     continue
                 self._inflight += 1
                 self.counters.peak_queue_depth = max(
                     self.counters.peak_queue_depth, self._inflight)
                 task = asyncio.ensure_future(self._handle_request(
-                    writer, request_id, op, payload))
+                    writer, request_id, op, payload, trace_id))
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
         finally:

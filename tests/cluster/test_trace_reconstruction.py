@@ -1,0 +1,97 @@
+"""The tracing acceptance bar: one request's path from span logs alone.
+
+A seeded cluster drill runs with a span sink attached; afterwards the
+records are serialised to JSON lines — exactly what each process's
+``--trace-log`` file would hold — re-parsed with nothing but the
+offline tooling, and one traced request's full
+client → sub-request → server → ownership-check → coalescer path must
+reconstruct from those lines alone.  No in-memory object sharing: if
+the wire ever dropped the trace id between hops, this is the test
+that fails.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.cluster.drill import ClusterDrillConfig, run_cluster_drill_async
+from repro.obs.tracing import (
+    load_span_records,
+    parse_trace_id,
+    reconstruct,
+    render_trace,
+)
+
+SMALL = ClusterDrillConfig(
+    n_nodes=3, n_shards=8, m=16384, k=4, n_members=900,
+    n_ops=36, per_request=48, migrate_after_ops=8, seed=7)
+
+#: The hop names a full fan-out must touch, edge to kernel.
+FULL_PATH = ("client.request", "client.sub_request", "server.request",
+             "node.ownership_check", "coalescer.batch")
+
+
+def _drill_span_lines():
+    spans = []
+    report = asyncio.run(run_cluster_drill_async(SMALL, span_sink=spans))
+    assert report["ok"], report["invariants"]
+    assert report["tracing"]["spans_recorded"] == len(spans)
+    # The trace-log serialisation boundary: JSON lines out, strings in.
+    return report, [json.dumps(record, sort_keys=True)
+                    for record in spans]
+
+
+class TestTraceReconstruction:
+    def test_full_path_reconstructs_from_span_logs_alone(self):
+        report, lines = _drill_span_lines()
+        records = load_span_records(lines)
+        assert len(records) == len(lines)
+
+        by_trace = {}
+        for record in records:
+            by_trace.setdefault(record["trace"], []).append(record)
+        assert len(by_trace) == report["tracing"]["traces"]
+
+        # Every drill op minted one trace; find one whose fan-out
+        # touched every hop level and check the reconstructed order.
+        full = None
+        for trace_hex in by_trace:
+            path = reconstruct(records, parse_trace_id(trace_hex))
+            names = [r["span"] for r in path]
+            if all(name in names for name in FULL_PATH):
+                full = (trace_hex, path, names)
+                break
+        assert full is not None, (
+            "no trace touched all of %s" % (FULL_PATH,))
+        trace_hex, path, names = full
+
+        # Depth order: the reconstruction must walk edge -> kernel.
+        ranks = [FULL_PATH.index(n) for n in names if n in FULL_PATH]
+        assert ranks == sorted(ranks)
+        # Every hop of this trace agrees on the id, across processes
+        # (client component vs per-node components).
+        components = {r["component"] for r in path}
+        assert "client" in components
+        assert any(c.startswith("node:") for c in components)
+
+        # The human rendering names every hop level, with durations.
+        text = render_trace(records, parse_trace_id(trace_hex))
+        for name in FULL_PATH:
+            assert name in text
+
+    def test_every_client_request_traced_and_server_hops_follow(self):
+        report, lines = _drill_span_lines()
+        records = load_span_records(lines)
+        client_roots = [r for r in records if r["span"] == "client.request"]
+        # One root span per drill op (preload + ops + post-drain + sweep
+        # all go through the traced client).
+        assert len(client_roots) == report["tracing"]["traces"]
+        # Each root's trace id shows up in at least one server-side hop
+        # (the request crossed the wire with its id intact).
+        server_traces = {r["trace"] for r in records
+                         if r["span"] == "server.request"}
+        missing = [r["trace"] for r in client_roots
+                   if r["trace"] not in server_traces]
+        assert not missing, "traces never seen server-side: %r" % (
+            missing[:3],)

@@ -1,0 +1,210 @@
+"""The metrics primitives: instruments, registry identity, rendering.
+
+The contracts that matter downstream: histograms merge *exactly*
+(drill artifact + live scrape = one distribution), quantile estimates
+are bounded by one bucket width, a disabled registry hands out shared
+no-ops (the overhead gate's baseline), and the Prometheus rendering
+is cumulative and parseable.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs import names as metric_names
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_negative_refused(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_to_dict(self):
+        c = Counter()
+        c.inc(3)
+        assert c.to_dict() == {"type": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_set(self):
+        g = Gauge()
+        g.set(2.5)
+        assert g.value == 2.5
+
+    def test_scrape_time_fn_never_stale(self):
+        state = {"lag": 1}
+        g = Gauge()
+        g.set_fn(lambda: state["lag"])
+        assert g.value == 1.0
+        state["lag"] = 7
+        assert g.value == 7.0
+
+    def test_failing_fn_yields_nan_not_a_scrape_error(self):
+        g = Gauge()
+        g.set_fn(lambda: 1 / 0)
+        assert math.isnan(g.value)
+
+    def test_set_clears_fn(self):
+        g = Gauge()
+        g.set_fn(lambda: 99.0)
+        g.set(1.0)
+        assert g.value == 1.0
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram()
+        d = h.to_dict()
+        assert d["count"] == 0
+        assert d["min"] is None and d["max"] is None
+        assert d["p50"] == 0.0
+
+    def test_bucket_zero_holds_at_or_below_resolution(self):
+        h = Histogram(resolution=1e-6)
+        h.observe(0.0)
+        h.observe(1e-6)
+        assert h.to_dict()["buckets"] == {"0": 2}
+
+    def test_log_bucketing(self):
+        h = Histogram(resolution=1.0)
+        for v in (1, 2, 3, 4, 5, 8, 9):
+            h.observe(v)
+        # (2^(i-1), 2^i] with bucket 0 = (-inf, 1]:
+        # 1 -> 0; 2 -> 1; 3,4 -> 2; 5,8 -> 3; 9 -> 4.
+        assert h.to_dict()["buckets"] == {
+            "0": 1, "1": 1, "2": 2, "3": 2, "4": 1}
+
+    def test_quantile_bounded_by_bucket_width(self):
+        h = Histogram(resolution=1e-6)
+        for _ in range(100):
+            h.observe(0.010)  # 10 ms
+        p99 = h.quantile(0.99)
+        assert 0.010 <= p99 <= 0.020  # within one power-of-two bucket
+
+    def test_quantile_never_exceeds_observed_max(self):
+        h = Histogram(resolution=1e-6)
+        h.observe(0.009)
+        assert h.quantile(1.0) == 0.009
+
+    def test_merge_is_exact(self):
+        a, b, ref = Histogram(), Histogram(), Histogram()
+        for i, v in enumerate(x * 1e-4 for x in range(1, 41)):
+            (a if i % 2 else b).observe(v)
+            ref.observe(v)
+        a.merge(b)
+        merged, expected = a.to_dict(), ref.to_dict()
+        # Bucket counts, extremes and quantiles merge exactly; the sum
+        # is float addition, so only order-of-summation noise differs.
+        assert merged["sum"] == pytest.approx(expected.pop("sum"))
+        merged.pop("sum")
+        assert merged == expected
+
+    def test_merge_resolution_mismatch_refused(self):
+        with pytest.raises(ValueError):
+            Histogram(resolution=1e-6).merge(Histogram(resolution=1.0))
+
+    def test_dict_round_trip_preserves_merge(self):
+        h = Histogram()
+        for v in (1e-5, 3e-4, 0.02, 1.5):
+            h.observe(v)
+        # Through JSON, as a drill report would travel.
+        rebuilt = Histogram.from_dict(
+            json.loads(json.dumps(h.to_dict())))
+        assert rebuilt.to_dict() == h.to_dict()
+        rebuilt.merge(h)
+        assert rebuilt.count == 2 * h.count
+
+    def test_huge_value_clamps_to_top_bucket(self):
+        h = Histogram(resolution=1e-6)
+        h.observe(1e30)
+        assert h.count == 1
+        # Clamped into the fixed top bucket: the quantile reports that
+        # bucket's edge (an underestimate), never an index overflow.
+        assert h.quantile(0.5) == h.bucket_upper_bound(63)
+        assert h.max == 1e30
+
+    def test_bad_resolution(self):
+        with pytest.raises(ValueError):
+            Histogram(resolution=0.0)
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", kind="read")
+        b = reg.counter("x_total", kind="read")
+        c = reg.counter("x_total", kind="write")
+        assert a is b and a is not c
+
+    def test_kind_conflict_refused(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+
+    def test_disabled_registry_hands_out_shared_noops(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("x_total")
+        c.inc(100)
+        assert c.value == 0
+        assert c is reg.counter("y_total")
+        h = reg.histogram("z_seconds")
+        h.observe(1.0)
+        assert h.count == 0
+        assert reg.render_prometheus() == ""
+        assert reg.to_dict() == {"metrics": []}
+
+    def test_catalog_supplies_help_text(self):
+        reg = MetricsRegistry()
+        reg.counter(metric_names.SERVER_REQUESTS, op="QUERY")
+        text = reg.render_prometheus()
+        assert ("# HELP %s %s" % (
+            metric_names.SERVER_REQUESTS,
+            metric_names.spec_for(
+                metric_names.SERVER_REQUESTS)["help"])) in text
+
+    def test_prometheus_rendering_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", resolution=1.0)
+        for v in (1, 2, 2, 4):
+            h.observe(v)
+        text = reg.render_prometheus()
+        assert '# TYPE lat_seconds histogram' in text
+        assert 'lat_seconds_bucket{le="1"} 1' in text
+        assert 'lat_seconds_bucket{le="2"} 3' in text
+        assert 'lat_seconds_bucket{le="4"} 4' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 4' in text
+        assert 'lat_seconds_count 4' in text
+
+    def test_prometheus_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", standby='a"b\\c').inc()
+        assert 'standby="a\\"b\\\\c"' in reg.render_prometheus()
+
+    def test_merge_dict_cross_process(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("req_total", op="QUERY").inc(3)
+        b.counter("req_total", op="QUERY").inc(4)
+        a.histogram("lat_seconds").observe(0.01)
+        b.histogram("lat_seconds").observe(0.02)
+        b.gauge("inflight").set(9)
+        a.merge_dict(json.loads(json.dumps(b.to_dict())))
+        assert a.counter("req_total", op="QUERY").value == 7
+        assert a.histogram("lat_seconds").count == 2
+        assert a.gauge("inflight").value == 9.0
+
+    def test_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total")
+        reg.gauge("a_value")
+        assert reg.names() == ["a_value", "b_total"]

@@ -1,0 +1,136 @@
+"""Golden schemas: the surfaces scrapers and dashboards depend on.
+
+Renaming a metric, dropping a STATS field, or reshaping the METRICS
+JSON breaks external consumers silently — so the shapes are pinned
+here as literal golden sets.  A failure in this file means "you are
+changing a public telemetry surface": update the golden set, the
+docs table in ``docs/OPERATIONS.md`` and the catalog together, or
+don't.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.membership import ShiftingBloomFilter
+from repro.obs.names import CATALOG
+from repro.service.server import FilterService
+
+#: The full catalog, frozen.  Additions append here; renames and
+#: removals are breaking changes and should look exactly this loud.
+GOLDEN_METRIC_NAMES = frozenset({
+    "repro_server_requests_total",
+    "repro_server_errors_total",
+    "repro_server_op_latency_seconds",
+    "repro_server_op_elements",
+    "repro_server_inflight",
+    "repro_server_sheds_total",
+    "repro_server_dedup_hits_total",
+    "repro_coalescer_batch_elements",
+    "repro_coalescer_wait_seconds",
+    "repro_coalescer_flushes_total",
+    "repro_replication_lag_epochs",
+    "repro_replication_ships_total",
+    "repro_replication_bytes_sent_total",
+    "repro_node_wrong_owner_rejections_total",
+    "repro_node_maps_installed_total",
+    "repro_migration_stall_seconds",
+    "repro_migration_moves_total",
+    "repro_client_requests_total",
+    "repro_client_retries_total",
+    "repro_client_map_refreshes_total",
+    "repro_client_deadline_timeouts_total",
+    "repro_client_breaker_opens_total",
+    "repro_client_failovers_total",
+    "repro_drill_op_latency_seconds",
+    "repro_drill_stall_seconds",
+})
+
+GOLDEN_STATS_KEYS = frozenset({
+    "structure", "n_shards", "coalescer",
+    "n_items", "size_bits", "queue_depth", "queued_elements",
+    "idempotency", "counters", "replication", "cluster", "access",
+})
+
+#: Every series entry in the METRICS JSON snapshot carries these.
+GOLDEN_SERIES_BASE_KEYS = frozenset({"name", "labels", "type"})
+GOLDEN_HISTOGRAM_KEYS = frozenset({
+    "name", "labels", "type", "resolution", "count", "sum",
+    "min", "max", "buckets", "p50", "p90", "p99", "p999",
+})
+
+
+class TestCatalogGolden:
+    def test_catalog_keys_are_exactly_the_golden_set(self):
+        assert set(CATALOG) == GOLDEN_METRIC_NAMES
+
+    def test_every_entry_fully_specified(self):
+        for name, spec in CATALOG.items():
+            assert name.startswith("repro_"), name
+            assert spec["type"] in ("counter", "gauge", "histogram"), name
+            assert isinstance(spec["labels"], tuple), name
+            assert all(isinstance(label, str) for label in spec["labels"])
+            assert spec["subsystem"], name
+            assert spec["help"].strip(), name
+
+    def test_counter_names_end_in_total(self):
+        # Prometheus convention; scrapers rely on it for rate().
+        for name, spec in CATALOG.items():
+            if spec["type"] == "counter":
+                assert name.endswith("_total"), name
+
+    def test_timing_histograms_end_in_seconds(self):
+        for name, spec in CATALOG.items():
+            if spec["type"] == "histogram" and "elements" not in name:
+                assert name.endswith("_seconds"), name
+
+
+class TestStatsSchema:
+    def _service(self) -> FilterService:
+        service = FilterService(ShiftingBloomFilter(m=1024, k=4))
+        service.target.add_batch([b"a", b"b"])
+        return service
+
+    def test_stats_top_level_keys_pinned(self):
+        assert set(self._service().stats()) == GOLDEN_STATS_KEYS
+
+    def test_stats_json_matches_stats_dict(self):
+        # The cached-static-fragment fast path must serialise the same
+        # object the dict API reports.
+        service = self._service()
+        assert json.loads(service.stats_json()) == json.loads(
+            json.dumps(service.stats()))
+
+    def test_stats_json_cache_tracks_target_swap(self):
+        service = self._service()
+        before = json.loads(service.stats_json())
+        service._target = ShiftingBloomFilter(m=2048, k=4)
+        after = json.loads(service.stats_json())
+        assert before["size_bits"] != after["size_bits"]
+
+
+class TestMetricsSnapshotSchema:
+    def test_series_shapes_pinned(self):
+        service = FilterService(ShiftingBloomFilter(m=1024, k=4))
+        registry = service.metrics
+        registry.histogram(
+            "repro_server_op_latency_seconds", op="QUERY").observe(0.001)
+        registry.counter(
+            "repro_server_requests_total", op="QUERY").inc()
+        snapshot = json.loads(json.dumps(registry.to_dict()))
+        assert set(snapshot) == {"metrics"}
+        for entry in snapshot["metrics"]:
+            assert GOLDEN_SERIES_BASE_KEYS <= set(entry)
+            if entry["type"] == "histogram":
+                assert set(entry) == GOLDEN_HISTOGRAM_KEYS
+            else:
+                assert set(entry) == GOLDEN_SERIES_BASE_KEYS | {"value"}
+
+    def test_prometheus_types_match_catalog(self):
+        registry = FilterService(
+            ShiftingBloomFilter(m=1024, k=4)).metrics
+        registry.counter("repro_server_requests_total", op="PING").inc()
+        registry.gauge("repro_server_inflight").set(0)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_server_requests_total counter" in text
+        assert "# TYPE repro_server_inflight gauge" in text

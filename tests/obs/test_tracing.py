@@ -1,0 +1,134 @@
+"""Tracer behaviour: ids, sinks, span records, path reconstruction."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.tracing import (
+    Tracer,
+    format_trace_id,
+    load_span_records,
+    parse_trace_id,
+    reconstruct,
+    render_trace,
+)
+
+
+class TestTraceIds:
+    def test_format_parse_round_trip(self):
+        for trace_id in (1, 0xDEAD_BEEF, 2**64 - 1):
+            assert parse_trace_id(format_trace_id(trace_id)) == trace_id
+
+    def test_format_is_fixed_width_hex(self):
+        assert format_trace_id(1) == "0" * 15 + "1"
+        assert len(format_trace_id(2**64 - 1)) == 16
+
+    def test_minted_ids_nonzero_and_seeded(self):
+        a = Tracer(seed=7)
+        b = Tracer(seed=7)
+        ids = [a.new_trace_id() for _ in range(50)]
+        assert all(ids)
+        assert ids == [b.new_trace_id() for _ in range(50)]
+
+
+class TestSpans:
+    def test_list_sink_collects_dicts(self):
+        spans = []
+        tracer = Tracer(component="client", sink=spans)
+        with tracer.span("client.request", 0xAB, kind="read") as extra:
+            extra["n_elements"] = 4
+        (record,) = spans
+        assert record["trace"] == format_trace_id(0xAB)
+        assert record["span"] == "client.request"
+        assert record["component"] == "client"
+        assert record["kind"] == "read"
+        assert record["n_elements"] == 4
+        assert record["dur_s"] >= 0.0
+
+    def test_span_emitted_on_exception_with_error_field(self):
+        spans = []
+        tracer = Tracer(sink=spans)
+        with pytest.raises(RuntimeError):
+            with tracer.span("server.request", 1):
+                raise RuntimeError("boom")
+        assert spans[0]["error"] == "RuntimeError"
+
+    def test_file_sink_writes_json_lines(self):
+        sink = io.StringIO()
+        tracer = Tracer(component="node:x", sink=sink)
+        with tracer.span("coalescer.batch", 2):
+            pass
+        record = json.loads(sink.getvalue())
+        assert record["span"] == "coalescer.batch"
+
+    def test_none_sink_logs(self, caplog):
+        tracer = Tracer(sink=None)
+        with caplog.at_level(logging.INFO, logger="repro.trace"):
+            with tracer.span("client.request", 3):
+                pass
+        assert any("client.request" in r.message for r in caplog.records)
+
+    def test_bad_sink_refused(self):
+        with pytest.raises(TypeError):
+            Tracer(sink=42)
+
+
+def _record(span, trace_id, start, **fields):
+    base = {"trace": format_trace_id(trace_id), "span": span,
+            "component": "x", "start": start, "dur_s": 0.001}
+    base.update(fields)
+    return base
+
+
+class TestReconstruction:
+    def test_orders_by_rank_then_start(self):
+        # Deliberately shuffled, with a sibling pair inside one level.
+        records = [
+            _record("coalescer.batch", 5, 10.0),
+            _record("client.sub_request", 5, 2.0, owner="b"),
+            _record("server.request", 5, 3.0),
+            _record("client.request", 5, 1.0),
+            _record("client.sub_request", 5, 1.5, owner="a"),
+            _record("client.request", 9, 0.0),  # another trace
+        ]
+        path = reconstruct(records, 5)
+        assert [r["span"] for r in path] == [
+            "client.request", "client.sub_request", "client.sub_request",
+            "server.request", "coalescer.batch"]
+        assert [r.get("owner") for r in path[1:3]] == ["a", "b"]
+
+    def test_unknown_span_names_sink_to_the_bottom(self):
+        records = [
+            _record("mystery.hop", 5, 0.0),
+            _record("client.request", 5, 9.0),
+        ]
+        assert [r["span"] for r in reconstruct(records, 5)] == [
+            "client.request", "mystery.hop"]
+
+    def test_render_trace_mentions_every_hop(self):
+        records = [
+            _record("client.request", 5, 1.0),
+            _record("server.request", 5, 2.0),
+        ]
+        text = render_trace(records, 5)
+        assert "client.request" in text and "server.request" in text
+        assert format_trace_id(5) in text
+
+    def test_render_empty(self):
+        assert "no spans" in render_trace([], 5)
+
+    def test_load_span_records_skips_non_json_lines(self):
+        lines = [
+            "repro.service listening on 127.0.0.1:4000",
+            json.dumps(_record("client.request", 5, 1.0)),
+            "{not json",
+            json.dumps({"some": "dict without a trace"}),
+            "",
+        ]
+        records = load_span_records(lines)
+        assert len(records) == 1
+        assert records[0]["span"] == "client.request"

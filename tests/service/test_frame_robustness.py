@@ -59,15 +59,37 @@ class TestMalformedOp:
         async def scenario(port, service):
             reader, writer = await asyncio.open_connection(
                 "127.0.0.1", port)
-            writer.write(protocol.encode_frame(7, 0xEE, b""))
+            # 0x6E keeps the high (trace-flag) bit clear: this is an
+            # unknown *op*, not a malformed trace field.
+            writer.write(protocol.encode_frame(7, 0x6E, b""))
             await writer.drain()
             data = await read_until_closed(reader)
             # One ERR frame came back before the close.
-            request_id, status, payload = protocol.decode_frame(data)
+            request_id, status, payload, _trace = protocol.decode_frame(
+                data)
             assert request_id == 7
             assert status == protocol.STATUS_ERR
             name, message = protocol.decode_error(payload)
             assert "op" in message
+            writer.close()
+
+        service = robustness_run(scenario)
+        assert service.counters.protocol_errors >= 1
+        assert service.counters.connections_dropped >= 1
+
+
+class TestTraceFlagWithoutTraceId:
+    def test_flagged_frame_too_short_drops_connection(self):
+        async def scenario(port, service):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port)
+            # Trace flag set but no 8-byte trace id in the body: the
+            # frame is structurally broken and costs the connection.
+            body = struct.pack("!IB", 7, protocol.OP_PING
+                               | protocol.TRACE_FLAG)
+            writer.write(struct.pack("!I", len(body)) + body)
+            await writer.drain()
+            assert await read_until_closed(reader) == b""
             writer.close()
 
         service = robustness_run(scenario)

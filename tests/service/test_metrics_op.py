@@ -1,0 +1,136 @@
+"""The METRICS wire op and request tracing against a live server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.membership import ShiftingBloomFilter
+from repro.obs import names as metric_names
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer, format_trace_id
+from repro.service.server import CoalescerConfig, FilterService
+
+
+def _filter():
+    f = ShiftingBloomFilter(m=4096, k=4)
+    f.add_batch([b"alpha", b"beta"])
+    return f
+
+
+class TestMetricsOp:
+    def test_text_exposition_after_traffic(self, service_run):
+        async def scenario(client, service, port):
+            await client.query([b"alpha", b"nope"])
+            await client.ping()
+            return await client.metrics()
+
+        text = service_run(_filter(), scenario)
+        assert ('%s{op="QUERY"} 1'
+                % metric_names.SERVER_REQUESTS) in text
+        assert ('%s{op="PING"} 1'
+                % metric_names.SERVER_REQUESTS) in text
+        assert ("# TYPE %s histogram"
+                % metric_names.SERVER_OP_LATENCY) in text
+
+    def test_json_snapshot_merges_into_a_registry(self, service_run):
+        async def scenario(client, service, port):
+            await client.query([b"alpha"])
+            return await client.metrics("json")
+
+        snapshot = service_run(_filter(), scenario)
+        assert isinstance(snapshot, dict) and "metrics" in snapshot
+        aggregate = MetricsRegistry()
+        aggregate.merge_dict(snapshot)
+        aggregate.merge_dict(snapshot)  # two scrapes fold exactly
+        assert aggregate.counter(
+            metric_names.SERVER_REQUESTS, op="QUERY").value == 2
+        hist = aggregate.histogram(
+            metric_names.SERVER_OP_LATENCY, op="QUERY")
+        assert hist.count == 2
+
+    def test_unknown_format_refused_client_side(self, service_run):
+        async def scenario(client, service, port):
+            with pytest.raises(ValueError):
+                await client.metrics("xml")
+            return True
+
+        assert service_run(_filter(), scenario)
+
+    def test_element_sizes_and_coalescer_observed(self, service_run):
+        async def scenario(client, service, port):
+            await client.query([b"alpha", b"beta", b"nope"])
+            return await client.metrics("json")
+
+        snapshot = service_run(
+            _filter(), scenario,
+            CoalescerConfig(max_batch=64, max_delay_us=100))
+        by_name = {}
+        for entry in snapshot["metrics"]:
+            by_name.setdefault(entry["name"], []).append(entry)
+        (sizes,) = [e for e in by_name[metric_names.SERVER_OP_ELEMENTS]
+                    if e["labels"] == {"op": "QUERY"}]
+        assert sizes["count"] == 1 and sizes["sum"] == 3.0
+        (batch,) = [
+            e for e in by_name[metric_names.COALESCER_BATCH_ELEMENTS]
+            if e["count"]]
+        assert batch["sum"] == 3.0
+        flushes = by_name[metric_names.COALESCER_FLUSHES]
+        assert sum(entry["value"] for entry in flushes) >= 1
+
+
+class TestTracedRequests:
+    def test_traced_query_emits_server_spans(self, service_run):
+        spans = []
+
+        async def scenario(client, service, port):
+            service.tracer = Tracer(component="node:test", sink=spans)
+            await client.query([b"alpha"], trace_id=0xC0FFEE)
+            await client.query([b"beta"])  # untraced: no span
+            return await client.query([b"alpha"], trace_id=0xBEEF)
+
+        service_run(_filter(), scenario,
+                    CoalescerConfig(max_batch=64, max_delay_us=100))
+        by_trace = {}
+        for record in spans:
+            by_trace.setdefault(record["trace"], []).append(record)
+        assert set(by_trace) == {
+            format_trace_id(0xC0FFEE), format_trace_id(0xBEEF)}
+        names = {r["span"] for r in by_trace[format_trace_id(0xC0FFEE)]}
+        assert "server.request" in names
+        assert "coalescer.batch" in names
+
+    def test_untraced_traffic_emits_nothing(self, service_run):
+        spans = []
+
+        async def scenario(client, service, port):
+            service.tracer = Tracer(component="node:test", sink=spans)
+            await client.query([b"alpha"])
+            await client.add([b"gamma"])
+            return True
+
+        assert service_run(_filter(), scenario)
+        assert spans == []
+
+
+def test_metrics_disabled_service_serves_empty_exposition():
+    # A disabled registry is a supported production mode: the server
+    # still answers METRICS, with an empty exposition.
+    import asyncio
+
+    from repro.service.client import ServiceClient
+
+    async def main():
+        svc = FilterService(
+            _filter(), metrics=MetricsRegistry(enabled=False))
+        server = await svc.start(port=0)
+        port = server.sockets[0].getsockname()[1]
+        client = await ServiceClient.connect(port=port)
+        try:
+            await client.query([b"alpha"])
+            return await client.metrics()
+        finally:
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+    assert asyncio.run(main()) == ""

@@ -27,11 +27,40 @@ class TestFrames:
     def test_round_trip(self):
         frame = protocol.encode_frame(41, protocol.OP_QUERY, b"payload")
         assert protocol.decode_frame(frame) == (
-            41, protocol.OP_QUERY, b"payload")
+            41, protocol.OP_QUERY, b"payload", None)
 
     def test_empty_payload_round_trip(self):
         frame = protocol.encode_frame(0, protocol.OP_PING)
-        assert protocol.decode_frame(frame) == (0, protocol.OP_PING, b"")
+        assert protocol.decode_frame(frame) == (
+            0, protocol.OP_PING, b"", None)
+
+    def test_traced_round_trip(self):
+        trace = 0xDEAD_BEEF_CAFE_F00D
+        frame = protocol.encode_frame(9, protocol.OP_QUERY, b"q",
+                                      trace_id=trace)
+        assert protocol.decode_frame(frame) == (
+            9, protocol.OP_QUERY, b"q", trace)
+
+    def test_untraced_frame_bytes_unchanged(self):
+        # The trace field is strictly opt-in: without a trace id the
+        # encoding is byte-identical to the pre-tracing wire format.
+        frame = protocol.encode_frame(41, protocol.OP_QUERY, b"payload")
+        assert frame[8] == protocol.OP_QUERY
+        assert frame[8] & protocol.TRACE_FLAG == 0
+        traced = protocol.encode_frame(41, protocol.OP_QUERY, b"payload",
+                                       trace_id=1)
+        assert len(traced) == len(frame) + 8
+        assert traced[8] == protocol.OP_QUERY | protocol.TRACE_FLAG
+
+    def test_traced_frame_too_short_rejected(self):
+        # A flagged frame whose body can't hold the 8-byte trace id is
+        # malformed, not silently untraced.
+        frame = protocol.encode_frame(3, protocol.OP_PING, b"abc",
+                                      trace_id=5)
+        body = frame[4:4 + 4 + 1 + 4]  # req id + code + 4 of 8 id bytes
+        mangled = len(body).to_bytes(4, "big") + body
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(mangled)
 
     def test_truncated_frame_rejected(self):
         with pytest.raises(ProtocolError):
@@ -79,12 +108,13 @@ class TestFrames:
             reader = asyncio.StreamReader()
             reader.feed_data(protocol.encode_frame(3, protocol.OP_STATS))
             reader.feed_data(
-                protocol.encode_frame(4, protocol.OP_QUERY, b"q"))
+                protocol.encode_frame(4, protocol.OP_QUERY, b"q",
+                                      trace_id=0x42))
             reader.feed_eof()
             assert await protocol.read_frame(reader) == (
-                3, protocol.OP_STATS, b"")
+                3, protocol.OP_STATS, b"", None)
             assert await protocol.read_frame(reader) == (
-                4, protocol.OP_QUERY, b"q")
+                4, protocol.OP_QUERY, b"q", 0x42)
             assert await protocol.read_frame(reader) is None
 
         asyncio.run(main())

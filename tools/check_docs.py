@@ -16,7 +16,12 @@ references to things that aren't defined:
   constant in ``repro/service/protocol.py``;
 * **error types**: every ``SomethingError`` token must be a class
   defined in ``repro/errors.py`` or a Python builtin — docs promising
-  a typed refusal must name a refusal that exists.
+  a typed refusal must name a refusal that exists;
+* **metric names**: every ``repro_*`` token must be an entry of the
+  catalog in ``repro/obs/names.py``, and — the only check that runs in
+  *both* directions — every catalog entry must appear in the
+  ``docs/OPERATIONS.md`` metrics table: an undocumented metric is as
+  much drift as a documented ghost.
 
 Checked files: ``docs/*.md`` and ``README.md``.  Exit status 0 when
 clean, 1 with a ``file:line`` listing otherwise::
@@ -48,6 +53,12 @@ _DOC_OP = re.compile(r"\b(OP_[A-Z_]+)\b")
 _TABLE_OP_ROW = re.compile(r"^\|\s*`?([A-Z][A-Z_]+)`?\s*\|\s*(\d+)\s*\|")
 _ERROR_CLASS = re.compile(r"^class\s+(\w+Error)\b", re.MULTILINE)
 _DOC_ERROR = re.compile(r"\b([A-Z][A-Za-z]*Error)\b")
+#: A catalog entry in repro/obs/names.py — the module keeps the fixed
+#: ``"name": _spec("kind", ...)`` one-entry-per-line shape so this
+#: checker needs no imports.
+_CATALOG_ENTRY = re.compile(
+    r'^\s*"(repro_[a-z0-9_]+)":\s*_spec\(', re.MULTILINE)
+_DOC_METRIC = re.compile(r"\b(repro_[a-z0-9_]+)\b")
 
 
 def known_flags() -> set:
@@ -80,6 +91,13 @@ def known_errors() -> set:
     return errors
 
 
+def known_metrics() -> set:
+    names_py = REPO / "src" / "repro" / "obs" / "names.py"
+    if not names_py.is_file():
+        return set()
+    return set(_CATALOG_ENTRY.findall(names_py.read_text()))
+
+
 def doc_files() -> list:
     docs = sorted((REPO / "docs").glob("*.md")) if (
         REPO / "docs").is_dir() else []
@@ -93,11 +111,20 @@ def check() -> list:
     flags = known_flags()
     ops = known_ops()
     errors = known_errors()
+    metrics = known_metrics()
+    documented_metrics = set()
     problems = []
     for path in doc_files():
         rel = path.relative_to(REPO)
         for lineno, line in enumerate(
                 path.read_text().splitlines(), start=1):
+            for name in _DOC_METRIC.findall(line):
+                documented_metrics.add(name)
+                if name not in metrics:
+                    problems.append(
+                        "%s:%d: unknown metric %s (not in the "
+                        "repro/obs/names.py catalog)"
+                        % (rel, lineno, name))
             for flag in _DOC_FLAG.findall(line):
                 if flag not in flags:
                     problems.append(
@@ -117,6 +144,13 @@ def check() -> list:
                 problems.append(
                     "%s:%d: wire table names unknown op %s"
                     % (rel, lineno, row.group(1)))
+    # The reverse direction is scoped to the runbook: only a sweep that
+    # actually read OPERATIONS.md can claim a metric is undocumented.
+    if any(path.name == "OPERATIONS.md" for path in doc_files()):
+        for name in sorted(metrics - documented_metrics):
+            problems.append(
+                "docs/OPERATIONS.md: catalog metric %s is undocumented "
+                "(add it to the metrics table)" % name)
     return problems
 
 
@@ -130,9 +164,9 @@ def main() -> int:
             print("  " + problem, file=sys.stderr)
         return 1
     print("docs consistent: %d file(s), %d known flags, %d known ops, "
-          "%d known error types"
+          "%d known error types, %d catalogued metrics"
           % (len(docs), len(known_flags()), len(known_ops()),
-             len(known_errors())))
+             len(known_errors()), len(known_metrics())))
     return 0
 
 
