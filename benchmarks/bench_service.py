@@ -295,6 +295,44 @@ async def _bench_observability(args, workload) -> dict:
     }
 
 
+async def _bench_mpserve_axis(args, workload) -> list:
+    """The ``--workers`` axis: fleet sizes served through repro.mpserve.
+
+    One supervisor per requested size, the usual in-process async
+    driver against its shared serve port.  A single-loop driver caps
+    what it can pump, so cross-size ratios here are indicative — the
+    dedicated ``bench_mpserve.py`` (process-isolated drivers, paired
+    rounds) is the measurement that gates scaling claims.
+    """
+    from repro.mpserve.supervisor import (
+        MultiWorkerSupervisor,
+        SupervisorConfig,
+    )
+
+    n_clients = max(args.clients)
+    requests = workload.request_stream(args.per_request)
+    n_queries = sum(len(r) for r in requests)
+    rows = []
+    for workers in args.workers:
+        sup = MultiWorkerSupervisor(SupervisorConfig(
+            workers=workers, preload=args.n, seed=args.seed))
+        await sup.start()
+        try:
+            best = float("inf")
+            for _ in range(max(args.repeats, 1) + 1):  # first = warm-up
+                elapsed = await _run_load(
+                    sup.serve_port, requests, n_clients, args.pipeline)
+                best = min(best, elapsed)
+        finally:
+            await sup.stop()
+        rows.append({
+            "workers": workers,
+            "clients": n_clients,
+            "elements_per_s": round(n_queries / best) if best > 0 else 0,
+        })
+    return rows
+
+
 async def bench(args) -> dict:
     workload = build_service_workload(args.n, seed=args.seed)
     rows = []
@@ -320,7 +358,7 @@ async def bench(args) -> dict:
     families, family_ratios = await _bench_families(
         args, workload, ("blake2b", "vector64"),
         fam_clients, fam_batch, fam_delay)
-    return {
+    results = {
         "rows": rows,
         "families": {
             "rows": families,
@@ -328,6 +366,9 @@ async def bench(args) -> dict:
         },
         "observability": await _bench_observability(args, workload),
     }
+    if args.workers:
+        results["mpserve"] = await _bench_mpserve_axis(args, workload)
+    return results
 
 
 def render_table(results: dict) -> str:
@@ -358,6 +399,14 @@ def render_table(results: dict) -> str:
             "%d elems/s, on %d elems/s -> ratio %.4f"
             % (obs["clients"], obs["disabled_elements_per_s"],
                obs["enabled_elements_per_s"], obs["overhead_ratio"]))
+    mpserve = results.get("mpserve")
+    if mpserve:
+        lines.append("")
+        lines.append("mpserve fleets (%d clients, in-process driver):"
+                     % mpserve[0]["clients"])
+        for row in mpserve:
+            lines.append("  %2d worker(s) %12d elems/s" % (
+                row["workers"], row["elements_per_s"]))
     return "\n".join(lines)
 
 
@@ -424,6 +473,9 @@ def main(argv=None) -> int:
     parser.add_argument("--pipeline", type=int, default=4,
                         help="requests each client keeps in flight")
     parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--workers", type=int, nargs="*", default=[],
+                        help="also serve through repro.mpserve fleets "
+                             "of these sizes (e.g. --workers 1 2 4)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--smoke", action="store_true",
                         help="tiny workload, single repeat (CI sanity run)")

@@ -271,7 +271,15 @@ class BitArray:
     # the kernels with ``record=False`` and bill the prefix themselves.
 
     def as_numpy(self) -> np.ndarray:
-        """Writable zero-copy ``uint8`` view of the backing buffer."""
+        """Zero-copy ``uint8`` view of the backing buffer.
+
+        The backing store is a ``bytearray`` (or, for an array built by
+        :meth:`attach_readonly`, a read-only ``memoryview`` over an
+        external buffer); the view's writeable flag tracks the backing
+        buffer.  Do not rely on that flag alone to police writes —
+        ``np.ufunc.at`` ignores it — the batch write kernels guard with
+        :meth:`_check_writable` instead.
+        """
         return np.frombuffer(self._buf, dtype=np.uint8)
 
     def _check_batch(self, positions: np.ndarray) -> None:
@@ -346,8 +354,19 @@ class BitArray:
         view = self.as_numpy()
         return ((view[positions >> 3] >> (positions & 7)) & 1).astype(bool)
 
+    def _check_writable(self) -> None:
+        # ``np.ufunc.at`` ignores the writeable flag (observed on numpy
+        # 2.4: it happily scribbles on a read-only view), so the batch
+        # write kernels cannot rely on NumPy to police an attached
+        # shared segment the way the scalar ops rely on memoryview.
+        if self.readonly:
+            raise TypeError(
+                "BitArray is read-only (attached to an external "
+                "buffer); writes must go to the owning writer")
+
     def set_bits_batch(self, positions, record: bool = True) -> None:
         """Vectorised :meth:`set`: one recorded write per position."""
+        self._check_writable()
         positions = as_batch_int64(positions).ravel()
         self._check_batch(positions)
         if positions.size == 0:
@@ -369,6 +388,7 @@ class BitArray:
         base spanning the row's largest offset — the construction-phase
         accounting of the shifting framework.
         """
+        self._check_writable()
         bases = as_batch_int64(bases)
         offsets = np.atleast_2d(as_batch_int64(offsets))
         if bases.size == 0:
@@ -445,6 +465,68 @@ class BitArray:
     def to_bytes(self) -> bytes:
         """Serialise the raw bit buffer (LSB-first within each byte)."""
         return bytes(self._buf)
+
+    @property
+    def readonly(self) -> bool:
+        """Whether the backing buffer refuses writes.
+
+        ``False`` for ordinary (``bytearray``-backed) arrays; ``True``
+        for arrays built by :meth:`attach_readonly`.  Write entry
+        points are not pre-checked — a write against a read-only array
+        raises at the buffer layer (``TypeError`` from the memoryview
+        for scalar ops, ``ValueError`` from NumPy for batch kernels),
+        which keeps the hot paths branch-free.
+        """
+        buf = self._buf
+        return isinstance(buf, memoryview) and buf.readonly
+
+    def export_readonly(self) -> memoryview:
+        """Read-only zero-copy ``memoryview`` of the backing buffer.
+
+        This is the publish-side half of shared-memory serving: the
+        writer copies exactly these bytes into a shared segment, and
+        readers re-wrap them with :meth:`attach_readonly`.  The view
+        is contiguous ``uint8`` — the buffer is a flat ``bytearray``,
+        *not* a ``uint64`` array (a widened dtype would impose
+        8-byte-multiple buffer lengths the bit math never needs).
+        """
+        view = memoryview(self._buf)
+        return view if view.readonly else view.toreadonly()
+
+    @classmethod
+    def attach_readonly(
+        cls, buffer, nbits: int, memory: Optional[MemoryModel] = None
+    ) -> "BitArray":
+        """Wrap an external buffer as a read-only array — zero copy.
+
+        *buffer* is any object exposing a C-contiguous byte buffer of
+        exactly ``(nbits + 7) // 8`` bytes — typically a slice of a
+        ``multiprocessing.shared_memory`` segment holding a published
+        filter generation.  The returned array shares that memory: no
+        bytes are copied, and every read (scalar, windowed, or batch)
+        behaves exactly like the ``bytearray``-backed original.  Writes
+        raise at the buffer layer (see :attr:`readonly`).
+
+        :meth:`copy` on an attached array yields an ordinary writable
+        deep copy, which is how a restarted writer warms up from the
+        last published generation.
+        """
+        require_positive("nbits", nbits)
+        view = memoryview(buffer)
+        if view.ndim != 1 or view.itemsize != 1:
+            view = view.cast("B")
+        if not view.readonly:
+            view = view.toreadonly()
+        if len(view) != (nbits + 7) // 8:
+            raise ConfigurationError(
+                "buffer of %d bytes does not match %d bits"
+                % (len(view), nbits)
+            )
+        arr = cls.__new__(cls)
+        arr._nbits = nbits
+        arr._buf = view
+        arr.memory = memory if memory is not None else MemoryModel()
+        return arr
 
     @classmethod
     def from_bytes(

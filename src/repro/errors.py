@@ -176,6 +176,19 @@ class StaleShardMapError(ClusterError):
     """
 
 
+class WriterUnavailableError(ReproError, RuntimeError):
+    """A read worker could not forward a write to the mpserve writer.
+
+    Read workers own no mutable state: ADD/ADD_IDEM arriving on a
+    worker connection are relayed to the single writer process.  When
+    that relay fails (writer crashed and the supervisor is still
+    restarting it), the worker answers with this error instead of
+    faking an ack — the write was *not* applied.  Clients should retry
+    with ADD_IDEM semantics; the restarted writer's idempotency window
+    deduplicates any relay that did land before the crash.
+    """
+
+
 def remote_error(name: str, message: str) -> ReproError:
     """Materialise a server-reported error as a local exception.
 

@@ -1,0 +1,47 @@
+"""Multi-process, zero-copy serving: shared snapshots + worker fleet.
+
+The asyncio service (:mod:`repro.service`) is single-process and
+GIL-bound; this package lets one machine serve reads from every core.
+It splits the hosted structure into
+
+* a single **writer** process owning all mutating traffic
+  (ADD/ADD_IDEM), which periodically *publishes* immutable generations
+  of the filter buffers into ``multiprocessing.shared_memory`` segments
+  (:mod:`repro.store.shm` is the byte format), announced through a
+  seqlock-style header (:mod:`repro.mpserve.genheader`); and
+* N **read workers**, each a full :class:`~repro.service.FilterService`
+  with its own coalescer, all accepting on one SO_REUSEPORT port and
+  answering QUERY/QUERY_MULTI from a zero-copy read-only attach of the
+  latest generation.  Writes arriving at a worker are forwarded to the
+  writer verbatim (:mod:`repro.mpserve.worker`).
+
+A front :class:`~repro.mpserve.supervisor.MultiWorkerSupervisor`
+spawns, monitors and restarts the fleet, and aggregates per-process
+telemetry (``MetricsRegistry.merge_dict``) behind a control port.
+
+Start it with ``python -m repro.mpserve serve --workers 4`` or via
+``python -m repro.service serve --workers 4``.
+"""
+
+from repro.mpserve.genheader import HEADER_BYTES, GenerationHeader
+from repro.mpserve.segments import (
+    GenerationPublisher,
+    GenerationReader,
+    attach_segment,
+    purge_segments,
+)
+from repro.mpserve.supervisor import (
+    MultiWorkerSupervisor,
+    SupervisorConfig,
+)
+
+__all__ = [
+    "HEADER_BYTES",
+    "GenerationHeader",
+    "GenerationPublisher",
+    "GenerationReader",
+    "MultiWorkerSupervisor",
+    "SupervisorConfig",
+    "attach_segment",
+    "purge_segments",
+]

@@ -1,0 +1,142 @@
+"""CLI for the multi-process serving mode.
+
+::
+
+    # 4 read workers + 1 writer on port 47500, control port 47501
+    python -m repro.mpserve serve --port 47500 --control-port 47501 \
+        --workers 4 --shards 4 --preload 2000
+
+    # remove leaked segments after a SIGKILLed fleet
+    python -m repro.mpserve purge --base-name repro-mps-ab12cd34
+
+``python -m repro.service serve --workers N`` delegates here, so one
+entry point covers both serving modes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+
+from repro.mpserve.segments import purge_segments
+from repro.mpserve.supervisor import (
+    MultiWorkerSupervisor,
+    SupervisorConfig,
+)
+
+__all__ = ["build_parser", "main", "run_supervisor"]
+
+
+def config_from_args(args: argparse.Namespace) -> SupervisorConfig:
+    return SupervisorConfig(
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        control_port=args.control_port,
+        writer_port=args.writer_port,
+        shards=args.shards,
+        m=args.m,
+        k=args.k,
+        family=args.family,
+        max_batch=args.max_batch,
+        max_delay_us=args.max_delay_us,
+        max_inflight=args.max_inflight,
+        publish_interval_ms=args.publish_interval_ms,
+        preload=args.preload,
+        seed=args.seed,
+        fd_passing=args.fd_passing,
+    )
+
+
+async def run_supervisor(config: SupervisorConfig) -> int:
+    # A plain `kill` must still unlink the shared segments: without a
+    # SIGTERM handler the process dies before ``supervisor.stop()``
+    # runs and the fleet's /dev/shm files outlive it (that is what
+    # ``purge`` is for, but the graceful path should not need it).
+    # Installed before start() so a kill during worker bring-up is
+    # honoured as soon as start() returns.
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    supervisor = MultiWorkerSupervisor(config)
+    await supervisor.start()
+    print("repro.mpserve serving on %s:%d (%d workers, writer :%d, "
+          "control :%d, generation %d)"
+          % (config.host, supervisor.serve_port, config.workers,
+             supervisor.writer_port, supervisor.control_port,
+             supervisor.generation()), flush=True)
+    try:
+        await stop.wait()
+        return 0
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        return 0
+    finally:
+        await supervisor.stop()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.mpserve",
+        description="Multi-worker zero-copy serving mode.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="run a supervisor + writer + N read workers")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="shared serve port (0 picks a free one)")
+    serve.add_argument("--control-port", type=int, default=0,
+                       help="supervisor PING/STATS/METRICS port")
+    serve.add_argument("--writer-port", type=int, default=0,
+                       help="stable writer port (0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="number of read worker processes")
+    serve.add_argument("--shards", type=int, default=4,
+                       help="hosted store shards (0: one plain filter)")
+    serve.add_argument("--m", type=int, default=262144,
+                       help="bits per shard filter")
+    serve.add_argument("--k", type=int, default=8)
+    serve.add_argument("--family", default="vector64",
+                       help="probe hash family kind")
+    serve.add_argument("--max-batch", type=int, default=512)
+    serve.add_argument("--max-delay-us", type=int, default=200)
+    serve.add_argument("--max-inflight", type=int, default=1024)
+    serve.add_argument("--publish-interval-ms", type=float, default=25.0,
+                       help="min spacing between generation publishes")
+    serve.add_argument("--preload", type=int, default=0,
+                       help="preload N workload members into the store")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--fd-passing", action="store_true",
+                       help="parent-acceptor fallback instead of "
+                            "SO_REUSEPORT (the supervisor binds the "
+                            "serve socket and passes its fd)")
+
+    purge = sub.add_parser(
+        "purge", help="unlink segments left by a SIGKILLed fleet")
+    purge.add_argument("--base-name", required=True,
+                       help="fleet namespace, e.g. repro-mps-ab12cd34")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        try:
+            return asyncio.run(run_supervisor(config_from_args(args)))
+        except KeyboardInterrupt:
+            return 0
+    if args.command == "purge":
+        removed = purge_segments(args.base_name)
+        print("purged %d segment(s) of %s" % (removed, args.base_name))
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

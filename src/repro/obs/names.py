@@ -60,6 +60,16 @@ CLIENT_DEADLINE_TIMEOUTS = "repro_client_deadline_timeouts_total"
 CLIENT_BREAKER_OPENS = "repro_client_breaker_opens_total"
 CLIENT_FAILOVERS = "repro_client_failovers_total"
 
+# --- multi-process serving (repro.mpserve) ----------------------------
+MPSERVE_GENERATION = "repro_mpserve_generation"
+MPSERVE_PUBLISHES = "repro_mpserve_publishes_total"
+MPSERVE_PUBLISH_SECONDS = "repro_mpserve_publish_seconds"
+MPSERVE_PENDING_WRITES = "repro_mpserve_pending_writes"
+MPSERVE_READER_RETRIES = "repro_mpserve_reader_retries_total"
+MPSERVE_WRITES_FORWARDED = "repro_mpserve_writes_forwarded_total"
+MPSERVE_WORKERS_ALIVE = "repro_mpserve_workers_alive"
+MPSERVE_WORKER_RESTARTS = "repro_mpserve_worker_restarts_total"
+
 # --- drills (artifacts share the live histogram format) ---------------
 DRILL_OP_LATENCY = "repro_drill_op_latency_seconds"
 DRILL_STALL = "repro_drill_stall_seconds"
@@ -91,6 +101,14 @@ CATALOG: Dict[str, dict] = {
     "repro_client_deadline_timeouts_total": _spec("counter", (), "client", "Requests failed client-side by their deadline."),
     "repro_client_breaker_opens_total": _spec("counter", (), "client", "Circuit-breaker opens against an endpoint."),
     "repro_client_failovers_total": _spec("counter", (), "client", "Reads re-routed to another endpoint after a failure."),
+    "repro_mpserve_generation": _spec("gauge", (), "mpserve", "Latest filter generation: published (writer) or attached (worker)."),
+    "repro_mpserve_publishes_total": _spec("counter", (), "mpserve", "Generations published by the writer into shared memory."),
+    "repro_mpserve_publish_seconds": _spec("histogram", (), "mpserve", "Time to export, announce and retire one published generation."),
+    "repro_mpserve_pending_writes": _spec("gauge", (), "mpserve", "Writes applied by the writer since its last publish."),
+    "repro_mpserve_reader_retries_total": _spec("counter", (), "mpserve", "Torn/raced generation reads retried by a worker (seqlock + attach races)."),
+    "repro_mpserve_writes_forwarded_total": _spec("counter", ("op",), "mpserve", "Write requests a read worker forwarded to the writer, by wire op."),
+    "repro_mpserve_workers_alive": _spec("gauge", (), "mpserve", "Read workers currently alive under the supervisor."),
+    "repro_mpserve_worker_restarts_total": _spec("counter", ("role",), "mpserve", "Crashed processes the supervisor restarted: role=worker or writer."),
     "repro_drill_op_latency_seconds": _spec("histogram", ("drill",), "drills", "Per-op latency distribution recorded by a chaos or migration drill."),
     "repro_drill_stall_seconds": _spec("histogram", ("drill",), "drills", "Client-visible stall (ops overlapping a migration) in the cluster drill."),
 }

@@ -70,6 +70,27 @@ def open_trace_log(path: str):
 
 
 async def _serve(args: argparse.Namespace) -> int:
+    if args.workers > 0:
+        # Multi-process mode: delegate to the mpserve supervisor — one
+        # writer owning the mutable store, N read workers answering
+        # queries from shared read-only generation snapshots.
+        from repro.mpserve.__main__ import run_supervisor
+        from repro.mpserve.supervisor import SupervisorConfig
+
+        return await run_supervisor(SupervisorConfig(
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            shards=args.shards,
+            m=args.m,
+            k=args.k,
+            family=args.family,
+            max_batch=args.max_batch,
+            max_delay_us=args.max_delay_us,
+            max_inflight=args.max_inflight,
+            preload=args.preload,
+            seed=args.seed,
+        ))
     target = _build_target(args.shards, args.m, args.k, args.family)
     if args.preload > 0:
         workload = build_service_workload(args.preload, seed=args.seed)
@@ -130,7 +151,24 @@ async def _bench(args: argparse.Namespace) -> int:
         args.host, args.port, connect_timeout=args.connect_timeout,
         op_timeout=args.op_timeout)
     try:
-        await loader.add(list(workload.members))
+        members = list(workload.members)
+        acked = await loader.add(members)
+        # Against a multi-process fleet an acknowledged ADD becomes
+        # visible at the next generation publish, not instantly.  One
+        # ADD frame is applied and published atomically, so polling
+        # the last-loaded member is an exact barrier for the whole
+        # batch; the classic server answers True on the first probe.
+        # Only a *fully acknowledged* load earns the wait — anything
+        # short of that must fall through to the member-verdict check,
+        # which is the failure this bench exists to detect.
+        if acked == len(members):
+            deadline = time.perf_counter() + 10.0
+            while not (await loader.query(members[-1:]))[0]:
+                if time.perf_counter() > deadline:
+                    print("bench: loaded members not visible after "
+                          "10 s; querying anyway", file=sys.stderr)
+                    break
+                await asyncio.sleep(0.01)
         requests = workload.request_stream(args.elements_per_request)
 
         async def run_client(client_id: int) -> int:
@@ -213,6 +251,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="probe-hash family kind for the hosted "
                             "filters (vector64 = vetted vectorised "
                             "mixers; blake2b = cryptographic lanes)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="serve multi-process: N read workers + one "
+                            "writer via repro.mpserve (0: classic "
+                            "single-process server)")
     serve.add_argument("--trace-log", default="",
                        help="append JSON span records of traced "
                             "requests to this file (read back with "

@@ -1,0 +1,224 @@
+"""Store-wide generation snapshots for shared-memory serving.
+
+The multi-process serving mode (:mod:`repro.mpserve`) publishes the
+hosted structure as *generations*: immutable byte images that read-only
+worker processes attach without copying.  This module is the
+format half of that protocol — it turns a hosted target (a
+:class:`~repro.store.ShardedFilterStore` or a single snapshot-capable
+filter) into
+
+* a JSON-able **meta** dict describing the geometry: filter type,
+  ``m``/``k``/``w_bar``/``word_bits``, the hash family ``(kind, seed)``
+  spec, per-shard ``n_items``, and each shard's byte ``offset`` and
+  length inside the payload, plus the router spec for stores; and
+* a flat **payload**: the shards' raw :class:`~repro.bitarray.BitArray`
+  buffers concatenated in shard order.
+
+``export_into`` writes the payload into any writable buffer (in
+practice a ``multiprocessing.shared_memory`` segment); ``attach_target``
+rebuilds the same structure over that buffer *zero-copy* — every shard's
+``BitArray`` is a read-only view into the segment via
+:meth:`~repro.bitarray.BitArray.attach_readonly`, so N workers share one
+physical copy of the bits.  Attached targets answer ``query_batch``
+bit-identically to the original; writes fail at the buffer layer.
+
+The meta/payload split deliberately mirrors :mod:`repro.persistence`
+(same type tags, same family-spec round-trip) but skips its digests and
+framing: a generation lives in page-cache-speed shared memory guarded by
+the seqlock header (:mod:`repro.mpserve.genheader`), not on disk where
+torn writes survive restarts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Tuple
+
+from repro.bitarray import BitArray
+from repro.baselines.bloom import BloomFilter
+from repro.baselines.one_mem_bloom import OneMemoryBloomFilter
+from repro.core.membership import ShiftingBloomFilter
+from repro.errors import ConfigurationError, UnsupportedSnapshotError
+from repro.hashing.family import family_spec, make_family
+from repro.store.router import ShardRouter
+from repro.store.sharded import ShardedFilterStore
+
+__all__ = [
+    "snapshot_meta",
+    "snapshot_nbytes",
+    "export_into",
+    "attach_target",
+    "materialize",
+]
+
+
+def _filter_family(filt):
+    """The shard's hash family (``OneMemoryBloomFilter`` hides it)."""
+    return filt.family if hasattr(filt, "family") else filt._family
+
+
+def _filter_meta(filt, offset: int) -> dict:
+    """One shard's geometry + its byte placement in the payload."""
+    if isinstance(filt, ShiftingBloomFilter):
+        kind, seed = family_spec(filt.family)
+        return {
+            "type": "shbf_m", "m": filt.m, "k": filt.k,
+            "w_bar": filt.w_bar, "word_bits": filt.policy.word_bits,
+            "family": kind, "seed": seed, "n_items": filt.n_items,
+            "nbits": filt.bits.nbits, "nbytes": filt.bits.nbytes,
+            "offset": offset,
+        }
+    if isinstance(filt, OneMemoryBloomFilter):
+        kind, seed = family_spec(_filter_family(filt))
+        return {
+            "type": "one_mem_bf", "m": filt.m, "k": filt.k,
+            "word_bits": filt.word_bits,
+            "family": kind, "seed": seed, "n_items": filt.n_items,
+            "nbits": filt.bits.nbits, "nbytes": filt.bits.nbytes,
+            "offset": offset,
+        }
+    if isinstance(filt, BloomFilter):
+        kind, seed = family_spec(filt.family)
+        return {
+            "type": "bf", "m": filt.m, "k": filt.k,
+            "family": kind, "seed": seed, "n_items": filt.n_items,
+            "nbits": filt.bits.nbits, "nbytes": filt.bits.nbytes,
+            "offset": offset,
+        }
+    raise UnsupportedSnapshotError(
+        "%s cannot be exported to a shared-memory generation: only "
+        "bits-only filters have an immutable byte image (counting "
+        "updater state lives DRAM-side)" % type(filt).__name__
+    )
+
+
+def snapshot_meta(target) -> dict:
+    """Describe *target* for a generation publish (JSON-able).
+
+    The per-shard entries carry everything ``attach_target`` needs to
+    rebuild the structure — including each shard's byte ``offset`` into
+    the flat payload, assigned here in shard order.
+    """
+    if isinstance(target, ShardedFilterStore):
+        shards = []
+        offset = 0
+        for shard in target.shards:
+            meta = _filter_meta(shard, offset)
+            shards.append(meta)
+            offset += meta["nbytes"]
+        return {
+            "kind": "sharded_store",
+            "n_shards": target.n_shards,
+            "router_seed": target.router.seed,
+            "router_family": target.router.family_kind,
+            "shards": shards,
+        }
+    return {"kind": "filter", "shards": [_filter_meta(target, 0)]}
+
+
+def snapshot_nbytes(target) -> int:
+    """Total payload bytes a generation of *target* occupies."""
+    meta = snapshot_meta(target)
+    last = meta["shards"][-1]
+    return last["offset"] + last["nbytes"]
+
+
+def _shard_filters(target) -> Tuple:
+    if isinstance(target, ShardedFilterStore):
+        return target.shards
+    return (target,)
+
+
+def export_into(target, buffer) -> dict:
+    """Write *target*'s raw bit buffers into *buffer*; return the meta.
+
+    *buffer* must be writable and at least ``snapshot_nbytes(target)``
+    long (a shared-memory segment's ``.buf``, a ``bytearray``, …).  One
+    vectorised copy per shard; the source buffers are read through
+    :meth:`BitArray.export_readonly`, so the export can never scribble
+    on the live store.
+    """
+    meta = snapshot_meta(target)
+    view = memoryview(buffer)
+    if view.readonly:
+        raise ConfigurationError(
+            "export_into needs a writable buffer (got a read-only view)")
+    needed = snapshot_nbytes(target)
+    if len(view) < needed:
+        raise ConfigurationError(
+            "generation buffer of %d bytes cannot hold a %d-byte "
+            "snapshot" % (len(view), needed))
+    for shard, shard_meta in zip(_shard_filters(target), meta["shards"]):
+        start = shard_meta["offset"]
+        end = start + shard_meta["nbytes"]
+        view[start:end] = shard.bits.export_readonly()
+    return meta
+
+
+def _attach_filter(meta: dict, view: memoryview):
+    """Rebuild one read-only shard over its slice of the payload."""
+    try:
+        family = make_family(meta["family"], meta["seed"])
+    except ConfigurationError as exc:
+        raise ConfigurationError(
+            "generation declares hash family %r which cannot be "
+            "reconstructed (%s)" % (meta.get("family"), exc)) from None
+    if meta["type"] == "shbf_m":
+        filt = ShiftingBloomFilter(
+            m=meta["m"], k=meta["k"], family=family,
+            word_bits=meta["word_bits"], w_bar=meta["w_bar"])
+    elif meta["type"] == "one_mem_bf":
+        filt = OneMemoryBloomFilter(
+            m=meta["m"], k=meta["k"], family=family,
+            word_bits=meta["word_bits"])
+    elif meta["type"] == "bf":
+        filt = BloomFilter(m=meta["m"], k=meta["k"], family=family)
+    else:
+        raise ConfigurationError(
+            "unknown generation shard type %r" % meta.get("type"))
+    if filt.bits.nbits != meta["nbits"]:
+        raise ConfigurationError(
+            "generation shard geometry mismatch: meta promises %d bits, "
+            "the declared parameters produce %d"
+            % (meta["nbits"], filt.bits.nbits))
+    start = meta["offset"]
+    filt._bits = BitArray.attach_readonly(
+        view[start:start + meta["nbytes"]], meta["nbits"])
+    filt._n_items = meta["n_items"]
+    return filt
+
+
+def attach_target(meta: dict, buffer):
+    """Rebuild the published structure over *buffer* — zero copy.
+
+    Returns a target answering ``query``/``query_batch`` bit-identically
+    to the exporter at publish time.  All shard bits are read-only views
+    into *buffer*; the caller must keep the underlying segment mapped
+    for the attached target's lifetime.
+    """
+    view = memoryview(buffer)
+    shards = [_attach_filter(m, view) for m in meta["shards"]]
+    if meta["kind"] == "sharded_store":
+        router = ShardRouter(
+            meta["n_shards"], seed=meta["router_seed"],
+            family_kind=meta["router_family"])
+        return ShardedFilterStore._from_shards(shards, router)
+    if meta["kind"] != "filter":
+        raise ConfigurationError(
+            "unknown generation kind %r" % meta.get("kind"))
+    return shards[0]
+
+
+def materialize(target):
+    """A writable deep copy of *target* (attached or not).
+
+    Round-trips through :mod:`repro.persistence`, so the copy is
+    digest-checked and shares no memory with the source — this is how a
+    restarted writer warms up from the last published generation
+    without inheriting read-only buffers.
+    """
+    from repro import persistence
+
+    if isinstance(target, ShardedFilterStore):
+        return persistence.loads_store(persistence.dumps_store(target))
+    return persistence.loads(persistence.dumps(target))

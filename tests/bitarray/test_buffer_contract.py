@@ -1,0 +1,90 @@
+"""Regression pins for the BitArray buffer contract.
+
+The ROADMAP once claimed the buffer was "contiguous uint64 —
+``np.memmap`` them"; it is and always was a flat ``bytearray`` exposed
+as a contiguous **uint8** zero-copy view.  The shared-memory serving
+layer (``repro.store.shm`` / ``repro.mpserve``) now depends on that
+exact shape — these tests pin it so the docs and the export format
+can't silently drift apart again.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitarray import BitArray
+from repro.errors import ConfigurationError
+
+
+class TestBufferShape:
+    def test_backing_buffer_is_contiguous_bytes(self):
+        bits = BitArray(1000)
+        view = memoryview(bits._buf)
+        assert view.contiguous
+        assert view.itemsize == 1
+        assert isinstance(bits._buf, bytearray)
+        # Not uint64 words: a 1000-bit array takes 125 bytes, which is
+        # not even a multiple of 8 — the widened dtype never existed.
+        assert view.nbytes == 125
+
+    def test_as_numpy_is_a_zero_copy_uint8_view(self):
+        bits = BitArray(256)
+        view = bits.as_numpy()
+        assert view.dtype == np.uint8
+        assert view.flags["C_CONTIGUOUS"]
+        bits.set(13)
+        assert view[13 // 8] & (1 << (13 % 8))  # writes show through
+
+    def test_export_readonly_is_contiguous_uint8_bytes(self):
+        bits = BitArray(512)
+        bits.set(100)
+        exported = bits.export_readonly()
+        assert exported.readonly
+        assert exported.contiguous
+        assert exported.itemsize == 1
+        assert exported.nbytes == bits.nbytes
+        assert bytes(exported) == bits.to_bytes()
+
+
+class TestAttachReadonly:
+    def _attached(self, nbits=256):
+        source = BitArray(nbits)
+        source.set(7)
+        source.set(200)
+        return source, BitArray.attach_readonly(
+            source.export_readonly(), nbits)
+
+    def test_attach_shares_bytes_and_reads_identically(self):
+        source, attached = self._attached()
+        assert attached.readonly
+        assert [attached.test(i) for i in (7, 8, 200)] == \
+            [True, False, True]
+        # Zero copy: a write through the source shows in the attachment.
+        source.set(42)
+        assert attached.test(42)
+
+    def test_scalar_and_batch_writes_both_refuse(self):
+        _source, attached = self._attached()
+        with pytest.raises(TypeError):
+            attached.set(3)
+        # ufunc.at would scribble through the writeable flag — the
+        # explicit guard in the batch kernels must fire instead.
+        with pytest.raises(TypeError, match="read-only"):
+            attached.set_bits_batch(np.array([3, 9]))
+        with pytest.raises(TypeError, match="read-only"):
+            attached.set_offsets_batch(np.array([0]), np.array([1, 2]))
+
+    def test_attach_validates_length(self):
+        with pytest.raises(ConfigurationError):
+            BitArray.attach_readonly(bytes(10), nbits=256)
+
+    def test_copy_of_attachment_is_writable(self):
+        _source, attached = self._attached()
+        clone = attached.copy()
+        assert not clone.readonly
+        clone.set(3)
+        assert clone.test(3) and not attached.test(3)
+
+    def test_fresh_array_is_not_readonly(self):
+        assert not BitArray(64).readonly

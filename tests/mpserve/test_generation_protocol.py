@@ -1,0 +1,218 @@
+"""Property suite for the seqlock generation header.
+
+The claim under test is absolute: **a reader never observes a torn
+announcement**.  Hypothesis drives randomized interleavings of reader
+attempts between every atomic writer store (``publish_steps`` exposes
+the five-store publish sequence exactly so these tests can pause the
+writer mid-payload, where the bytes really are spliced), and asserts
+each read returns either nothing or the complete payload of a fully
+finished publish.
+
+The negative control keeps the harness honest: a deliberately broken
+header that collapses the double stamp into one trailing write *is*
+caught returning spliced bytes under the same checker.  If the real
+protocol ever regressed to single-stamp semantics, this file would
+fail loudly rather than vacuously pass.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.mpserve.genheader import HEADER_BYTES, GenerationHeader
+
+
+def make_payload(generation: int, width: int = 48) -> bytes:
+    """Distinct, self-describing payload bytes for one generation.
+
+    JSON like the real announcement, padded so the two torn halves are
+    long enough to actually differ between generations.
+    """
+    body = json.dumps({
+        "segment": "fleet-g%d" % generation,
+        "generation": generation,
+        "pad": "x" * width,
+    }, sort_keys=True)
+    return body.encode("utf-8")
+
+
+def check_read(result, completed: int) -> None:
+    """The torn-read-proof invariant for one read attempt.
+
+    After *completed* fully finished publishes (generations 1..n), a
+    read may abstain (``None``) but a returned value must be **exactly**
+    the latest completed announcement — never a splice of two, never a
+    half-written length, never a not-yet-announced generation.
+    """
+    if result is None:
+        return
+    generation, payload = result
+    assert generation == completed, (
+        "reader returned generation %d but %d publishes completed"
+        % (generation, completed))
+    assert payload == make_payload(completed), (
+        "reader returned spliced payload for generation %d" % completed)
+
+
+class TestInterleavedPublishes:
+    @settings(max_examples=200, deadline=None)
+    @given(st.data())
+    def test_reader_never_observes_a_torn_generation(self, data):
+        """Readers interleaved inside every store of every publish."""
+        header = GenerationHeader(bytearray(HEADER_BYTES))
+        n_publishes = data.draw(st.integers(1, 4), label="n_publishes")
+        completed = 0
+        for generation in range(1, n_publishes + 1):
+            steps = header.publish_steps(
+                generation, make_payload(generation))
+            for label, step in steps:
+                # Read attempts *before* this store lands...
+                for _ in range(data.draw(
+                        st.integers(0, 2), label="reads@%s" % label)):
+                    check_read(header.try_read(), completed)
+                step()
+            completed = generation
+            # ...and at the quiescent point the latest publish must be
+            # visible: abstaining forever would be a livelock, not
+            # safety.
+            assert header.try_read() == (
+                completed, make_payload(completed))
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(1, 4), st.integers(0, 4))
+    def test_every_mid_publish_prefix_is_rejected(
+            self, first_steps, second_steps):
+        """Exhaustive prefixes: any partial publish is invisible.
+
+        Run *first_steps* stores of publish 1 (possibly none), then —
+        if publish 1 finished — *second_steps* stores of publish 2, and
+        assert the read matches only what fully completed.
+        """
+        header = GenerationHeader(bytearray(HEADER_BYTES))
+        steps1 = header.publish_steps(1, make_payload(1))
+        for _label, step in steps1[:first_steps]:
+            step()
+        if first_steps < len(steps1):
+            assert header.try_read() is None
+            return
+        steps2 = header.publish_steps(2, make_payload(2))
+        for _label, step in steps2[:second_steps]:
+            step()
+        completed = 2 if second_steps == len(steps2) else 1
+        result = header.try_read()
+        if second_steps == 0 or completed == 2:
+            # No in-flight stores: the latest publish must be readable.
+            assert result == (completed, make_payload(completed))
+        else:
+            # Mid-publish 2: the back stamp lands first, so every
+            # partial prefix disagrees with front — abstain, always.
+            assert result is None
+
+
+class BrokenSingleStampHeader(GenerationHeader):
+    """The bug the suite must catch: one stamp instead of two.
+
+    This header writes the payload first and then announces with a
+    *single* trailing store that sets both stamps at once.  The stamps
+    therefore always agree — the torn window between payload stores is
+    invisible to the ``front == back`` check, and a reader paused
+    mid-payload of publish g+1 happily returns generation g's number
+    glued to half of g+1's bytes.
+    """
+
+    def publish_steps(self, generation, payload):
+        steps = dict(super().publish_steps(generation, payload))
+
+        def write_both_stamps():
+            steps["back"]()
+            steps["front"]()
+
+        return [
+            ("len", steps["len"]),
+            ("payload_lo", steps["payload_lo"]),
+            ("payload_hi", steps["payload_hi"]),
+            ("both_stamps", write_both_stamps),
+        ]
+
+
+class TestNegativeControl:
+    def test_single_stamp_header_is_caught_returning_a_splice(self):
+        """The checker rejects the broken protocol — harness is live.
+
+        Deterministic witness interleaving: finish publish 1, run
+        publish 2 up to (and including) its first payload store, then
+        read.  The double-stamp header abstains; the single-stamp
+        header returns generation 1 with generation 2's first half
+        spliced in, which ``check_read`` must flag.
+        """
+        header = BrokenSingleStampHeader(bytearray(HEADER_BYTES))
+        for _label, step in header.publish_steps(1, make_payload(1)):
+            step()
+        steps2 = dict(header.publish_steps(2, make_payload(2)))
+        steps2["len"]()
+        steps2["payload_lo"]()
+        result = header.try_read()
+        assert result is not None, (
+            "single-stamp header unexpectedly abstained; the negative "
+            "control no longer exercises the torn window")
+        with pytest.raises(AssertionError):
+            check_read(result, completed=1)
+
+    def test_real_header_abstains_on_the_same_interleaving(self):
+        """The same witness schedule against the real protocol: safe."""
+        header = GenerationHeader(bytearray(HEADER_BYTES))
+        for _label, step in header.publish_steps(1, make_payload(1)):
+            step()
+        steps2 = dict(header.publish_steps(2, make_payload(2)))
+        steps2["back"]()
+        steps2["len"]()
+        steps2["payload_lo"]()
+        assert header.try_read() is None
+
+
+class TestHeaderEdges:
+    def test_unpublished_header_reads_none_and_peeks_zero(self):
+        header = GenerationHeader(bytearray(HEADER_BYTES))
+        assert header.peek_generation() == 0
+        assert header.try_read() is None
+
+    def test_torn_length_is_rejected(self):
+        """A length beyond capacity can only be a torn store: abstain."""
+        buf = bytearray(HEADER_BYTES)
+        header = GenerationHeader(buf)
+        header.publish(1, b"ok")
+        buf[8:12] = (HEADER_BYTES * 2).to_bytes(4, "little")
+        assert header.try_read() is None
+
+    def test_read_raises_after_retry_budget_on_wedged_header(self):
+        """A writer dead mid-publish is an operational fault, not a spin."""
+        header = GenerationHeader(bytearray(HEADER_BYTES))
+        steps = dict(header.publish_steps(1, make_payload(1)))
+        steps["back"]()  # wedged: back stamped, front never arrives
+        retries = []
+        with pytest.raises(ProtocolError):
+            header.read(retries=3, delay_s=0,
+                        on_retry=lambda: retries.append(1))
+        assert len(retries) == 4  # budget + the final give-up attempt
+
+    def test_payload_capacity_and_generation_validation(self):
+        header = GenerationHeader(bytearray(HEADER_BYTES))
+        with pytest.raises(ConfigurationError):
+            header.publish(0, b"zero is reserved")
+        with pytest.raises(ConfigurationError):
+            header.publish(1, b"x" * (header.payload_capacity + 1))
+        with pytest.raises(ConfigurationError):
+            GenerationHeader(bytearray(HEADER_BYTES - 1))
+
+    def test_readonly_buffer_serves_readers_but_not_writers(self):
+        buf = bytearray(HEADER_BYTES)
+        GenerationHeader(buf).publish(3, make_payload(3))
+        reader = GenerationHeader(memoryview(buf).toreadonly())
+        assert reader.read(retries=0) == (3, make_payload(3))
+        with pytest.raises(TypeError):
+            reader.publish(4, make_payload(4))

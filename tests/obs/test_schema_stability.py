@@ -44,6 +44,14 @@ GOLDEN_METRIC_NAMES = frozenset({
     "repro_client_failovers_total",
     "repro_drill_op_latency_seconds",
     "repro_drill_stall_seconds",
+    "repro_mpserve_generation",
+    "repro_mpserve_publishes_total",
+    "repro_mpserve_publish_seconds",
+    "repro_mpserve_pending_writes",
+    "repro_mpserve_reader_retries_total",
+    "repro_mpserve_writes_forwarded_total",
+    "repro_mpserve_workers_alive",
+    "repro_mpserve_worker_restarts_total",
 })
 
 GOLDEN_STATS_KEYS = frozenset({

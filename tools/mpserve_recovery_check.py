@@ -1,0 +1,155 @@
+"""Kill-a-worker recovery drill against a live mpserve fleet.
+
+Used by the ``mpserve-smoke`` CI job, and usable as an operator
+health check.  Against a running fleet it:
+
+1. reads the fleet map off the supervisor control port (STATS),
+2. writes a fresh member batch through the shared serve port and
+   barriers on the writer's ``pending_writes == 0`` (publish is
+   synchronous on the writer loop, so the barrier is exact),
+3. SIGKILLs one read worker,
+4. keeps querying the members through the shared port — riding over
+   the dead connection by reconnecting — and requires every answered
+   verdict to be True,
+5. waits for the supervisor to restart the worker (new pid, restart
+   counter bumped) and verifies the replacement answers too.
+
+Exit 0 only if the fleet never returned a wrong verdict and the
+killed worker came back.
+
+::
+
+    PYTHONPATH=src python tools/mpserve_recovery_check.py \
+        --control-port 47501 --port 47500
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import signal
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+
+
+async def _stats(host: str, port: int) -> dict:
+    client = await ServiceClient.connect(
+        host, port, connect_timeout=5.0, op_timeout=10.0)
+    try:
+        return await client.stats()
+    finally:
+        await client.close()
+
+
+async def _query_riding(host: str, port: int, batch: list) -> list:
+    for _attempt in range(30):
+        try:
+            client = await ServiceClient.connect(
+                host, port, connect_timeout=2.0, op_timeout=5.0)
+        except (ConnectionError, OSError):
+            await asyncio.sleep(0.1)
+            continue
+        try:
+            return list(await client.query(batch))
+        except (ConnectionError, OSError):
+            await asyncio.sleep(0.05)
+        finally:
+            try:
+                await client.close()
+            except (ConnectionError, OSError):
+                pass
+    raise SystemExit("FAIL: no worker answered within 30 reconnects")
+
+
+async def drill(args: argparse.Namespace) -> int:
+    fleet = await _stats(args.host, args.control_port)
+    writer_port = fleet["writer"]["port"]
+    n_workers = len(fleet["workers"])
+    victim = fleet["workers"][0]
+    print("fleet: %d workers alive, generation %d, victim worker %d "
+          "pid %d" % (fleet["workers_alive"], fleet["generation"],
+                      victim["worker_id"], victim["pid"]))
+
+    members = [b"recovery-%d" % i for i in range(args.n)]
+    client = await ServiceClient.connect(args.host, args.port)
+    acked = await client.add(members)
+    await client.close()
+    if acked != len(members):
+        print("FAIL: %d of %d writes acknowledged"
+              % (acked, len(members)))
+        return 1
+
+    # Barrier: acknowledged writes are visible once the writer's
+    # pending counter drains (publish_now is synchronous).
+    deadline = asyncio.get_running_loop().time() + 10.0
+    while True:
+        stats = await _stats(args.host, writer_port)
+        if stats["mpserve"]["pending_writes"] == 0:
+            break
+        if asyncio.get_running_loop().time() > deadline:
+            print("FAIL: writes never drained into a publish")
+            return 1
+        await asyncio.sleep(0.05)
+
+    os.kill(victim["pid"], signal.SIGKILL)
+    print("killed worker %d (pid %d)"
+          % (victim["worker_id"], victim["pid"]))
+
+    wrong = 0
+    for _ in range(args.probes):
+        verdicts = await _query_riding(args.host, args.port, members)
+        wrong += sum(1 for v in verdicts if not v)
+        await asyncio.sleep(0.05)
+    if wrong:
+        print("FAIL: %d member verdicts answered False mid-recovery"
+              % wrong)
+        return 1
+
+    deadline = asyncio.get_running_loop().time() + 30.0
+    while True:
+        fleet = await _stats(args.host, args.control_port)
+        replacement = fleet["workers"][0]
+        if (fleet["workers_alive"] == n_workers
+                and replacement["restarts"] >= 1
+                and replacement["pid"] != victim["pid"]):
+            break
+        if asyncio.get_running_loop().time() > deadline:
+            print("FAIL: killed worker never restarted "
+                  "(workers_alive=%d)" % fleet["workers_alive"])
+            return 1
+        await asyncio.sleep(0.2)
+    print("worker %d restarted as pid %d (restarts=%d)"
+          % (replacement["worker_id"], replacement["pid"],
+             replacement["restarts"]))
+
+    verdicts = await _query_riding(args.host, args.port, members)
+    if not all(verdicts):
+        print("FAIL: replacement worker answered a member False")
+        return 1
+    print("OK: fleet served through a kill -9 with zero wrong "
+          "verdicts and restarted the worker")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True,
+                        help="the fleet's shared serve port")
+    parser.add_argument("--control-port", type=int, required=True,
+                        help="the supervisor PING/STATS/METRICS port")
+    parser.add_argument("--n", type=int, default=200,
+                        help="members written and probed")
+    parser.add_argument("--probes", type=int, default=20,
+                        help="query rounds driven mid-recovery")
+    return asyncio.run(drill(parser.parse_args(argv)))
+
+
+if __name__ == "__main__":
+    sys.exit(main())
