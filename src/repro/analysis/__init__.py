@@ -12,6 +12,9 @@ against) lives here, named by its equation number where one exists:
 * :mod:`~repro.analysis.one_mem` — a Poisson occupancy model for the
   1MemBF baseline's FPR (the paper reports it empirically; the model lets
   tests pin the simulated values).
+* :mod:`~repro.analysis.ttl` — union FPR across the generational TTL
+  store's independent windows (drives the expiry drill's acceptance
+  band).
 * :mod:`~repro.analysis.optimal` — numerical optimisation of ``k``
   (Eq. (7)/(9): ``k_opt = 0.7009 m/n``, ``f_min = 0.6204^{m/n}`` for
   ShBF_M vs ``0.6931``/``0.6185`` for BF).
@@ -41,6 +44,7 @@ from repro.analysis.multiplicity import (
     shbf_x_correctness_rate_present,
 )
 from repro.analysis.one_mem import one_mem_bf_fpr
+from repro.analysis.ttl import generational_fpr, generational_fpr_uniform
 from repro.analysis.optimal import (
     best_integer_k,
     bf_kopt_coefficient,
@@ -63,6 +67,8 @@ __all__ = [
     "bf_min_fpr_base",
     "bf_optimal_k",
     "generalized_shbf_fpr",
+    "generational_fpr",
+    "generational_fpr_uniform",
     "ibf_clear_answer_probability",
     "multiplicity_fp_probability",
     "occupancy_distribution",

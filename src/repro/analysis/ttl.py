@@ -1,0 +1,69 @@
+"""Closed-form FPR for the generational TTL store (union of windows).
+
+A :class:`~repro.store.generational.GenerationalStore` answers MAYBE
+when *any* live generation answers MAYBE, so for an element in none of
+them the false positive rate is the complement of every generation
+staying silent:
+
+    F = 1 - prod_g (1 - f(m, n_g, k))
+
+with ``f`` the per-filter ShBF_M FPR (Eq. (1)) and ``n_g`` the load of
+generation ``g``.  The generations partition one keyspace but are
+*independent* filters — no bit is shared — so the product form is exact
+under the same Bloom-style independence assumptions as Eq. (1) itself.
+
+At steady state a store rotating every ``R`` items with ``G``
+generations holds loads ``(r, R, R, ..., R)`` — a partially filled head
+plus ``G-1`` full windows — which is what the expiry drill's acceptance
+band is computed from.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro._util import require_positive
+from repro.analysis.membership import shbf_m_fpr
+from repro.errors import ConfigurationError
+
+__all__ = ["generational_fpr", "generational_fpr_uniform"]
+
+
+def generational_fpr(m: int, k: float, loads: Sequence[int],
+                     w_bar: int = 57) -> float:
+    """Union FPR over independent ShBF_M generations with given loads.
+
+    Args:
+        m: bits per generation filter.
+        k: hash count per generation filter.
+        loads: ``n_items`` of each live generation (order irrelevant;
+            zero-load generations contribute nothing and are skipped).
+        w_bar: effective shift window of the per-generation filters.
+
+    Returns:
+        Probability that at least one generation answers MAYBE for an
+        element present in none of them.
+    """
+    if not loads:
+        raise ConfigurationError("loads must name at least one generation")
+    survive = 1.0
+    for n_g in loads:
+        if n_g < 0:
+            raise ConfigurationError(
+                "generation load must be >= 0, got %d" % n_g)
+        if n_g == 0:
+            continue
+        survive *= 1.0 - shbf_m_fpr(m, n_g, k, w_bar=w_bar)
+    return 1.0 - survive
+
+
+def generational_fpr_uniform(m: int, k: float, n_per_generation: int,
+                             generations: int, w_bar: int = 57) -> float:
+    """:func:`generational_fpr` for ``G`` equally loaded generations.
+
+    The steady-state ceiling of a cardinality-rotated store: every live
+    window filled to its rotation threshold.
+    """
+    require_positive("generations", generations)
+    return generational_fpr(
+        m, k, [n_per_generation] * generations, w_bar=w_bar)

@@ -70,6 +70,11 @@ MPSERVE_WRITES_FORWARDED = "repro_mpserve_writes_forwarded_total"
 MPSERVE_WORKERS_ALIVE = "repro_mpserve_workers_alive"
 MPSERVE_WORKER_RESTARTS = "repro_mpserve_worker_restarts_total"
 
+# --- generational TTL store -------------------------------------------
+TTL_ROTATIONS = "repro_ttl_rotations_total"
+TTL_LIVE_GENERATIONS = "repro_ttl_live_generations"
+TTL_ROTATION_STALL = "repro_ttl_rotation_stall_seconds"
+
 # --- drills (artifacts share the live histogram format) ---------------
 DRILL_OP_LATENCY = "repro_drill_op_latency_seconds"
 DRILL_STALL = "repro_drill_stall_seconds"
@@ -109,6 +114,9 @@ CATALOG: Dict[str, dict] = {
     "repro_mpserve_writes_forwarded_total": _spec("counter", ("op",), "mpserve", "Write requests a read worker forwarded to the writer, by wire op."),
     "repro_mpserve_workers_alive": _spec("gauge", (), "mpserve", "Read workers currently alive under the supervisor."),
     "repro_mpserve_worker_restarts_total": _spec("counter", ("role",), "mpserve", "Crashed processes the supervisor restarted: role=worker or writer."),
+    "repro_ttl_rotations_total": _spec("counter", (), "ttl", "Generation rotations performed by the hosted generational store."),
+    "repro_ttl_live_generations": _spec("gauge", (), "ttl", "Live generations in the hosted ring (0 when the target is not generational)."),
+    "repro_ttl_rotation_stall_seconds": _spec("histogram", (), "ttl", "Write-path stall per rotation: building and publishing the fresh head."),
     "repro_drill_op_latency_seconds": _spec("histogram", ("drill",), "drills", "Per-op latency distribution recorded by a chaos or migration drill."),
     "repro_drill_stall_seconds": _spec("histogram", ("drill",), "drills", "Client-visible stall (ops overlapping a migration) in the cluster drill."),
 }

@@ -25,7 +25,13 @@ test does from a seeded run.
 
 Span timestamps are wall-clock (``time.time``) so records from
 different processes order correctly; durations are measured with
-``time.perf_counter`` so they stay monotonic.
+``time.perf_counter`` so they stay monotonic.  Each record also
+carries ``"mono"``, a per-process ``perf_counter`` reading taken when
+the span *started*: wall clocks can step mid-request (NTP slew, manual
+adjustment) and silently reorder sibling spans, so within one
+component :func:`reconstruct` orders siblings by the monotonic key and
+uses wall time only across processes, where monotonic readings are not
+comparable.
 """
 
 from __future__ import annotations
@@ -117,14 +123,22 @@ class Tracer:
         return trace_id
 
     def emit(self, span: str, trace_id: int, start: float, dur_s: float,
-             **fields) -> None:
-        """Record one finished span (low-level; prefer :meth:`span`)."""
+             mono: Optional[float] = None, **fields) -> None:
+        """Record one finished span (low-level; prefer :meth:`span`).
+
+        *mono* is the per-process monotonic ordering key — the
+        ``perf_counter`` reading at span start.  Callers that measured
+        one (the coalescer's ``exec_t0``, :meth:`span`'s ``t0``) pass
+        it; otherwise emit time is used, which still orders correctly
+        for spans emitted in completion order.
+        """
         record: Dict[str, object] = {
             "trace": format_trace_id(trace_id),
             "span": span,
             "component": self.component,
             "start": start,
             "dur_s": dur_s,
+            "mono": time.perf_counter() if mono is None else mono,
         }
         record.update(fields)
         self._emit(record)
@@ -150,7 +164,7 @@ class Tracer:
         finally:
             extra.update(fields)
             self.emit(name, trace_id, start,
-                      time.perf_counter() - t0, **extra)
+                      time.perf_counter() - t0, mono=t0, **extra)
 
 
 # ----------------------------------------------------------------------
@@ -164,12 +178,34 @@ def reconstruct(records: Sequence[dict], trace_id: int) -> List[dict]:
     are kept, ordered by span depth (client → server → coalescer) and
     then by start time — wall-clock skew between processes cannot
     reorder the hop *levels*, only siblings within one.
+
+    Siblings emitted by the *same* component (one process's tracer)
+    additionally carry a ``"mono"`` perf_counter key, which a stepping
+    wall clock cannot disturb: within each ``(rank, component)`` group
+    the members are re-ordered by it, occupying the same positions the
+    wall-time sort gave the group.  Monotonic readings from different
+    processes are not comparable, so cross-component order stays
+    wall-clock.
     """
     wanted = format_trace_id(trace_id)
     hops = [r for r in records if r.get("trace") == wanted]
     hops.sort(key=lambda r: (
         _SPAN_RANK.get(r.get("span", ""), len(_SPAN_RANK)),
         r.get("start", 0.0)))
+    groups: Dict[tuple, List[int]] = {}
+    for pos, record in enumerate(hops):
+        key = (_SPAN_RANK.get(record.get("span", ""), len(_SPAN_RANK)),
+               record.get("component", ""))
+        groups.setdefault(key, []).append(pos)
+    for positions in groups.values():
+        if len(positions) < 2:
+            continue
+        members = [hops[pos] for pos in positions]
+        if not all("mono" in r for r in members):
+            continue  # pre-mono records: keep the wall-clock order
+        members.sort(key=lambda r: r["mono"])
+        for pos, record in zip(positions, members):
+            hops[pos] = record
     return hops
 
 

@@ -21,7 +21,7 @@ Format: a JSON header (magic, version, type, parameters, family kind +
 seed) followed by the raw bit buffer.  Integrity is guarded by a BLAKE2
 digest over header and payload.
 
-Two container levels share the scheme:
+Three container levels share the scheme:
 
 * :func:`dumps`/:func:`loads` — one filter per blob (magic ``SHBF``);
 * :func:`dumps_store`/:func:`loads_store` — a whole
@@ -32,6 +32,12 @@ Two container levels share the scheme:
   guarded by one digest.  Restoring rebuilds every shard *and* the
   router, so restored stores route — and therefore answer —
   bit-identically to the original fleet.
+* :func:`dumps_generational`/:func:`loads_generational` — a
+  :class:`~repro.store.generational.GenerationalStore` ring (magic
+  ``SHBG``): the trigger config plus the per-generation :func:`dumps`
+  blobs head-first.  Deliberately **no clock state** — generation ages
+  are process-local, so a quiesced primary and its standby produce
+  byte-identical containers.
 """
 
 from __future__ import annotations
@@ -53,13 +59,22 @@ from repro.core.membership import (
 from repro.core.multiplicity import CountingShiftingMultiplicityFilter
 from repro.errors import ConfigurationError, UnsupportedSnapshotError
 from repro.hashing.family import family_spec, make_family
+from repro.store.generational import GenerationalStore
 from repro.store.router import ShardRouter
 from repro.store.sharded import ShardedFilterStore
 
-__all__ = ["dumps", "dumps_store", "loads", "loads_store"]
+__all__ = [
+    "dumps",
+    "dumps_generational",
+    "dumps_store",
+    "loads",
+    "loads_generational",
+    "loads_store",
+]
 
 _MAGIC = b"SHBF"
 _STORE_MAGIC = b"SHBS"
+_GENERATIONAL_MAGIC = b"SHBG"
 _VERSION = 1
 
 SnapshotFilter = Union[BloomFilter, ShiftingBloomFilter,
@@ -319,3 +334,104 @@ def loads_store(blob: bytes) -> ShardedFilterStore:
             "send every element to the wrong shard" % (router_kind, exc)
         ) from None
     return ShardedFilterStore._from_shards(shards, router)
+
+
+def dumps_generational(store: GenerationalStore) -> bytes:
+    """Serialise a generational ring to one container byte string.
+
+    Layout: ``SHBG`` magic, version, header length, JSON header
+    (``generations``, the rotation-trigger config, per-generation blob
+    sizes), a 16-byte BLAKE2 digest over header + payload, then the
+    concatenated per-generation :func:`dumps` blobs, head first.
+
+    The header carries *configuration*, never clock readings or the
+    rotation counter: ages restart on restore, and two rings holding
+    the same bits (a quiesced primary and its standby) serialise to
+    byte-identical containers.
+    """
+    if not isinstance(store, GenerationalStore):
+        raise ConfigurationError(
+            "dumps_generational expects a GenerationalStore, got %r"
+            % type(store).__name__
+        )
+    blobs = [dumps(gen) for gen in store.generations]
+    header = {
+        "type": "generational_store",
+        "generations": store.n_generations,
+        "rotate_after_items": store.rotate_after_items,
+        "rotate_after_s": store.rotate_after_s,
+        "blob_bytes": [len(blob) for blob in blobs],
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode()
+    payload = b"".join(blobs)
+    digest = hashlib.blake2b(
+        header_bytes + payload, digest_size=16).digest()
+    return b"".join((
+        _GENERATIONAL_MAGIC,
+        struct.pack("<HI", _VERSION, len(header_bytes)),
+        header_bytes,
+        digest,
+        payload,
+    ))
+
+
+def loads_generational(blob: bytes, factory=None,
+                       clock=None) -> GenerationalStore:
+    """Rebuild a generational store from :func:`dumps_generational`.
+
+    *factory* and *clock* pass through to the restored store (the blob
+    cannot carry callables); a store restored without a factory serves
+    and accepts replication deltas but refuses to rotate.
+
+    Raises:
+        ConfigurationError: on bad magic or version, digest mismatch
+            (covers any truncated or tampered byte, generation blobs
+            included), inconsistent blob sizes, or a malformed
+            generation blob.
+    """
+    if blob[:4] != _GENERATIONAL_MAGIC:
+        raise ConfigurationError(
+            "not a generational-store container (bad magic)")
+    if len(blob) < 10:
+        raise ConfigurationError(
+            "generational container truncated inside the fixed header")
+    version, header_len = struct.unpack("<HI", blob[4:10])
+    if version != _VERSION:
+        raise ConfigurationError(
+            "unsupported generational container version %d" % version)
+    header_end = 10 + header_len
+    header_bytes = blob[10:header_end]
+    digest = blob[header_end : header_end + 16]
+    payload = blob[header_end + 16 :]
+    expected = hashlib.blake2b(
+        header_bytes + payload, digest_size=16).digest()
+    if digest != expected:
+        raise ConfigurationError(
+            "generational container integrity check failed")
+    header = json.loads(header_bytes)
+    if header.get("type") != "generational_store":
+        raise ConfigurationError(
+            "unknown container type %r" % header.get("type"))
+    blob_bytes = header["blob_bytes"]
+    if len(blob_bytes) != header["generations"]:
+        raise ConfigurationError(
+            "container lists %d blobs for %d generations"
+            % (len(blob_bytes), header["generations"])
+        )
+    if sum(blob_bytes) != len(payload):
+        raise ConfigurationError(
+            "container payload is %d bytes, header promises %d"
+            % (len(payload), sum(blob_bytes))
+        )
+    filters = []
+    cursor = 0
+    for size in blob_bytes:
+        filters.append(loads(payload[cursor : cursor + size]))
+        cursor += size
+    return GenerationalStore._from_generations(
+        filters,
+        rotate_after_items=header["rotate_after_items"],
+        rotate_after_s=header["rotate_after_s"],
+        factory=factory,
+        clock=clock,
+    )

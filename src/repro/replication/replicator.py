@@ -46,6 +46,7 @@ from repro.obs import names as metric_names
 from repro.service import protocol
 from repro.service.client import ServiceClient
 from repro.service.server import FilterService
+from repro.store.generational import GenerationalStore
 from repro.store.sharded import ShardedFilterStore
 
 __all__ = ["ReplicatedFilterService", "ReplicationConfig", "StandbyLink"]
@@ -253,17 +254,28 @@ class ReplicatedFilterService:
         target = self.service.target
         if isinstance(target, ShardedFilterStore):
             return persistence.dumps_store(target)
+        if isinstance(target, GenerationalStore):
+            return persistence.dumps_generational(target)
         return persistence.dumps(target)
 
     @staticmethod
     def _identity_map(target) -> Optional[List[int]]:
+        """Per-slot object identities: shards, or ring generations.
+
+        A generational ring's slots shift wholesale on rotation — every
+        identity moves one slot down and a fresh head appears — which
+        the diff in :meth:`_ship_locked` reads as "most slots rotated",
+        exactly the replace-every-slot ship a rotation requires.
+        """
         if isinstance(target, ShardedFilterStore):
             return [id(shard) for shard in target.shards]
+        if isinstance(target, GenerationalStore):
+            return [id(gen) for gen in target.generations]
         return None
 
     def _build_entries(
         self,
-        store: ShardedFilterStore,
+        store,
         pending: Sequence[Tuple[Sequence[bytes], Optional[Sequence[int]]]],
         rotated: set,
     ) -> List[Tuple[int, int, bytes]]:
@@ -275,8 +287,13 @@ class ReplicatedFilterService:
         authoritative blob when a merge cannot be exact: the shard was
         rotated (its journalled writes predate the swap), it carries
         per-element counts (multiplicity filters have no union), or it
-        exposes no ``empty_like``.
+        exposes no ``empty_like``.  Generational rings route through
+        :meth:`_build_generational_entries`, which speaks the same slot
+        protocol.
         """
+        if isinstance(store, GenerationalStore):
+            return self._build_generational_entries(
+                store, pending, rotated)
         buckets: dict = {}
         for elements, counts in pending:
             for shard_id, idx in store.router.group(elements):
@@ -305,6 +322,36 @@ class ReplicatedFilterService:
             entries.append((shard_id, protocol.MODE_MERGE,
                             persistence.dumps(delta)))
         return entries
+
+    def _build_generational_entries(
+        self,
+        store: GenerationalStore,
+        pending: Sequence[Tuple[Sequence[bytes], Optional[Sequence[int]]]],
+        rotated: set,
+    ) -> List[Tuple[int, int, bytes]]:
+        """Slot-delta entries for a generational ring.
+
+        Between rotations every journalled write landed in the head, so
+        the steady state is one slot-0 merge entry: an ``empty_like``
+        clone holding the new writes, unioned into the standby's head.
+        Once *any* rotation happened this cycle, the journal cannot say
+        which writes landed before the swap — so every slot ships its
+        authoritative blob replace-mode, which is exact regardless of
+        how writes interleaved with the rotation.
+        """
+        gens = store.generations
+        if rotated:
+            return [(slot, protocol.MODE_REPLACE, persistence.dumps(gen))
+                    for slot, gen in enumerate(gens)]
+        head = gens[0]
+        can_merge = (hasattr(head, "empty_like")
+                     and all(c is None for _, c in pending))
+        if not can_merge:
+            return [(0, protocol.MODE_REPLACE, persistence.dumps(head))]
+        delta = head.empty_like()
+        for chunk, _ in pending:
+            delta.add_batch(chunk)
+        return [(0, protocol.MODE_MERGE, persistence.dumps(delta))]
 
     # ------------------------------------------------------------------
     # Standby management
@@ -356,7 +403,8 @@ class ReplicatedFilterService:
         ids = self._identity_map(target)
         if ids != self._shard_ids:
             return True
-        if (isinstance(target, ShardedFilterStore) and self._idem_version
+        if (isinstance(target, (ShardedFilterStore, GenerationalStore))
+                and self._idem_version
                 and any(link.keys_version_acked != self._idem_version
                         for link in self._links)):
             return True
@@ -402,7 +450,8 @@ class ReplicatedFilterService:
         epoch = self._epoch
         full_due = bool(
             force_full or target_changed
-            or not isinstance(target, ShardedFilterStore)
+            or not isinstance(target,
+                              (ShardedFilterStore, GenerationalStore))
             or (self.config.full_snapshot_every
                 and self._ships % self.config.full_snapshot_every == 0))
         # Build every link's payload before the first send so a failure

@@ -31,6 +31,7 @@ from repro.obs.tracing import Tracer
 from repro.retry import BackoffPolicy
 from repro.service.client import ServiceClient
 from repro.service.server import CoalescerConfig, FilterService
+from repro.store.generational import GenerationalStore
 from repro.store.sharded import ShardedFilterStore
 from repro.workloads.service import build_service_workload
 
@@ -47,14 +48,26 @@ def _add_timeout_args(parser: argparse.ArgumentParser) -> None:
                         help="TCP connect bound in seconds")
 
 
-def _build_target(shards: int, m: int, k: int, family_kind: str = "vector64"):
-    """The hosted structure: an N-shard ShBF_M store, or one filter.
+def _build_target(shards: int, m: int, k: int, family_kind: str = "vector64",
+                  generations: int = 0, rotate_items: int = 0,
+                  rotate_seconds: float = 0.0):
+    """The hosted structure: a generational ring, an N-shard ShBF_M
+    store, or one filter.
 
     The probe-hash family is resolved from the registry once and shared
-    by every shard; snapshots persist its ``(kind, seed)`` so standbys
-    and restores hash identically.
+    by every shard/generation; snapshots persist its ``(kind, seed)``
+    so standbys and restores hash identically.  ``generations > 0``
+    hosts a :class:`~repro.store.GenerationalStore` of single ShBF_M
+    filters (``m`` bits each) — time-decaying membership with the given
+    rotation triggers.
     """
     family = make_family(family_kind, seed=0)
+    if generations > 0:
+        return GenerationalStore(
+            lambda seq: ShiftingBloomFilter(m=m, k=k, family=family),
+            generations=generations,
+            rotate_after_items=rotate_items,
+            rotate_after_s=rotate_seconds)
     if shards <= 0:
         return ShiftingBloomFilter(m=m, k=k, family=family)
     return ShardedFilterStore(
@@ -69,7 +82,30 @@ def open_trace_log(path: str):
     return open(path, "a", buffering=1)
 
 
+async def _rotation_poker(service: FilterService,
+                          interval: float) -> None:
+    """Poke the hosted ring's time trigger between writes.
+
+    Rotation triggers are evaluated at write entry, so a ring serving a
+    pure-read workload would never expire without this.  Pokes run on
+    the event loop between request executions, and only while this
+    server is the writable primary — a standby's ring mutates through
+    the replication stream alone.
+    """
+    while True:
+        await asyncio.sleep(interval)
+        target = service.target
+        if (service.replica.role == "primary"
+                and isinstance(target, GenerationalStore)):
+            target.maybe_rotate()
+
+
 async def _serve(args: argparse.Namespace) -> int:
+    if args.generations > 0 and args.workers > 0:
+        print("--generations is not supported with --workers "
+              "(the mpserve writer owns its own generation protocol)",
+              file=sys.stderr)
+        return 2
     if args.workers > 0:
         # Multi-process mode: delegate to the mpserve supervisor — one
         # writer owning the mutable store, N read workers answering
@@ -91,7 +127,10 @@ async def _serve(args: argparse.Namespace) -> int:
             preload=args.preload,
             seed=args.seed,
         ))
-    target = _build_target(args.shards, args.m, args.k, args.family)
+    target = _build_target(args.shards, args.m, args.k, args.family,
+                           generations=args.generations,
+                           rotate_items=args.rotate_items,
+                           rotate_seconds=args.rotate_seconds)
     if args.preload > 0:
         workload = build_service_workload(args.preload, seed=args.seed)
         target.add_batch(list(workload.members))
@@ -112,8 +151,16 @@ async def _serve(args: argparse.Namespace) -> int:
           "max_batch=%d, max_delay_us=%d)"
           % (args.host, port, type(target).__name__, target.n_items,
              args.max_batch, args.max_delay_us), flush=True)
-    async with server:
-        await server.serve_forever()
+    poker = None
+    if args.generations > 0 and args.rotate_seconds > 0:
+        poker = asyncio.ensure_future(_rotation_poker(
+            service, max(0.05, args.rotate_seconds / 4.0)))
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        if poker is not None:
+            poker.cancel()
     return 0
 
 
@@ -255,6 +302,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve multi-process: N read workers + one "
                             "writer via repro.mpserve (0: classic "
                             "single-process server)")
+    serve.add_argument("--generations", type=int, default=0,
+                       help="host a generational TTL ring of this many "
+                            "filters instead of a sharded store (0: "
+                            "off); writes land in the head generation "
+                            "and queries OR the live window")
+    serve.add_argument("--rotate-items", type=int, default=0,
+                       help="cardinality trigger: rotate once the head "
+                            "generation holds this many elements "
+                            "(0: off)")
+    serve.add_argument("--rotate-seconds", type=float, default=0.0,
+                       help="time trigger: rotate once the head "
+                            "generation is this old (0: off); a "
+                            "background poker fires it even with no "
+                            "writes arriving")
     serve.add_argument("--trace-log", default="",
                        help="append JSON span records of traced "
                             "requests to this file (read back with "

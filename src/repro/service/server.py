@@ -73,6 +73,7 @@ from repro.obs import names as metric_names
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.service import protocol
+from repro.store.generational import GenerationalStore, RotationEvent
 from repro.store.sharded import ShardedFilterStore
 
 __all__ = [
@@ -83,9 +84,10 @@ __all__ = [
     "ServiceCounters",
 ]
 
-#: Magic prefixes of the two persistence formats RESTORE accepts.
+#: Magic prefixes of the three persistence formats RESTORE accepts.
 _STORE_MAGIC = b"SHBS"
 _FILTER_MAGIC = b"SHBF"
+_GENERATIONAL_MAGIC = b"SHBG"
 
 logger = logging.getLogger("repro.service")
 
@@ -345,6 +347,7 @@ class _Coalescer:
                         continue
                     tracer.emit(
                         "coalescer.batch", trace_id, start_wall, exec_s,
+                        mono=exec_t0,
                         kind=self._kind, n_elements=len(chunk),
                         batch_elements=len(elements),
                         batch_requests=len(group),
@@ -386,6 +389,7 @@ class FilterService:
         tracer: Optional[Tracer] = None,
     ):
         self._target = target
+        self._wire_rotation_hook(target)
         self.config = config if config is not None else CoalescerConfig()
         self._banner = banner
         self.counters = ServiceCounters()
@@ -450,6 +454,12 @@ class FilterService:
             metric_names.SERVER_DEDUP_HITS)
         registry.gauge(metric_names.SERVER_INFLIGHT).set_fn(
             lambda: self._inflight)
+        self._m_ttl_rotations = registry.counter(
+            metric_names.TTL_ROTATIONS)
+        self._m_ttl_stall = registry.histogram(
+            metric_names.TTL_ROTATION_STALL)
+        registry.gauge(metric_names.TTL_LIVE_GENERATIONS).set_fn(
+            lambda: getattr(self._target, "n_generations", 0))
         self._query = _Coalescer(self, self._run_query_batch, "query")
         self._query_multi = _Coalescer(
             self, self._run_query_multi_batch, "query_multi")
@@ -471,12 +481,25 @@ class FilterService:
         return self._inflight
 
     def _static_stats(self) -> dict:
-        """STATS fields fixed for the lifetime of one hosted target."""
+        """STATS fields fixed between swaps of the served geometry.
+
+        "Static" means: unchanged until the hosted target is replaced
+        *or* one of its shards/generations is swapped (``swap_count``).
+        ``size_bits`` lives here — it is true geometry, which only those
+        events can change — so the cache-key regression test observably
+        fails if a swap doesn't re-key the cache.
+        """
         target = self._target
         return {
             "structure": type(target).__name__,
             "n_shards": (target.n_shards
                          if isinstance(target, ShardedFilterStore) else None),
+            "size_bits": int(getattr(target, "size_bits", 0)),
+            "ttl": ({
+                "generations": target.n_generations,
+                "rotate_after_items": target.rotate_after_items,
+                "rotate_after_s": target.rotate_after_s,
+            } if isinstance(target, GenerationalStore) else None),
             "coalescer": {
                 "max_batch": self.config.max_batch,
                 "max_delay_us": self.config.max_delay_us,
@@ -491,7 +514,10 @@ class FilterService:
         target = self._target
         return {
             "n_items": int(getattr(target, "n_items", 0)),
-            "size_bits": int(getattr(target, "size_bits", 0)),
+            "generations": ([
+                {"seq": g.seq, "n_items": g.n_items, "age_s": g.age_s}
+                for g in target.generation_stats()
+            ] if isinstance(target, GenerationalStore) else None),
             "queue_depth": self.queue_depth,
             "queued_elements": (self._query.queued_elements
                                 + self._query_multi.queued_elements
@@ -516,13 +542,17 @@ class FilterService:
     def stats_json(self) -> bytes:
         """STATS as JSON, with the static section serialised once.
 
-        The structure/config fragment only changes when RESTORE or
-        SUBSCRIBE swaps the hosted target (or the config object is
-        replaced), so it is cached as pre-serialised bytes keyed on
-        both identities and spliced with the freshly serialised dynamic
-        counters — STATS probing pays for what actually changed.
+        The structure/config fragment changes when RESTORE or SUBSCRIBE
+        swaps the hosted target, when the config object is replaced —
+        *and* when ``replace_shard``/``rotate_shard`` or a generation
+        rotation swaps served geometry without changing the target's
+        identity, which the target reports via its ``swap_count``.  The
+        fragment is cached as pre-serialised bytes keyed on all three
+        and spliced with the freshly serialised dynamic counters —
+        STATS probing pays for what actually changed.
         """
-        key = (id(self._target), id(self.config))
+        key = (id(self._target), id(self.config),
+               getattr(self._target, "swap_count", None))
         if self._stats_static is None or self._stats_static[0] != key:
             fragment = json.dumps(
                 self._static_stats(), sort_keys=True)[1:-1]
@@ -536,6 +566,26 @@ class FilterService:
         if self.replication_extra is not None:
             info.update(self.replication_extra())
         return info
+
+    # ------------------------------------------------------------------
+    # Generational rotation hook
+    # ------------------------------------------------------------------
+    def _wire_rotation_hook(self, target) -> None:
+        """Claim a generational target's ``on_rotate`` for telemetry.
+
+        Called for every target this service adopts (construction,
+        RESTORE, SUBSCRIBE, full-delta resync) so rotations feed the
+        ``ttl.*`` instruments whichever path installed the ring.
+        """
+        if isinstance(target, GenerationalStore):
+            target.on_rotate = self._on_generation_rotate
+
+    def _on_generation_rotate(self, event: RotationEvent) -> None:
+        # The STATS static fragment re-keys by itself: rotation bumped
+        # the store's swap_count, which is part of the cache key.
+        if self.observing:
+            self._m_ttl_rotations.inc()
+            self._m_ttl_stall.observe(event.stall_s)
 
     # ------------------------------------------------------------------
     # Batch executors (called by the coalescers)
@@ -606,11 +656,18 @@ class FilterService:
         """Materialise a store container or single-filter blob by magic."""
         if blob[:4] == _STORE_MAGIC:
             return persistence.loads_store(blob)
+        if blob[:4] == _GENERATIONAL_MAGIC:
+            return persistence.loads_generational(blob)
         if blob[:4] == _FILTER_MAGIC:
             return persistence.loads(blob)
         raise ProtocolError(
-            "%s payload is neither a store container nor a filter "
-            "snapshot (bad magic)" % op_name)
+            "%s payload is neither a store container, a generational "
+            "ring, nor a filter snapshot (bad magic)" % op_name)
+
+    def _swap_target(self, target) -> None:
+        """Adopt a freshly restored/subscribed target atomically."""
+        self._target = target
+        self._wire_rotation_hook(target)
 
     def _apply_delta(self, payload: bytes) -> bytes:
         """Apply one DELTA frame; returns the OK payload (new n_items).
@@ -636,7 +693,7 @@ class FilterService:
             return protocol._U32.pack(
                 getattr(self._target, "n_items", 0))
         if full_blob is not None:
-            self._target = self._load_snapshot(full_blob, "DELTA")
+            self._swap_target(self._load_snapshot(full_blob, "DELTA"))
             state.full_snapshots_applied += 1
             state.bytes_received += len(full_blob)
         else:
@@ -658,11 +715,14 @@ class FilterService:
                     protocol.decode_idempotency_keys(blob))
                 state.bytes_received += len(blob)
             if entries and not isinstance(
-                    self._target, ShardedFilterStore):
+                    self._target, (ShardedFilterStore, GenerationalStore)):
                 raise ReplicationError(
                     "shard-level delta against a non-sharded target "
                     "(%s); only full deltas apply here"
                     % type(self._target).__name__)
+            # A generational ring speaks the same slot protocol:
+            # n_shards is the ring size, slot 0 the head, and
+            # merge_shard/replace_shard apply the entry modes.
             store = self._target
             for shard_id, mode, blob in entries:
                 if not 0 <= shard_id < store.n_shards:
@@ -737,6 +797,8 @@ class FilterService:
         if op == protocol.OP_SNAPSHOT:
             if isinstance(self._target, ShardedFilterStore):
                 return persistence.dumps_store(self._target)
+            if isinstance(self._target, GenerationalStore):
+                return persistence.dumps_generational(self._target)
             return persistence.dumps(self._target)
 
         if op == protocol.OP_RESTORE:
@@ -745,12 +807,12 @@ class FilterService:
                     "this server is a standby following a primary; "
                     "RESTORE would diverge it from the replication "
                     "stream (PROMOTE it first)")
-            self._target = self._load_snapshot(payload, "RESTORE")
+            self._swap_target(self._load_snapshot(payload, "RESTORE"))
             return protocol._U32.pack(self._target.n_items)
 
         if op == protocol.OP_SUBSCRIBE:
             epoch, blob = protocol.decode_subscribe(payload)
-            self._target = self._load_snapshot(blob, "SUBSCRIBE")
+            self._swap_target(self._load_snapshot(blob, "SUBSCRIBE"))
             self.replica.role = "standby"
             self.replica.epoch = epoch
             self.replica.full_snapshots_applied += 1

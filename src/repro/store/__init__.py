@@ -10,9 +10,19 @@ horizontally partitioned store:
   behind one router, with batch-routed inserts/queries, aggregated
   access accounting, shard rotation for capacity growth, shard-wise
   union merges, and whole-store snapshot/restore through
-  :mod:`repro.persistence`'s container format.
+  :mod:`repro.persistence`'s container format;
+* :class:`~repro.store.generational.GenerationalStore` — time-decaying
+  membership: a ring of G generation filters rotated on a time or
+  cardinality trigger, writes into the head, queries OR'd across the
+  live window, with atomic rotation publication and the ``SHBG``
+  snapshot container.
 """
 
+from repro.store.generational import (
+    GenerationalStore,
+    GenerationStats,
+    RotationEvent,
+)
 from repro.store.router import ShardRouter
 from repro.store.sharded import (
     ShardAccessReport,
@@ -21,6 +31,9 @@ from repro.store.sharded import (
 )
 
 __all__ = [
+    "GenerationStats",
+    "GenerationalStore",
+    "RotationEvent",
     "ShardAccessReport",
     "ShardRouter",
     "ShardedFilterStore",

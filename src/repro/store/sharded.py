@@ -163,6 +163,7 @@ class ShardedFilterStore:
         ]
         self._max_workers = max_workers
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._swap_count = 0
 
     @classmethod
     def _from_shards(
@@ -184,6 +185,7 @@ class ShardedFilterStore:
         store._shards = list(shards)
         store._max_workers = max_workers
         store._pool = None
+        store._swap_count = 0
         return store
 
     # ------------------------------------------------------------------
@@ -203,6 +205,15 @@ class ShardedFilterStore:
     def shards(self) -> Tuple[object, ...]:
         """The shard filters, indexed by shard id."""
         return tuple(self._shards)
+
+    @property
+    def swap_count(self) -> int:
+        """Bumped whenever a shard object is swapped out
+        (:meth:`replace_shard`, and therefore :meth:`rotate_shard`),
+        i.e. whenever served geometry may have changed without the
+        store's own identity changing; the service keys its STATS
+        static-fragment cache on this."""
+        return self._swap_count
 
     @property
     def n_items(self) -> int:
@@ -394,6 +405,15 @@ class ShardedFilterStore:
                 % (shard_id, self.n_shards)
             )
         elements = list(elements)
+        if counts is not None and len(counts) != len(elements):
+            # Validated before any filter is built: a misaligned rebuild
+            # must never construct (let alone swap in) a replacement
+            # from half-applied input.
+            raise ConfigurationError(
+                "rotate_shard(shard %d): counts length %d != elements "
+                "length %d; a misaligned rebuild would partially apply"
+                % (shard_id, len(counts), len(elements))
+            )
         routed = self._router.route_batch(elements)
         misrouted = int((routed != shard_id).sum())
         if misrouted:
@@ -433,6 +453,7 @@ class ShardedFilterStore:
             )
         retired, self._shards[shard_id] = (
             self._shards[shard_id], replacement)
+        self._swap_count += 1
         return retired
 
     def merge_shard(self, shard_id: int, incoming) -> None:

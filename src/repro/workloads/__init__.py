@@ -39,6 +39,7 @@ from repro.workloads.service import (
     chop_requests,
 )
 from repro.workloads.sharded import partition_by_shard, shard_load_factors
+from repro.workloads.ttl import TTLWorkload, build_ttl_workload
 
 __all__ = [
     "AssociationWorkload",
@@ -47,12 +48,14 @@ __all__ = [
     "MultiplicityWorkload",
     "ReplicationWorkload",
     "ServiceWorkload",
+    "TTLWorkload",
     "build_association_workload",
     "build_chaos_workload",
     "build_membership_workload",
     "build_multiplicity_workload",
     "build_replication_workload",
     "build_service_workload",
+    "build_ttl_workload",
     "chop_requests",
     "partition_by_shard",
     "run_membership_queries",

@@ -1,0 +1,156 @@
+"""Seeded streaming workload for the generational TTL expiry drill.
+
+An expiry drill has to prove two opposite things at once: elements
+written inside the live window must *never* answer MAYBE-NOT, and
+elements whose window rotated out must decay to the closed-form false
+positive band — not linger at 100% because the heavy-tailed stream
+quietly re-inserted them.  A plain Zipf stream cannot prove the second
+property: its popular elements recur in every round, so "expired" is
+undecidable from the write log alone.
+
+The workload therefore interleaves two populations per round:
+
+* **zipf arrivals** — draws (with repetition) from a fixed heavy-tailed
+  universe, the realistic traffic that keeps popular flows perpetually
+  live across rotations;
+* a **tracer slab** — elements unique to that round and never drawn
+  again, so once the round's generation leaves the ring every tracer is
+  *guaranteed* absent and its positive rate is a clean FPR measurement.
+
+Everything derives from one seed, so the verifying side of a
+multi-process drill can regenerate the exact stream and slab boundaries
+without shipping state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro._util import require_positive
+from repro.errors import ConfigurationError
+from repro.traces.flows import FlowTraceGenerator
+from repro.traces.zipf import zipf_rank_weights
+
+__all__ = ["TTLWorkload", "build_ttl_workload"]
+
+
+@dataclass(frozen=True)
+class TTLWorkload:
+    """A reproducible rotation drill: per-round writes with tracer slabs.
+
+    Attributes:
+        rounds: per-round write streams, in arrival order.  Each round
+            mixes Zipf draws from the shared universe with that round's
+            tracer slab.
+        tracers: per-round unique elements (``tracers[i]`` is a subset
+            of ``rounds[i]`` and disjoint from every other round), the
+            guaranteed-expired probes once round ``i``'s generation
+            rotates out.
+        absent: distinct elements never written in any round — the
+            baseline FPR probe set.
+        seed: the seed that produced everything.
+    """
+
+    rounds: Tuple[Tuple[bytes, ...], ...]
+    tracers: Tuple[Tuple[bytes, ...], ...]
+    absent: Tuple[bytes, ...]
+    seed: int
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    def live_elements(self, live_rounds: Tuple[int, ...]) -> List[bytes]:
+        """Every element written during the given rounds, deduplicated.
+
+        These must all answer MAYBE while those rounds' generations are
+        live — any MAYBE-NOT among them is a correctness failure, not a
+        statistic.
+        """
+        seen = {}
+        for index in live_rounds:
+            for element in self.rounds[index]:
+                seen[element] = True
+        return list(seen)
+
+    def expired_tracers(self, dead_rounds: Tuple[int, ...]) -> List[bytes]:
+        """Tracer probes for rounds whose generations have rotated out.
+
+        Guaranteed absent from every live generation, so their positive
+        rate is a direct FPR measurement against the closed-form band.
+        """
+        probes: List[bytes] = []
+        for index in dead_rounds:
+            probes.extend(self.tracers[index])
+        return probes
+
+
+def build_ttl_workload(
+    n_rounds: int,
+    arrivals_per_round: int,
+    tracers_per_round: int,
+    universe: int = 0,
+    skew: float = 1.0,
+    n_absent: int = 0,
+    seed: int = 0,
+) -> TTLWorkload:
+    """Seeded TTL drill workload over the 13-byte flow-ID universe.
+
+    Args:
+        n_rounds: write rounds (the drill rotates between rounds, so
+            this bounds how many window turnovers it can verify).
+        arrivals_per_round: Zipf draws per round (with repetition —
+            popular flows recur across rounds by design).
+        tracers_per_round: unique tracer elements appended to each
+            round's stream; must be positive, or expiry cannot be
+            measured.
+        universe: distinct flows behind the Zipf draws (default
+            ``4 * arrivals_per_round``).
+        skew: Zipf exponent over the universe ranks (0 = uniform).
+        n_absent: never-written probe elements (default
+            ``tracers_per_round * n_rounds``).
+        seed: RNG seed.
+    """
+    require_positive("n_rounds", n_rounds)
+    require_positive("arrivals_per_round", arrivals_per_round)
+    require_positive("tracers_per_round", tracers_per_round)
+    if skew < 0:
+        raise ConfigurationError("skew must be >= 0, got %r" % skew)
+    if universe <= 0:
+        universe = 4 * arrivals_per_round
+    if n_absent <= 0:
+        n_absent = tracers_per_round * n_rounds
+    n_tracers = tracers_per_round * n_rounds
+    flows = FlowTraceGenerator(seed=seed).distinct_flows(
+        universe + n_tracers + n_absent)
+    pool = flows[:universe]
+    tracer_flows = flows[universe : universe + n_tracers]
+    absent = tuple(flows[universe + n_tracers :])
+
+    rng = np.random.default_rng(seed)
+    weights = zipf_rank_weights(universe, skew)
+    rounds: List[Tuple[bytes, ...]] = []
+    tracers: List[Tuple[bytes, ...]] = []
+    for index in range(n_rounds):
+        draw = rng.choice(universe, size=arrivals_per_round, p=weights)
+        stream = [pool[i] for i in draw]
+        slab = tuple(tracer_flows[index * tracers_per_round
+                                  : (index + 1) * tracers_per_round])
+        # Tracers ride inside the round's stream at seeded positions so
+        # they age exactly like organic arrivals, not as a tail burst.
+        positions = sorted(
+            rng.choice(len(stream) + 1, size=len(slab), replace=True),
+            reverse=True)
+        for position, element in zip(positions, slab):
+            stream.insert(position, element)
+        rounds.append(tuple(stream))
+        tracers.append(slab)
+    return TTLWorkload(
+        rounds=tuple(rounds),
+        tracers=tuple(tracers),
+        absent=absent,
+        seed=seed,
+    )

@@ -1,0 +1,100 @@
+"""The generational union-FPR closed form, pinned against simulation.
+
+Same statistical regime as ``test_fpr_regression.py``: 20000 seeded
+probes, bands of ±20–25% relative (3–4 sigma of the binomial estimate)
+plus a small absolute floor.  The union form has no free parameters —
+it is Theorem 1 per generation composed by independence — so a drift
+here means the hashing, the store's OR sweep, or the per-filter model
+regressed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    generational_fpr,
+    generational_fpr_uniform,
+    shbf_m_fpr,
+)
+from repro.core import ShiftingBloomFilter
+from repro.errors import ConfigurationError
+from repro.hashing import Blake2Family
+from repro.store import GenerationalStore
+from tests.conftest import make_elements
+
+SEED = 42
+N_PROBES = 20000
+NEGATIVES = make_elements(N_PROBES, "ttl-absent")
+
+
+class TestClosedForm:
+    def test_single_generation_collapses_to_theorem1(self):
+        assert generational_fpr(16384, 4, [2000]) \
+            == pytest.approx(shbf_m_fpr(16384, 2000, 4))
+
+    def test_zero_load_generations_contribute_nothing(self):
+        assert generational_fpr(16384, 4, [2000, 0, 0]) \
+            == generational_fpr(16384, 4, [2000])
+
+    def test_union_exceeds_any_single_window(self):
+        loads = [1500, 2000, 2500]
+        union = generational_fpr(16384, 4, loads)
+        assert union > max(shbf_m_fpr(16384, n, 4) for n in loads)
+        assert union < sum(shbf_m_fpr(16384, n, 4) for n in loads)
+
+    def test_uniform_matches_explicit_loads(self):
+        assert generational_fpr_uniform(16384, 4, 2000, 3) \
+            == generational_fpr(16384, 4, [2000] * 3)
+
+    def test_product_form_is_exact_complement(self):
+        loads = [800, 1600, 2400]
+        survive = math.prod(
+            1.0 - shbf_m_fpr(16384, n, 4) for n in loads)
+        assert generational_fpr(16384, 4, loads) \
+            == pytest.approx(1.0 - survive)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generational_fpr(16384, 4, [])
+        with pytest.raises(ConfigurationError):
+            generational_fpr(16384, 4, [-1])
+        with pytest.raises(ConfigurationError):
+            generational_fpr_uniform(16384, 4, 2000, 0)
+
+
+class TestRegressionBand:
+    def _loaded_store(self, loads, m=16384, k=4):
+        store = GenerationalStore(
+            lambda seq: ShiftingBloomFilter(
+                m=m, k=k, family=Blake2Family(seed=SEED)),
+            generations=len(loads))
+        members = make_elements(sum(loads), "ttl-member")
+        cursor = 0
+        # fill oldest-first, rotating between batches: loads[i] ends up
+        # as the n_items of ring position i (head first)
+        for index, load in enumerate(reversed(loads)):
+            store.add_batch(members[cursor : cursor + load])
+            cursor += load
+            if index != len(loads) - 1:
+                store.rotate()
+        return store
+
+    def test_observed_union_fpr_matches_closed_form(self):
+        loads = [2000, 2000, 2000]
+        store = self._loaded_store(loads)
+        observed = float(store.query_batch(NEGATIVES).mean())
+        predicted = generational_fpr_uniform(16384, 4, 2000, 3, w_bar=57)
+        assert observed == pytest.approx(predicted, rel=0.2, abs=0.002), \
+            "observed %.5f vs predicted %.5f" % (observed, predicted)
+
+    def test_uneven_loads_match_closed_form(self):
+        loads = [500, 2000, 3000]
+        store = self._loaded_store(loads)
+        assert [row.n_items for row in store.generation_stats()] == loads
+        observed = float(store.query_batch(NEGATIVES).mean())
+        predicted = generational_fpr(16384, 4, loads, w_bar=57)
+        assert observed == pytest.approx(predicted, rel=0.2, abs=0.002), \
+            "observed %.5f vs predicted %.5f" % (observed, predicted)

@@ -52,12 +52,16 @@ GOLDEN_METRIC_NAMES = frozenset({
     "repro_mpserve_writes_forwarded_total",
     "repro_mpserve_workers_alive",
     "repro_mpserve_worker_restarts_total",
+    "repro_ttl_rotations_total",
+    "repro_ttl_live_generations",
+    "repro_ttl_rotation_stall_seconds",
 })
 
 GOLDEN_STATS_KEYS = frozenset({
     "structure", "n_shards", "coalescer",
     "n_items", "size_bits", "queue_depth", "queued_elements",
     "idempotency", "counters", "replication", "cluster", "access",
+    "ttl", "generations",
 })
 
 #: Every series entry in the METRICS JSON snapshot carries these.

@@ -132,3 +132,64 @@ class TestReconstruction:
         records = load_span_records(lines)
         assert len(records) == 1
         assert records[0]["span"] == "client.request"
+
+
+class TestMonotonicSiblingOrder:
+    def test_span_records_carry_mono_key(self):
+        spans = []
+        tracer = Tracer("client", sink=spans)
+        with tracer.span("client.request", 5):
+            pass
+        tracer.emit("client.request", 5, start=1.0, dur_s=0.1)
+        assert all("mono" in r for r in spans)
+
+    def test_wall_clock_step_cannot_reorder_same_component_siblings(self):
+        """An NTP step between two sibling spans makes wall time lie
+        about their order; the per-process mono key restores it."""
+        records = [
+            _record("client.sub_request", 5, 100.0, mono=1.0, owner="a"),
+            # clock stepped back 50s before the second sibling started
+            _record("client.sub_request", 5, 50.0, mono=2.0, owner="b"),
+            _record("client.request", 5, 99.0, mono=0.5),
+        ]
+        path = reconstruct(records, 5)
+        assert [r.get("owner") for r in path[1:]] == ["a", "b"]
+
+    def test_cross_component_order_stays_wall_clock(self):
+        """Monotonic readings from different processes are meaningless
+        to compare: siblings on *different* components keep wall order
+        even when their mono values would say otherwise."""
+        records = [
+            _record("client.sub_request", 5, 2.0, mono=999.0,
+                    component="edge-1", owner="late"),
+            _record("client.sub_request", 5, 1.0, mono=0.001,
+                    component="edge-2", owner="early"),
+        ]
+        path = reconstruct(records, 5)
+        assert [r["owner"] for r in path] == ["early", "late"]
+
+    def test_pre_mono_records_keep_wall_order(self):
+        """Logs written before the mono key existed reconstruct exactly
+        as they always did."""
+        records = [
+            _record("client.sub_request", 5, 2.0, owner="second"),
+            _record("client.sub_request", 5, 1.0, mono=5.0, owner="first"),
+        ]
+        path = reconstruct(records, 5)
+        assert [r["owner"] for r in path] == ["first", "second"]
+
+    def test_mono_reorder_is_scoped_to_its_group(self):
+        """Re-ordering one component's siblings must not move records
+        of other ranks or components."""
+        records = [
+            _record("client.request", 5, 0.0, mono=0.0),
+            _record("client.sub_request", 5, 10.0, mono=3.0, owner="a"),
+            _record("client.sub_request", 5, 20.0, mono=1.0, owner="b"),
+            _record("server.request", 5, 5.0, mono=0.2,
+                    component="node:1"),
+        ]
+        path = reconstruct(records, 5)
+        assert [r["span"] for r in path] == [
+            "client.request", "client.sub_request",
+            "client.sub_request", "server.request"]
+        assert [r.get("owner") for r in path[1:3]] == ["b", "a"]

@@ -186,6 +186,34 @@ class TestRotation:
         with pytest.raises(ConfigurationError):
             make_store().rotate_shard(9, [])
 
+    def test_rotate_counts_length_mismatch_rejected_before_rebuild(self):
+        """Regression: a rebuild stream with misaligned counts must be
+        refused up front (naming the shard), not partially applied."""
+        store = ShardedFilterStore(
+            lambda s: ShiftingMultiplicityFilter(m=16384, k=4, c_max=16),
+            n_shards=4)
+        counts = [(i % 16) + 1 for i in range(len(MEMBERS))]
+        store.add_batch(MEMBERS, counts)
+        parts = partition_by_shard(MEMBERS, store.router)
+        before = store.shards[2].bits.to_bytes()
+        with pytest.raises(ConfigurationError, match="shard 2"):
+            store.rotate_shard(2, parts[2], counts=[1] * (len(parts[2]) - 1))
+        # the refused rotation left the serving shard untouched
+        assert store.shards[2].bits.to_bytes() == before
+
+    def test_rotate_with_aligned_counts_still_works(self):
+        store = ShardedFilterStore(
+            lambda s: ShiftingMultiplicityFilter(m=16384, k=4, c_max=16),
+            n_shards=4)
+        counts = [(i % 16) + 1 for i in range(len(MEMBERS))]
+        store.add_batch(MEMBERS, counts)
+        parts = partition_by_shard(MEMBERS, store.router)
+        by_element = dict(zip(MEMBERS, counts))
+        store.rotate_shard(
+            2, parts[2], counts=[by_element[e] for e in parts[2]])
+        got = store.query_batch(MEMBERS)
+        assert all(g >= c for g, c in zip(got.tolist(), counts))
+
 
 class TestMerge:
     def test_union_merge_serves_both_catalogs(self):
